@@ -1,0 +1,58 @@
+// Shared helpers for the reproduction benches: series and table printing in
+// the shape of the paper's figures/tables.
+
+#ifndef QPROG_BENCH_BENCH_UTIL_H_
+#define QPROG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+
+namespace qprog {
+namespace bench {
+
+/// Prints "actual <name1> <name2> ..." rows sampled at ~`points` evenly
+/// spaced true-progress steps — the data behind a Figure-3/4/5/7 style plot.
+inline void PrintSeries(const ProgressReport& report, size_t points = 20) {
+  std::printf("%-10s", "actual");
+  for (const std::string& name : report.names) {
+    std::printf(" %-10s", name.c_str());
+  }
+  std::printf("\n");
+  if (report.checkpoints.empty()) return;
+  size_t step = std::max<size_t>(1, report.checkpoints.size() / points);
+  for (size_t i = 0; i < report.checkpoints.size(); i += step) {
+    const Checkpoint& c = report.checkpoints[i];
+    std::printf("%-10.4f", c.true_progress);
+    for (double e : c.estimates) std::printf(" %-10.4f", e);
+    std::printf("\n");
+  }
+  const Checkpoint& last = report.checkpoints.back();
+  std::printf("%-10.4f", last.true_progress);
+  for (double e : last.estimates) std::printf(" %-10.4f", e);
+  std::printf("\n");
+}
+
+/// Prints the paper's Table-1-style error summary for each estimator.
+inline void PrintMetrics(const ProgressReport& report) {
+  std::printf("%-12s %-12s %-12s %-14s %-14s\n", "estimator", "max_err",
+              "avg_err", "max_ratio_err", "avg_ratio_err");
+  for (size_t i = 0; i < report.names.size(); ++i) {
+    EstimatorMetrics m = report.Metrics(i);
+    std::printf("%-12s %-11.2f%% %-11.2f%% %-14.3f %-14.3f\n",
+                report.names[i].c_str(), 100 * m.max_abs_err,
+                100 * m.avg_abs_err, m.max_ratio_err, m.avg_ratio_err);
+  }
+}
+
+inline void PrintHeader(const char* title, const char* paper_context) {
+  std::printf("=== %s ===\n", title);
+  std::printf("paper: %s\n\n", paper_context);
+}
+
+}  // namespace bench
+}  // namespace qprog
+
+#endif  // QPROG_BENCH_BENCH_UTIL_H_

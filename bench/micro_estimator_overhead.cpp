@@ -1,0 +1,90 @@
+// Ablation A6: per-checkpoint cost of the progress machinery
+// (google-benchmark) — bounds recomputation, pipeline decomposition, and
+// each estimator's evaluation, measured against a mid-size TPC-H Q21 plan
+// mid-execution.
+
+#include <benchmark/benchmark.h>
+
+#include "core/bounds.h"
+#include "core/estimators.h"
+#include "core/monitor.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace qprog {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    tpch::TpchConfig config;
+    config.scale_factor = 0.002;
+    config.z = 2.0;
+    QPROG_CHECK(tpch::GenerateTpch(config, &db).ok());
+    plan = std::make_unique<PhysicalPlan>(
+        std::move(tpch::BuildQuery(21, db).value()));
+    // Run roughly half the query, then freeze state for measurement.
+    uint64_t total = 0;
+    {
+      auto probe = tpch::BuildQuery(21, db);
+      total = MeasureTotalWork(&probe.value());
+    }
+    ctx.Reset(plan->num_nodes());
+    plan->root()->Open(&ctx);
+    Row row;
+    while (ctx.work() < total / 2 && plan->root()->Next(&ctx, &row)) {
+    }
+    pipelines = DecomposePipelines(*plan);
+  }
+
+  Database db;
+  std::unique_ptr<PhysicalPlan> plan;
+  ExecContext ctx;
+  std::vector<Pipeline> pipelines;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_BoundsCompute(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  BoundsTracker tracker(f.plan.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.Compute(f.ctx));
+  }
+}
+BENCHMARK(BM_BoundsCompute);
+
+void BM_PipelineDecompose(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecomposePipelines(*f.plan));
+  }
+}
+BENCHMARK(BM_PipelineDecompose);
+
+void BM_EstimatorEvaluate(benchmark::State& state, const char* name) {
+  Fixture& f = GetFixture();
+  BoundsTracker tracker(f.plan.get());
+  PlanBounds bounds = tracker.Compute(f.ctx);
+  ProgressContext pc;
+  pc.plan = f.plan.get();
+  pc.exec = &f.ctx;
+  pc.bounds = &bounds;
+  pc.pipelines = &f.pipelines;
+  pc.scanned_leaf_cardinality = ScannedLeafCardinality(*f.plan);
+  auto estimator = CreateEstimator(name).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator->Estimate(pc));
+  }
+}
+BENCHMARK_CAPTURE(BM_EstimatorEvaluate, dne, "dne");
+BENCHMARK_CAPTURE(BM_EstimatorEvaluate, pmax, "pmax");
+BENCHMARK_CAPTURE(BM_EstimatorEvaluate, safe, "safe");
+BENCHMARK_CAPTURE(BM_EstimatorEvaluate, hybrid, "hybrid");
+
+}  // namespace
+}  // namespace qprog
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Ablation A5: engine operator throughput microbenchmarks
+// (google-benchmark). Not a paper figure; establishes the substrate's
+// baseline costs so the estimator-overhead numbers (A6) have context.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "exec/aggregate.h"
+#include "exec/filter_project.h"
+#include "exec/join.h"
+#include "exec/plan.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "index/ordered_index.h"
+#include "storage/table.h"
+
+namespace qprog {
+namespace {
+
+Table MakeInts(const char* name, int64_t n, int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  Table t(name, Schema({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}}));
+  t.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    t.AppendRow({Value::Int64(rng.UniformInt(0, domain - 1)), Value::Int64(i)});
+  }
+  return t;
+}
+
+void BM_SeqScan(benchmark::State& state) {
+  Table t = MakeInts("t", state.range(0), 1000, 1);
+  for (auto _ : state) {
+    PhysicalPlan plan(std::make_unique<SeqScan>(&t));
+    ExecContext ctx;
+    benchmark::DoNotOptimize(ExecutePlan(&plan, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SeqScan)->Arg(100000);
+
+void BM_Filter(benchmark::State& state) {
+  Table t = MakeInts("t", state.range(0), 1000, 2);
+  for (auto _ : state) {
+    auto scan = std::make_unique<SeqScan>(&t);
+    PhysicalPlan plan(std::make_unique<Filter>(
+        std::move(scan), eb::Lt(eb::Col(0), eb::Int(500))));
+    ExecContext ctx;
+    benchmark::DoNotOptimize(ExecutePlan(&plan, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Filter)->Arg(100000);
+
+void BM_HashJoin(benchmark::State& state) {
+  Table probe = MakeInts("p", state.range(0), 10000, 3);
+  Table build = MakeInts("b", state.range(0) / 4, 10000, 4);
+  for (auto _ : state) {
+    std::vector<ExprPtr> pk, bk;
+    pk.push_back(eb::Col(0));
+    bk.push_back(eb::Col(0));
+    auto join = std::make_unique<HashJoin>(std::make_unique<SeqScan>(&probe),
+                                           std::make_unique<SeqScan>(&build),
+                                           std::move(pk), std::move(bk));
+    PhysicalPlan plan(std::move(join));
+    ExecContext ctx;
+    benchmark::DoNotOptimize(ExecutePlan(&plan, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(100000);
+
+void BM_IndexNestedLoopsJoin(benchmark::State& state) {
+  Table outer = MakeInts("o", state.range(0), 10000, 5);
+  Table inner = MakeInts("i", state.range(0) / 4, 10000, 6);
+  OrderedIndex idx(&inner, 0);
+  for (auto _ : state) {
+    auto join = std::make_unique<IndexNestedLoopsJoin>(
+        std::make_unique<SeqScan>(&outer), std::make_unique<IndexSeek>(&idx),
+        eb::Col(0));
+    PhysicalPlan plan(std::move(join));
+    ExecContext ctx;
+    benchmark::DoNotOptimize(ExecutePlan(&plan, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexNestedLoopsJoin)->Arg(100000);
+
+void BM_Sort(benchmark::State& state) {
+  Table t = MakeInts("t", state.range(0), 1000000, 7);
+  for (auto _ : state) {
+    std::vector<SortKey> keys;
+    keys.emplace_back(eb::Col(0), false);
+    PhysicalPlan plan(std::make_unique<Sort>(std::make_unique<SeqScan>(&t),
+                                             std::move(keys)));
+    ExecContext ctx;
+    benchmark::DoNotOptimize(ExecutePlan(&plan, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sort)->Arg(100000);
+
+void BM_HashAggregate(benchmark::State& state) {
+  Table t = MakeInts("t", state.range(0), 1000, 8);
+  for (auto _ : state) {
+    std::vector<ExprPtr> groups;
+    groups.push_back(eb::Col(0));
+    std::vector<AggregateDesc> aggs;
+    aggs.emplace_back(AggFunc::kSum, eb::Col(1), "s");
+    PhysicalPlan plan(std::make_unique<HashAggregate>(
+        std::make_unique<SeqScan>(&t), std::move(groups),
+        std::vector<std::string>{"k"}, std::move(aggs)));
+    ExecContext ctx;
+    benchmark::DoNotOptimize(ExecutePlan(&plan, &ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashAggregate)->Arg(100000);
+
+}  // namespace
+}  // namespace qprog
+
+BENCHMARK_MAIN();

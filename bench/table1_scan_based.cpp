@@ -1,0 +1,50 @@
+// Table 1 reproduction: impact of a scan-based plan. The same worst-case
+// zipfian data and ordering executed with an index-nested-loops plan vs a
+// hash-join (scan-based) plan; max/avg error reported for dne, pmax and
+// safe. The paper reports (INL -> Hash): dne 49.5% -> 19.2% max, pmax same
+// as dne, safe 25.2% -> 8.2% max.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/zipf_join.h"
+
+int main() {
+  using namespace qprog;  // NOLINT(build/namespaces)
+  bench::PrintHeader(
+      "Table 1: impact of scan-based plan (INL vs Hash, worst-case order)",
+      "every estimator improves substantially when moving to the hash plan");
+
+  ZipfJoinConfig config;
+  config.r1_rows = 100000;
+  config.r2_rows = 100000;
+  config.z = 2.0;
+  config.order = R1Order::kSkewLast;
+  ZipfJoinData data(config);
+
+  const std::vector<std::string> estimators = {"dne", "pmax", "safe"};
+
+  PhysicalPlan inl = data.BuildInlPlan(nullptr, /*linear=*/true);
+  ProgressReport r_inl = ProgressMonitor::WithEstimators(&inl, estimators)
+                             .RunWithApproxCheckpoints(300);
+  PhysicalPlan hash = data.BuildHashPlan(nullptr, /*linear=*/true);
+  ProgressReport r_hash = ProgressMonitor::WithEstimators(&hash, estimators)
+                              .RunWithApproxCheckpoints(300);
+
+  std::printf("%-10s %-14s %-14s %-14s %-14s\n", "estimator", "MaxErr(INL)",
+              "MaxErr(Hash)", "AvgErr(INL)", "AvgErr(Hash)");
+  for (size_t i = 0; i < estimators.size(); ++i) {
+    EstimatorMetrics mi = r_inl.Metrics(i);
+    EstimatorMetrics mh = r_hash.Metrics(i);
+    std::printf("%-10s %-13.2f%% %-13.2f%% %-13.2f%% %-13.2f%%\n",
+                estimators[i].c_str(), 100 * mi.max_abs_err,
+                100 * mh.max_abs_err, 100 * mi.avg_abs_err,
+                100 * mh.avg_abs_err);
+  }
+  std::printf(
+      "\npaper (Table 1):\n"
+      "dne        49.50%%        19.20%%        24.74%%        7.37%%\n"
+      "pmax       49.50%%        19.20%%        24.74%%        9.04%%\n"
+      "safe       25.2%%         8.2%%          14.8%%         4.2%%\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// An analysis session over the synthetic SkyServer database: runs the seven
+// long-running queries of the paper's Table 3 under the hybrid estimator and
+// summarizes per-query mu and estimator accuracy.
+//
+//   $ ./skyserver_session [num_photoobj=60000]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/monitor.h"
+#include "skyserver/skyserver.h"
+
+using namespace qprog;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  skyserver::SkyServerConfig config;
+  if (argc > 1) {
+    config.num_photoobj = static_cast<uint64_t>(std::atoll(argv[1]));
+  }
+  std::printf("generating synthetic SkyServer (%llu photo objects)...\n",
+              static_cast<unsigned long long>(config.num_photoobj));
+  Database db;
+  Status status = skyserver::GenerateSkyServer(config, &db);
+  QPROG_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+
+  std::printf("\n%-7s %-10s %-12s %-14s %-14s %-10s\n", "query", "rows",
+              "total(Q)", "hybrid max", "hybrid avg", "mu");
+  for (int id : skyserver::AvailableSkyQueries()) {
+    auto plan = skyserver::BuildSkyQuery(id, db);
+    QPROG_CHECK(plan.ok());
+    ProgressMonitor monitor =
+        ProgressMonitor::WithEstimators(&plan.value(), {"hybrid"});
+    ProgressReport report = monitor.RunWithApproxCheckpoints(100);
+    EstimatorMetrics m = report.Metrics(0);
+    std::printf("%-7d %-10llu %-12llu %-13.2f%% %-13.2f%% %-10.3f\n", id,
+                static_cast<unsigned long long>(report.root_rows),
+                static_cast<unsigned long long>(report.total_work),
+                100 * m.max_abs_err, 100 * m.avg_abs_err, report.mu);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Run any TPC-H query under the progress monitor and print the estimate
+// trajectory plus error metrics for every estimator in the toolkit.
+//
+//   $ ./tpch_progress [query=21] [scale_factor=0.01] [z=2.0]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/monitor.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+using namespace qprog;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  int query = argc > 1 ? std::atoi(argv[1]) : 21;
+  double sf = argc > 2 ? std::atof(argv[2]) : 0.01;
+  double z = argc > 3 ? std::atof(argv[3]) : 2.0;
+
+  std::printf("generating TPC-H (scale %.3f, zipf z=%.1f)...\n", sf, z);
+  Database db;
+  tpch::TpchConfig config;
+  config.scale_factor = sf;
+  config.z = z;
+  Status status = tpch::GenerateTpch(config, &db);
+  QPROG_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+
+  auto plan = tpch::BuildQuery(query, db);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nplan for Q%d:\n%s\n", query, plan.value().ToString().c_str());
+
+  ProgressMonitor monitor =
+      ProgressMonitor::WithEstimators(&plan.value(), AllEstimatorNames());
+  ProgressReport report = monitor.RunWithApproxCheckpoints(100);
+
+  std::printf("%-8s", "actual");
+  for (const std::string& n : report.names) std::printf(" %-10s", n.c_str());
+  std::printf("\n");
+  size_t step = std::max<size_t>(1, report.checkpoints.size() / 20);
+  for (size_t i = 0; i < report.checkpoints.size(); i += step) {
+    const Checkpoint& c = report.checkpoints[i];
+    std::printf("%-8.3f", c.true_progress);
+    for (double e : c.estimates) std::printf(" %-10.4f", e);
+    std::printf("\n");
+  }
+
+  std::printf("\n%-12s %-10s %-10s\n", "estimator", "max_err", "avg_err");
+  for (size_t i = 0; i < report.names.size(); ++i) {
+    EstimatorMetrics m = report.Metrics(i);
+    std::printf("%-12s %-9.2f%% %-9.2f%%\n", report.names[i].c_str(),
+                100 * m.max_abs_err, 100 * m.avg_abs_err);
+  }
+  std::printf("\ntotal(Q) = %llu getnexts, rows = %llu, mu = %.3f\n",
+              static_cast<unsigned long long>(report.total_work),
+              static_cast<unsigned long long>(report.root_rows), report.mu);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Core assertion and error-propagation macros used throughout qprog.
+//
+// The project follows the Google C++ style: exceptions are not used. Fatal
+// invariant violations abort the process with a message; recoverable errors
+// propagate `Status`/`StatusOr` values (see status.h, statusor.h).
+
+#ifndef QPROG_COMMON_MACROS_H_
+#define QPROG_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process with a file/line-qualified message when `cond` is false.
+// Used for internal invariants that indicate programmer error, never for
+// data-dependent conditions.
+#define QPROG_CHECK(cond)                                                       \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,   \
+                   #cond);                                                      \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (0)
+
+// Like QPROG_CHECK but with a printf-style message appended.
+#define QPROG_CHECK_MSG(cond, ...)                                              \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s: ", __FILE__, __LINE__,   \
+                   #cond);                                                      \
+      std::fprintf(stderr, __VA_ARGS__);                                        \
+      std::fprintf(stderr, "\n");                                               \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (0)
+
+#ifndef NDEBUG
+#define QPROG_DCHECK(cond) QPROG_CHECK(cond)
+#else
+#define QPROG_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+// Propagates a non-OK Status out of the current function.
+#define QPROG_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::qprog::Status _qprog_status = (expr);          \
+    if (!_qprog_status.ok()) return _qprog_status;   \
+  } while (0)
+
+#define QPROG_CONCAT_IMPL(a, b) a##b
+#define QPROG_CONCAT(a, b) QPROG_CONCAT_IMPL(a, b)
+
+// Evaluates `rexpr` (a StatusOr<T>); on error returns the Status, otherwise
+// move-assigns the value into `lhs` (which may be a declaration).
+#define QPROG_ASSIGN_OR_RETURN(lhs, rexpr)                                \
+  QPROG_ASSIGN_OR_RETURN_IMPL(QPROG_CONCAT(_qprog_sor_, __LINE__), lhs,   \
+                              rexpr)
+
+#define QPROG_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#endif  // QPROG_COMMON_MACROS_H_

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for data generators and
+// property tests. A small xoshiro256** implementation: fast, seedable, and
+// stable across platforms (unlike std::default_random_engine).
+
+#ifndef QPROG_COMMON_RANDOM_H_
+#define QPROG_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qprog {
+
+/// xoshiro256** PRNG. Deterministic for a given seed on all platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Returns a random permutation of [0, n).
+  std::vector<size_t> Permutation(size_t n);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_COMMON_RANDOM_H_

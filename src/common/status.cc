@@ -1,0 +1,52 @@
+#include "common/status.h"
+
+namespace qprog {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code_);
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status OutOfRange(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+}  // namespace qprog

@@ -1,0 +1,62 @@
+// StatusOr<T>: a Status or a value of type T (absl::StatusOr idiom).
+
+#ifndef QPROG_COMMON_STATUSOR_H_
+#define QPROG_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace qprog {
+
+/// Holds either an OK status together with a value of type `T`, or a non-OK
+/// Status. Access to `value()` aborts if the StatusOr holds an error; callers
+/// must check `ok()` first (or use QPROG_ASSIGN_OR_RETURN).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must be non-OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    QPROG_CHECK(!status_.ok());
+  }
+
+  /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(OkStatus()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    QPROG_CHECK_MSG(ok(), "%s", status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    QPROG_CHECK_MSG(ok(), "%s", status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    QPROG_CHECK_MSG(ok(), "%s", status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_COMMON_STATUSOR_H_

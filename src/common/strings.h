@@ -1,0 +1,36 @@
+// Small string helpers (printf-style formatting, join/split) used across
+// qprog. gcc 12 lacks std::format, so formatting goes through snprintf.
+
+#ifndef QPROG_COMMON_STRINGS_H_
+#define QPROG_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qprog {
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+}  // namespace qprog
+
+#endif  // QPROG_COMMON_STRINGS_H_

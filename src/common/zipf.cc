@@ -1,0 +1,36 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace qprog {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double z) : n_(n), z_(z) {
+  QPROG_CHECK(n >= 1);
+  QPROG_CHECK(z >= 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t r = 0; r < n; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), z);
+    cdf_[r] = sum;
+  }
+  for (uint64_t r = 0; r < n; ++r) cdf_[r] /= sum;
+  cdf_[n - 1] = 1.0;  // guard against round-off
+}
+
+uint64_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(uint64_t r) const {
+  QPROG_CHECK(r < n_);
+  if (r == 0) return cdf_[0];
+  return cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace qprog

@@ -1,0 +1,48 @@
+// Zipfian distribution sampler.
+//
+// The paper's synthetic experiments (Sections 5.2-5.4) and the skewed TPC-H
+// generator (ref [18], the Microsoft skewed TPC-D dbgen) draw join-column
+// values from a zipfian distribution with parameter z: value rank r in
+// [1, n] has probability proportional to 1 / r^z.
+
+#ifndef QPROG_COMMON_ZIPF_H_
+#define QPROG_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace qprog {
+
+/// Samples ranks in [0, n) with P(rank = r) proportional to 1/(r+1)^z.
+///
+/// z == 0 degenerates to the uniform distribution. Sampling is O(log n) via
+/// binary search over a precomputed CDF (n is bounded by the in-memory data
+/// sizes this project uses, so the O(n) table is cheap).
+class ZipfDistribution {
+ public:
+  /// Builds the CDF for `n` ranks with skew `z`. Requires n >= 1, z >= 0.
+  ZipfDistribution(uint64_t n, double z);
+
+  /// Draws a rank in [0, n). Rank 0 is the most frequent.
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+  /// Probability mass of rank `r`.
+  double Pmf(uint64_t r) const;
+
+  /// Expected count of the most frequent rank among `draws` samples.
+  double ExpectedMaxFrequency(uint64_t draws) const { return Pmf(0) * draws; }
+
+ private:
+  uint64_t n_;
+  double z_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_COMMON_ZIPF_H_

@@ -1,0 +1,117 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "exec/scan.h"
+
+namespace qprog {
+
+double PerTupleWork::Mean() const {
+  if (work.empty()) return 0;
+  double sum = 0;
+  for (uint64_t w : work) sum += static_cast<double>(w);
+  return sum / static_cast<double>(work.size());
+}
+
+double PerTupleWork::Variance() const {
+  if (work.empty()) return 0;
+  double mean = Mean();
+  double sum = 0;
+  for (uint64_t w : work) {
+    double d = static_cast<double>(w) - mean;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(work.size());
+}
+
+PerTupleWork CollectPerTupleWork(PhysicalPlan* plan, int driver_node_id) {
+  QPROG_CHECK(driver_node_id >= 0 &&
+              static_cast<size_t>(driver_node_id) < plan->num_nodes());
+  const PhysicalOperator* driver =
+      plan->nodes()[static_cast<size_t>(driver_node_id)];
+
+  PerTupleWork result;
+  ExecContext ctx;
+  uint64_t last_driver_count = 0;
+  uint64_t last_work = 0;
+
+  // For scans the per-tuple accounting of Section 4 is per row *examined*
+  // (rows rejected by a merged predicate are zero-work tuples); for other
+  // drivers it is per row produced.
+  auto driver_count = [&]() -> uint64_t {
+    ProgressState s;
+    driver->FillProgressState(ctx, &s);
+    return driver->kind() == OpKind::kSeqScan ? s.input_examined
+                                              : s.rows_produced;
+  };
+
+  // Observe every unit of work. When the driver advances at work unit w,
+  // units (last_work, w-1] were downstream work of the previous tuple; unit
+  // w itself is the new tuple's own getnext.
+  ctx.SetWorkObserver(1, [&](uint64_t work) {
+    uint64_t count = driver_count();
+    if (count > last_driver_count) {
+      if (!result.work.empty()) {
+        result.work.back() += (work - 1) - last_work;
+      }
+      // Any rows the scan examined and rejected in between cost no getnext.
+      for (uint64_t i = last_driver_count + 1; i < count; ++i) {
+        result.work.push_back(0);
+      }
+      result.work.push_back(1);  // the new tuple's own getnext
+      last_driver_count = count;
+      last_work = work;
+    }
+  });
+  ExecutePlan(plan, &ctx);
+  ctx.ClearWorkObserver();
+
+  // Trailing work after the last driver arrival belongs to the last tuple;
+  // trailing examined-and-rejected scan rows are zero-work tuples.
+  uint64_t final_work = ctx.work();
+  if (!result.work.empty() && final_work > last_work) {
+    result.work.back() += final_work - last_work;
+  }
+  uint64_t final_count = driver_count();
+  while (last_driver_count < final_count) {
+    ++last_driver_count;
+    result.work.push_back(0);
+  }
+  result.total_work = final_work;
+  return result;
+}
+
+bool IsCPredictive(const std::vector<uint64_t>& work, double c) {
+  QPROG_CHECK(c >= 1.0);
+  if (work.empty()) return true;
+  const size_t n = work.size();
+  double total = 0;
+  for (uint64_t w : work) total += static_cast<double>(w);
+  double mu = total / static_cast<double>(n);
+  if (mu == 0) return true;
+  size_t half = (n + 1) / 2;
+  double prefix = 0;
+  for (size_t k = 0; k < n; ++k) {
+    prefix += static_cast<double>(work[k]);
+    if (k + 1 < half) continue;
+    double avg = prefix / static_cast<double>(k + 1);
+    if (avg > c * mu + 1e-12 || avg < mu / c - 1e-12) return false;
+  }
+  return true;
+}
+
+double FractionCPredictive(const std::vector<uint64_t>& work, double c,
+                           size_t trials, Rng* rng) {
+  QPROG_CHECK(trials > 0);
+  std::vector<uint64_t> shuffled = work;
+  size_t hits = 0;
+  for (size_t t = 0; t < trials; ++t) {
+    rng->Shuffle(&shuffled);
+    if (IsCPredictive(shuffled, c)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace qprog

@@ -1,0 +1,44 @@
+// Analysis utilities around the paper's theory: per-tuple work profiles
+// (mu and variance, Sections 4-5) and predictive orders (Theorem 4).
+
+#ifndef QPROG_CORE_ANALYSIS_H_
+#define QPROG_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/plan.h"
+
+namespace qprog {
+
+/// Per-driver-tuple work profile of a single-pipeline query: element i is
+/// the number of getnext calls attributable to the i-th tuple retrieved from
+/// the driver node (1 for the driver's own getnext plus everything it
+/// triggers downstream before the next driver tuple).
+struct PerTupleWork {
+  std::vector<uint64_t> work;  // one entry per driver tuple
+  uint64_t total_work = 0;     // total(Q)
+
+  double Mean() const;
+  double Variance() const;
+};
+
+/// Executes the plan and attributes work to driver tuples. `driver_node_id`
+/// must identify the pipeline's input node (for scans, attribution is per
+/// row *examined*, matching Section 4's per-tuple accounting).
+PerTupleWork CollectPerTupleWork(PhysicalPlan* plan, int driver_node_id);
+
+/// Section 4's c-predictive property for a given per-tuple work sequence:
+/// for every prefix k >= ceil(N/2), the running average work per tuple is
+/// within a factor c of the overall average.
+bool IsCPredictive(const std::vector<uint64_t>& work, double c);
+
+/// Monte-Carlo estimate of the fraction of random orders of `work` that are
+/// c-predictive (Theorem 4 says >= 1/2 for c = 2).
+double FractionCPredictive(const std::vector<uint64_t>& work, double c,
+                           size_t trials, Rng* rng);
+
+}  // namespace qprog
+
+#endif  // QPROG_CORE_ANALYSIS_H_

@@ -1,0 +1,64 @@
+// Runtime cardinality bounds (Section 5.1 of the paper).
+//
+// For every operator the tracker maintains guaranteed lower and upper bounds
+// on the operator's *total* production over the whole execution, refined from
+// execution feedback (rows produced so far, phase completion, hash-table
+// contents) and catalog facts (base-table cardinalities). Summing the
+// per-node bounds over all non-root nodes yields bounds [LB, UB] on total(Q),
+// the quantities the pmax and safe estimators divide by:
+//
+//   pmax = Curr / LB          (Definition 3)
+//   safe = Curr / sqrt(LB*UB) (Definition 5)
+//
+// Key invariants (property-tested):
+//   * LB >= Curr at every instant;
+//   * the final total(Q) always lies in [LB, UB] at every instant;
+//   * at completion LB == UB == total(Q).
+
+#ifndef QPROG_CORE_BOUNDS_H_
+#define QPROG_CORE_BOUNDS_H_
+
+#include <vector>
+
+#include "exec/plan.h"
+
+namespace qprog {
+
+/// Bounds on one node's total production.
+struct CardBounds {
+  double lb = 0.0;
+  double ub = 0.0;
+};
+
+/// Bounds for a whole plan at one instant.
+struct PlanBounds {
+  std::vector<CardBounds> node_bounds;  // indexed by node id
+  double work_lb = 0.0;                 // sum over non-root nodes
+  double work_ub = 0.0;
+};
+
+/// Computes per-node and work bounds from the current execution state.
+/// Stateless between calls; cheap enough to run at every checkpoint.
+class BoundsTracker {
+ public:
+  explicit BoundsTracker(const PhysicalPlan* plan);
+
+  PlanBounds Compute(const ExecContext& ctx) const;
+
+ private:
+  const PhysicalPlan* plan_;
+};
+
+/// Upper bound on the production of a single execution (one pass) of the
+/// subtree rooted at `op`, from static catalog facts only. Used to bound
+/// rescanned inner subtrees of nested-loops joins.
+double StaticPerPassUpperBound(const PhysicalOperator* op);
+
+/// Sum of cardinalities of the leaves scanned exactly once (SeqScans and
+/// static range seeks outside any rescanned NL-inner subtree) — the
+/// denominator of the paper's mu (Section 5.2).
+double ScannedLeafCardinality(const PhysicalPlan& plan);
+
+}  // namespace qprog
+
+#endif  // QPROG_CORE_BOUNDS_H_

@@ -1,0 +1,139 @@
+#include "core/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace qprog {
+
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+double DneEstimator::Estimate(const ProgressContext& pc) const {
+  QPROG_CHECK(pc.pipelines != nullptr && pc.exec != nullptr);
+  double done = 0;
+  double total = 0;
+  for (const Pipeline& p : *pc.pipelines) {
+    for (const PhysicalOperator* d : p.drivers) {
+      DriverStatus s = ComputeDriverStatus(d, *pc.exec);
+      done += s.rows_done;
+      total += s.rows_total;
+    }
+  }
+  if (total <= 0) return 0;
+  return Clamp01(done / total);
+}
+
+double PmaxEstimator::Estimate(const ProgressContext& pc) const {
+  QPROG_CHECK(pc.bounds != nullptr && pc.exec != nullptr);
+  double curr = static_cast<double>(pc.exec->work());
+  double lb = pc.bounds->work_lb;
+  if (lb <= 0) return 0;
+  return Clamp01(curr / lb);
+}
+
+double SafeEstimator::Estimate(const ProgressContext& pc) const {
+  QPROG_CHECK(pc.bounds != nullptr && pc.exec != nullptr);
+  double curr = static_cast<double>(pc.exec->work());
+  double lb = pc.bounds->work_lb;
+  double ub = pc.bounds->work_ub;
+  if (lb <= 0 || ub <= 0) return 0;
+  return Clamp01(curr / std::sqrt(lb * ub));
+}
+
+double BoundedDneEstimator::Estimate(const ProgressContext& pc) const {
+  QPROG_CHECK(pc.bounds != nullptr && pc.exec != nullptr);
+  double dne = DneEstimator().Estimate(pc);
+  double curr = static_cast<double>(pc.exec->work());
+  double lb = pc.bounds->work_lb;
+  double ub = pc.bounds->work_ub;
+  // The true progress lies in [Curr/UB, Curr/LB]; clamp dne into it.
+  double lo = ub > 0 ? curr / ub : 0.0;
+  double hi = lb > 0 ? curr / lb : 1.0;
+  return Clamp01(std::clamp(dne, lo, hi));
+}
+
+double HybridEstimator::Estimate(const ProgressContext& pc) const {
+  QPROG_CHECK(pc.bounds != nullptr);
+  if (pc.scanned_leaf_cardinality > 0) {
+    double mu_ub = pc.bounds->work_ub / pc.scanned_leaf_cardinality;
+    if (mu_ub <= mu_threshold_) return PmaxEstimator().Estimate(pc);
+  }
+  return SafeEstimator().Estimate(pc);
+}
+
+double WindowEstimator::Estimate(const ProgressContext& pc) const {
+  QPROG_CHECK(pc.pipelines != nullptr && pc.exec != nullptr &&
+              pc.bounds != nullptr);
+  double done = 0;
+  double total = 0;
+  for (const Pipeline& p : *pc.pipelines) {
+    for (const PhysicalOperator* d : p.drivers) {
+      DriverStatus s = ComputeDriverStatus(d, *pc.exec);
+      done += s.rows_done;
+      total += s.rows_total;
+    }
+  }
+  double curr = static_cast<double>(pc.exec->work());
+  history_.emplace_back(done, curr);
+  if (history_.size() > window_ + 1) {
+    history_.erase(history_.begin(),
+                   history_.end() - static_cast<long>(window_ + 1));
+  }
+
+  // Recent per-driver-tuple work; falls back to the lifetime average, then
+  // to 1 (a fresh query).
+  double mu_recent;
+  double dk = history_.back().first - history_.front().first;
+  double dw = history_.back().second - history_.front().second;
+  if (history_.size() >= 2 && dk > 0) {
+    mu_recent = dw / dk;
+  } else if (done > 0) {
+    mu_recent = curr / done;
+  } else {
+    mu_recent = 1.0;
+  }
+  double remaining = std::max(0.0, total - done);
+  double projected_total = curr + remaining * mu_recent;
+  double estimate = projected_total > 0 ? curr / projected_total : 0.0;
+
+  // Never leave the feasible interval the bounds guarantee.
+  double lo = pc.bounds->work_ub > 0 ? curr / pc.bounds->work_ub : 0.0;
+  double hi = pc.bounds->work_lb > 0 ? curr / pc.bounds->work_lb : 1.0;
+  return Clamp01(std::clamp(estimate, lo, hi));
+}
+
+StatusOr<std::unique_ptr<ProgressEstimator>> CreateEstimator(
+    const std::string& name) {
+  if (name == "dne") {
+    return std::unique_ptr<ProgressEstimator>(new DneEstimator());
+  }
+  if (name == "pmax") {
+    return std::unique_ptr<ProgressEstimator>(new PmaxEstimator());
+  }
+  if (name == "safe") {
+    return std::unique_ptr<ProgressEstimator>(new SafeEstimator());
+  }
+  if (name == "dne_bounded") {
+    return std::unique_ptr<ProgressEstimator>(new BoundedDneEstimator());
+  }
+  if (name == "hybrid") {
+    return std::unique_ptr<ProgressEstimator>(new HybridEstimator());
+  }
+  if (name == "window") {
+    return std::unique_ptr<ProgressEstimator>(new WindowEstimator());
+  }
+  return InvalidArgument(
+      StringPrintf("unknown estimator '%s'", name.c_str()));
+}
+
+std::vector<std::string> AllEstimatorNames() {
+  return {"dne", "pmax", "safe", "dne_bounded", "hybrid", "window"};
+}
+
+}  // namespace qprog

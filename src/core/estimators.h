@@ -1,0 +1,123 @@
+// The progress-estimator toolkit (Sections 4-6 of the paper).
+//
+//   dne   — driver-node estimator of [5, 13] (Definition 1): fraction of the
+//           driver-node input consumed, summed over all pipelines' drivers.
+//           Excellent when per-tuple work variance is low or the input order
+//           is predictive; unbounded error otherwise (Example 1).
+//   pmax  — Curr / LB (Definition 3): a guaranteed *upper bound* on progress
+//           with ratio error <= mu (Theorem 5). Excellent when mu is small.
+//   safe  — Curr / sqrt(LB*UB) (Definition 5): worst-case optimal
+//           (Theorem 6), ratio error <= sqrt(UB/LB).
+//   dne_bounded — dne clamped into the feasible interval [Curr/UB, Curr/LB]
+//           (the Section 5.4 refinement that makes dne's error bounded for
+//           scan-based plans).
+//   hybrid — Section 6.4 heuristic: safe by default, pmax once the
+//           *observable upper bound* on mu (UB / sum of scanned-leaf
+//           cardinalities) drops below a threshold. (Theorem 7 shows mu
+//           itself cannot be estimated; the upper bound can.)
+
+#ifndef QPROG_CORE_ESTIMATORS_H_
+#define QPROG_CORE_ESTIMATORS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/bounds.h"
+#include "core/pipeline.h"
+
+namespace qprog {
+
+/// Everything an estimator may look at, at one checkpoint. Matches the
+/// paper's information model (Section 2.4): the plan, execution feedback
+/// (counters, operator phase state, runtime bounds), and planner estimates —
+/// but never the data that has not flowed yet.
+struct ProgressContext {
+  const PhysicalPlan* plan = nullptr;
+  const ExecContext* exec = nullptr;
+  const PlanBounds* bounds = nullptr;
+  const std::vector<Pipeline>* pipelines = nullptr;
+  double scanned_leaf_cardinality = 0;  // denominator of mu
+};
+
+/// Interface for progress estimators. Estimates are fractions in [0, 1].
+class ProgressEstimator {
+ public:
+  virtual ~ProgressEstimator() = default;
+  virtual double Estimate(const ProgressContext& pc) const = 0;
+  virtual std::string name() const = 0;
+};
+
+class DneEstimator : public ProgressEstimator {
+ public:
+  double Estimate(const ProgressContext& pc) const override;
+  std::string name() const override { return "dne"; }
+};
+
+class PmaxEstimator : public ProgressEstimator {
+ public:
+  double Estimate(const ProgressContext& pc) const override;
+  std::string name() const override { return "pmax"; }
+};
+
+class SafeEstimator : public ProgressEstimator {
+ public:
+  double Estimate(const ProgressContext& pc) const override;
+  std::string name() const override { return "safe"; }
+};
+
+class BoundedDneEstimator : public ProgressEstimator {
+ public:
+  double Estimate(const ProgressContext& pc) const override;
+  std::string name() const override { return "dne_bounded"; }
+};
+
+class HybridEstimator : public ProgressEstimator {
+ public:
+  /// Switches from safe to pmax when UB / scanned-leaf-cardinality (an upper
+  /// bound on mu) falls at or below `mu_threshold`.
+  explicit HybridEstimator(double mu_threshold = 3.0)
+      : mu_threshold_(mu_threshold) {}
+  double Estimate(const ProgressContext& pc) const override;
+  std::string name() const override { return "hybrid"; }
+
+ private:
+  double mu_threshold_;
+};
+
+/// The Section 6.4 "sliding window" direction, implemented: like dne, but
+/// instead of assuming the driver fraction IS the progress (i.e. that the
+/// per-tuple work seen so far equals the overall average), it extrapolates
+/// the remaining work from the per-driver-tuple work observed over the most
+/// recent `window` checkpoints:
+///
+///   estimate = Curr / (Curr + remaining_driver_tuples * mu_recent),
+///
+/// clamped into the feasible [Curr/UB, Curr/LB] interval. Stateful across
+/// the checkpoints of one run (do not share an instance between runs).
+class WindowEstimator : public ProgressEstimator {
+ public:
+  explicit WindowEstimator(size_t window = 16) : window_(window) {}
+  double Estimate(const ProgressContext& pc) const override;
+  std::string name() const override { return "window"; }
+
+ private:
+  size_t window_;
+  // (driver rows consumed, Curr) at recent checkpoints; mutable because the
+  // ProgressEstimator interface is const per call but this estimator
+  // accumulates execution feedback, as Section 6.4 envisions.
+  mutable std::vector<std::pair<double, double>> history_;
+};
+
+/// Factory: "dne", "pmax", "safe", "dne_bounded", "hybrid", "window".
+StatusOr<std::unique_ptr<ProgressEstimator>> CreateEstimator(
+    const std::string& name);
+
+/// All estimator names, in canonical order.
+std::vector<std::string> AllEstimatorNames();
+
+}  // namespace qprog
+
+#endif  // QPROG_CORE_ESTIMATORS_H_

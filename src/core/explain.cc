@@ -1,0 +1,53 @@
+#include "core/explain.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace qprog {
+
+namespace {
+
+void Render(const PhysicalOperator* op, const ExecContext& ctx,
+            const PlanBounds& bounds, int depth, std::string* out) {
+  const CardBounds& b = bounds.node_bounds[static_cast<size_t>(op->node_id())];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(StringPrintf(
+      "#%d %s  produced=%llu  bounds=[%.0f, %.0f]%s\n", op->node_id(),
+      op->label().c_str(),
+      static_cast<unsigned long long>(ctx.rows_produced(op->node_id())), b.lb,
+      b.ub, op->is_root() ? "  (root, excluded from work)" : ""));
+  for (size_t i = 0; i < op->num_children(); ++i) {
+    Render(op->child(i), ctx, bounds, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainWithBounds(const PhysicalPlan& plan,
+                              const ExecContext& ctx) {
+  BoundsTracker tracker(&plan);
+  PlanBounds bounds = tracker.Compute(ctx);
+  std::string out = StringPrintf(
+      "work=%llu  LB=%.0f  UB=%.0f  (pmax=%.4f  safe=%.4f)\n",
+      static_cast<unsigned long long>(ctx.work()), bounds.work_lb,
+      bounds.work_ub,
+      bounds.work_lb > 0
+          ? std::min(1.0, static_cast<double>(ctx.work()) / bounds.work_lb)
+          : 0.0,
+      bounds.work_lb > 0 && bounds.work_ub > 0
+          ? std::min(1.0, static_cast<double>(ctx.work()) /
+                              std::sqrt(bounds.work_lb * bounds.work_ub))
+          : 0.0);
+  Render(plan.root(), ctx, bounds, 0, &out);
+  return out;
+}
+
+double EstimateRemainingSeconds(double estimate, double elapsed_seconds) {
+  if (estimate >= 1.0) return 0.0;
+  if (estimate <= 0.0) return std::numeric_limits<double>::infinity();
+  return elapsed_seconds * (1.0 - estimate) / estimate;
+}
+
+}  // namespace qprog

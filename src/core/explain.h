@@ -1,0 +1,27 @@
+// Diagnostics: bounds-annotated plan explain and remaining-time projection.
+
+#ifndef QPROG_CORE_EXPLAIN_H_
+#define QPROG_CORE_EXPLAIN_H_
+
+#include <string>
+
+#include "core/bounds.h"
+#include "core/monitor.h"
+
+namespace qprog {
+
+/// Renders the plan tree with, per node, the rows produced so far and the
+/// tracker's current [LB, UB] production bounds — the "why is the estimator
+/// saying that" view of a running query.
+std::string ExplainWithBounds(const PhysicalPlan& plan, const ExecContext& ctx);
+
+/// Projects wall-clock time remaining from a progress estimate: with
+/// `elapsed_seconds` spent reaching fraction `estimate` of the work,
+/// remaining = elapsed * (1 - p) / p. Returns +inf for p <= 0 and 0 for
+/// p >= 1 — the UI-facing quantity a progress bar derives (Section 1's
+/// motivation: deciding whether to kill a long-running query).
+double EstimateRemainingSeconds(double estimate, double elapsed_seconds);
+
+}  // namespace qprog
+
+#endif  // QPROG_CORE_EXPLAIN_H_

@@ -1,0 +1,127 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace qprog {
+
+EstimatorMetrics ProgressReport::Metrics(size_t i) const {
+  EstimatorMetrics m;
+  if (checkpoints.empty()) return m;
+  double abs_sum = 0;
+  double ratio_sum = 0;
+  size_t ratio_n = 0;
+  for (const Checkpoint& c : checkpoints) {
+    double est = c.estimates[i];
+    double err = std::fabs(est - c.true_progress);
+    m.max_abs_err = std::max(m.max_abs_err, err);
+    abs_sum += err;
+    if (c.true_progress > 0 && est > 0) {
+      double ratio = std::max(est / c.true_progress, c.true_progress / est);
+      m.max_ratio_err = std::max(m.max_ratio_err, ratio);
+      ratio_sum += ratio;
+      ++ratio_n;
+    }
+  }
+  m.avg_abs_err = abs_sum / static_cast<double>(checkpoints.size());
+  m.avg_ratio_err = ratio_n > 0 ? ratio_sum / static_cast<double>(ratio_n) : 1;
+  return m;
+}
+
+int ProgressReport::FindEstimator(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string ProgressReport::ToTsv() const {
+  std::string out = "work\ttrue";
+  for (const std::string& n : names) out += "\t" + n;
+  out += "\n";
+  for (const Checkpoint& c : checkpoints) {
+    out += StringPrintf("%llu\t%.6f", static_cast<unsigned long long>(c.work),
+                        c.true_progress);
+    for (double e : c.estimates) out += StringPrintf("\t%.6f", e);
+    out += "\n";
+  }
+  return out;
+}
+
+ProgressMonitor::ProgressMonitor(
+    PhysicalPlan* plan,
+    std::vector<std::unique_ptr<ProgressEstimator>> estimators)
+    : plan_(plan), estimators_(std::move(estimators)) {
+  QPROG_CHECK(plan_ != nullptr);
+  QPROG_CHECK(!estimators_.empty());
+}
+
+ProgressMonitor ProgressMonitor::WithEstimators(
+    PhysicalPlan* plan, const std::vector<std::string>& names) {
+  std::vector<std::unique_ptr<ProgressEstimator>> estimators;
+  estimators.reserve(names.size());
+  for (const std::string& name : names) {
+    auto e = CreateEstimator(name);
+    QPROG_CHECK_MSG(e.ok(), "%s", e.status().ToString().c_str());
+    estimators.push_back(std::move(e).value());
+  }
+  return ProgressMonitor(plan, std::move(estimators));
+}
+
+ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
+  QPROG_CHECK(checkpoint_interval > 0);
+  ProgressReport report;
+  for (const auto& e : estimators_) report.names.push_back(e->name());
+  report.scanned_leaf_cardinality = ScannedLeafCardinality(*plan_);
+
+  ExecContext ctx;
+  BoundsTracker tracker(plan_);
+  std::vector<Pipeline> pipelines = DecomposePipelines(*plan_);
+
+  ProgressContext pc;
+  pc.plan = plan_;
+  pc.exec = &ctx;
+  pc.pipelines = &pipelines;
+  pc.scanned_leaf_cardinality = report.scanned_leaf_cardinality;
+
+  ctx.SetWorkObserver(checkpoint_interval, [&](uint64_t work) {
+    PlanBounds bounds = tracker.Compute(ctx);
+    pc.bounds = &bounds;
+    Checkpoint cp;
+    cp.work = work;
+    cp.work_lb = bounds.work_lb;
+    cp.work_ub = bounds.work_ub;
+    cp.estimates.reserve(estimators_.size());
+    for (const auto& e : estimators_) cp.estimates.push_back(e->Estimate(pc));
+    report.checkpoints.push_back(std::move(cp));
+    pc.bounds = nullptr;
+  });
+
+  report.root_rows = ExecutePlan(plan_, &ctx);
+  ctx.ClearWorkObserver();
+
+  report.total_work = ctx.work();
+  double denom = std::max(1.0, report.scanned_leaf_cardinality);
+  report.mu = static_cast<double>(report.total_work) / denom;
+  for (Checkpoint& c : report.checkpoints) {
+    c.true_progress = report.total_work > 0
+                          ? static_cast<double>(c.work) /
+                                static_cast<double>(report.total_work)
+                          : 0;
+  }
+  return report;
+}
+
+ProgressReport ProgressMonitor::RunWithApproxCheckpoints(
+    size_t approx_checkpoints) {
+  QPROG_CHECK(approx_checkpoints > 0);
+  uint64_t total = MeasureTotalWork(plan_);
+  uint64_t interval =
+      std::max<uint64_t>(1, total / static_cast<uint64_t>(approx_checkpoints));
+  return Run(interval);
+}
+
+}  // namespace qprog

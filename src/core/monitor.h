@@ -1,0 +1,79 @@
+// ProgressMonitor: executes a plan while sampling every registered estimator
+// at work-based checkpoints, then scores them against the true progress
+// (knowable only once the query finishes). This is the experimental harness
+// behind every figure and table of the paper's evaluation.
+
+#ifndef QPROG_CORE_MONITOR_H_
+#define QPROG_CORE_MONITOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimators.h"
+
+namespace qprog {
+
+/// One sampling instant.
+struct Checkpoint {
+  uint64_t work = 0;            // Curr
+  double true_progress = 0;     // work / total(Q), filled in after the run
+  double work_lb = 0;           // bounds snapshot
+  double work_ub = 0;
+  std::vector<double> estimates;  // parallel to ProgressReport::names
+};
+
+/// Error summary for one estimator over a run. Absolute errors are fractions
+/// of total progress (the paper's tables report them as percentages); ratio
+/// errors follow Section 2.5 (max(est/true, true/est)).
+struct EstimatorMetrics {
+  double max_abs_err = 0;
+  double avg_abs_err = 0;
+  double max_ratio_err = 1;
+  double avg_ratio_err = 1;
+};
+
+struct ProgressReport {
+  std::vector<std::string> names;       // estimator names
+  std::vector<Checkpoint> checkpoints;  // in work order
+  uint64_t total_work = 0;              // total(Q)
+  uint64_t root_rows = 0;               // rows the query returned
+  double mu = 0;                        // total(Q) / sum of scanned leaves
+  double scanned_leaf_cardinality = 0;
+
+  /// Metrics for estimator `i` (index into `names`).
+  EstimatorMetrics Metrics(size_t i) const;
+
+  /// Index of `name` in `names`, or -1.
+  int FindEstimator(const std::string& name) const;
+
+  /// Tab-separated dump: work, true progress, then one column per estimator.
+  std::string ToTsv() const;
+};
+
+class ProgressMonitor {
+ public:
+  /// The monitor borrows `plan`; the estimators are owned.
+  ProgressMonitor(PhysicalPlan* plan,
+                  std::vector<std::unique_ptr<ProgressEstimator>> estimators);
+
+  /// Convenience: monitor with the named estimators (must all resolve).
+  static ProgressMonitor WithEstimators(PhysicalPlan* plan,
+                                        const std::vector<std::string>& names);
+
+  /// Executes the plan to completion, checkpointing every
+  /// `checkpoint_interval` units of work (getnext calls).
+  ProgressReport Run(uint64_t checkpoint_interval);
+
+  /// Executes with roughly `approx_checkpoints` samples: performs a throwaway
+  /// full execution to learn total(Q), then the monitored run.
+  ProgressReport RunWithApproxCheckpoints(size_t approx_checkpoints);
+
+ private:
+  PhysicalPlan* plan_;
+  std::vector<std::unique_ptr<ProgressEstimator>> estimators_;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_CORE_MONITOR_H_

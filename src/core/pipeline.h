@@ -1,0 +1,60 @@
+// Pipeline decomposition and driver nodes (Section 4 of the paper).
+//
+// An execution tree decomposes into pipelines separated by blocking
+// operators. Each pipeline is "driven" by its input (driver) node(s): leaf
+// scans, or the output side of a blocking operator (a Sort or a
+// HashAggregate materializes its input, then acts as the source feeding the
+// next pipeline). The dne estimator of [5, 13] reports
+//
+//     dne = sum_d k_d / sum_d N_d
+//
+// over all driver nodes d, where k_d is rows retrieved from d so far and N_d
+// its (estimated, runtime-refined) total.
+
+#ifndef QPROG_CORE_PIPELINE_H_
+#define QPROG_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/plan.h"
+
+namespace qprog {
+
+struct Pipeline {
+  /// Driver (input) nodes of this pipeline. Usually one; merge joins give a
+  /// pipeline two driver leaves (the multi-input case the paper's footnote 1
+  /// notes; summing k and N over both is the natural extension).
+  std::vector<const PhysicalOperator*> drivers;
+
+  /// All operators executing as part of this pipeline.
+  std::vector<const PhysicalOperator*> members;
+};
+
+/// Splits the plan into pipelines. Blocking boundaries: Sort,
+/// HashAggregate, and the build side of a HashJoin. NL/INL inner inputs are
+/// driven by the outer and stay inside the outer's pipeline.
+std::vector<Pipeline> DecomposePipelines(const PhysicalPlan& plan);
+
+/// Driver-node accounting for dne.
+struct DriverStatus {
+  const PhysicalOperator* node = nullptr;
+  double rows_done = 0;   // k_d
+  double rows_total = 0;  // N_d (estimate, refined at runtime)
+  bool total_exact = false;
+};
+
+/// Computes k_d and N_d for one driver at the current instant.
+/// N_d resolution order: exact when known (unfiltered scan: table size;
+/// finished node: actual count; materialized sort/aggregate: build size),
+/// otherwise the planner's cardinality estimate, otherwise the base-table
+/// size, otherwise rows seen so far.
+DriverStatus ComputeDriverStatus(const PhysicalOperator* driver,
+                                 const ExecContext& ctx);
+
+/// Debug rendering of a decomposition.
+std::string PipelinesToString(const std::vector<Pipeline>& pipelines);
+
+}  // namespace qprog
+
+#endif  // QPROG_CORE_PIPELINE_H_

@@ -1,0 +1,308 @@
+#include "exec/aggregate.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace qprog {
+
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kCountDistinct:
+      return "count-distinct";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------------------------
+// AggAccumulator
+
+void AggAccumulator::Add(const Value& v) {
+  if (v.is_null()) return;  // SQL aggregates skip NULLs
+  ++count_;
+  switch (func_) {
+    case AggFunc::kCount:
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      sum_ += v.AsDouble();
+      break;
+    case AggFunc::kMin:
+      if (min_.is_null() || v.Compare(min_) < 0) min_ = v;
+      break;
+    case AggFunc::kMax:
+      if (max_.is_null() || v.Compare(max_) > 0) max_ = v;
+      break;
+    case AggFunc::kCountDistinct:
+      distinct_.insert(v);
+      break;
+  }
+}
+
+Value AggAccumulator::Result() const {
+  switch (func_) {
+    case AggFunc::kCount:
+      return Value::Int64(static_cast<int64_t>(count_));
+    case AggFunc::kSum:
+      return count_ == 0 ? Value::Null() : Value::Double(sum_);
+    case AggFunc::kAvg:
+      return count_ == 0 ? Value::Null()
+                         : Value::Double(sum_ / static_cast<double>(count_));
+    case AggFunc::kMin:
+      return min_;
+    case AggFunc::kMax:
+      return max_;
+    case AggFunc::kCountDistinct:
+      return Value::Int64(static_cast<int64_t>(distinct_.size()));
+  }
+  return Value::Null();
+}
+
+namespace {
+
+Schema MakeAggSchema(const std::vector<std::string>& group_names,
+                     const std::vector<AggregateDesc>& aggregates) {
+  std::vector<Field> fields;
+  fields.reserve(group_names.size() + aggregates.size());
+  for (const std::string& name : group_names) {
+    fields.emplace_back(name, TypeId::kNull);
+  }
+  for (const AggregateDesc& agg : aggregates) {
+    fields.emplace_back(agg.output_name, TypeId::kNull);
+  }
+  return Schema(std::move(fields));
+}
+
+std::vector<AggAccumulator> MakeStates(
+    const std::vector<AggregateDesc>& aggregates) {
+  std::vector<AggAccumulator> states;
+  states.reserve(aggregates.size());
+  for (const AggregateDesc& agg : aggregates) {
+    states.emplace_back(agg.func);
+  }
+  return states;
+}
+
+void AccumulateRow(const std::vector<AggregateDesc>& aggregates,
+                   std::vector<AggAccumulator>* states, const Row& row) {
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    const AggregateDesc& agg = aggregates[i];
+    if (agg.arg == nullptr) {
+      QPROG_DCHECK(agg.func == AggFunc::kCount);
+      (*states)[i].AddCountStar();
+    } else {
+      (*states)[i].Add(agg.arg->Eval(row));
+    }
+  }
+}
+
+Row ResultRow(const Row& key, const std::vector<AggAccumulator>& states) {
+  Row out;
+  out.reserve(key.size() + states.size());
+  out.insert(out.end(), key.begin(), key.end());
+  for (const AggAccumulator& acc : states) out.push_back(acc.Result());
+  return out;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// HashAggregate
+
+HashAggregate::HashAggregate(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+                             std::vector<std::string> group_names,
+                             std::vector<AggregateDesc> aggregates)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggregates_(std::move(aggregates)),
+      schema_(MakeAggSchema(group_names, aggregates_)) {
+  QPROG_CHECK(child_ != nullptr);
+  QPROG_CHECK(group_names.size() == group_exprs_.size());
+  set_is_linear(true);
+}
+
+void HashAggregate::Open(ExecContext* ctx) {
+  finished_ = false;
+  built_ = false;
+  group_index_.clear();
+  group_keys_.clear();
+  group_states_.clear();
+  cursor_ = 0;
+  child_->Open(ctx);
+}
+
+void HashAggregate::Build(ExecContext* ctx) {
+  Row row;
+  bool any_input = false;
+  while (child_->Next(ctx, &row)) {
+    any_input = true;
+    Row key;
+    key.reserve(group_exprs_.size());
+    for (const ExprPtr& e : group_exprs_) key.push_back(e->Eval(row));
+    auto [it, inserted] = group_index_.try_emplace(key, group_keys_.size());
+    if (inserted) {
+      group_keys_.push_back(std::move(key));
+      group_states_.push_back(MakeStates(aggregates_));
+    }
+    AccumulateRow(aggregates_, &group_states_[it->second], row);
+  }
+  // A scalar aggregate produces one row even over empty input.
+  if (group_exprs_.empty() && !any_input) {
+    group_keys_.emplace_back();
+    group_states_.push_back(MakeStates(aggregates_));
+  }
+  built_ = true;
+}
+
+bool HashAggregate::Next(ExecContext* ctx, Row* out) {
+  if (!built_) Build(ctx);
+  if (cursor_ >= group_keys_.size()) {
+    finished_ = true;
+    return false;
+  }
+  *out = ResultRow(group_keys_[cursor_], group_states_[cursor_]);
+  ++cursor_;
+  Emit(ctx);
+  return true;
+}
+
+void HashAggregate::Close(ExecContext* ctx) {
+  child_->Close(ctx);
+  group_index_.clear();
+  group_keys_.clear();
+  group_states_.clear();
+}
+
+std::string HashAggregate::label() const {
+  return StringPrintf("HashAggregate(%zu groups cols, %zu aggs)",
+                      group_exprs_.size(), aggregates_.size());
+}
+
+void HashAggregate::FillProgressState(const ExecContext& ctx,
+                                      ProgressState* state) const {
+  PhysicalOperator::FillProgressState(ctx, state);
+  state->build_done = built_;
+  state->groups_so_far = group_keys_.size();
+  state->scalar_aggregate = group_exprs_.empty();
+}
+
+// --------------------------------------------------------------------------
+// StreamAggregate
+
+StreamAggregate::StreamAggregate(OperatorPtr child,
+                                 std::vector<ExprPtr> group_exprs,
+                                 std::vector<std::string> group_names,
+                                 std::vector<AggregateDesc> aggregates)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggregates_(std::move(aggregates)),
+      schema_(MakeAggSchema(group_names, aggregates_)) {
+  QPROG_CHECK(child_ != nullptr);
+  QPROG_CHECK(group_names.size() == group_exprs_.size());
+  set_is_linear(true);
+}
+
+void StreamAggregate::Open(ExecContext* ctx) {
+  finished_ = false;
+  group_open_ = false;
+  input_done_ = false;
+  any_input_ = false;
+  groups_emitted_ = 0;
+  pending_valid_ = false;
+  child_->Open(ctx);
+}
+
+void StreamAggregate::Accumulate(const Row& row) {
+  AccumulateRow(aggregates_, &current_state_, row);
+}
+
+Row StreamAggregate::EmitGroup() {
+  ++groups_emitted_;
+  group_open_ = false;
+  return ResultRow(current_key_, current_state_);
+}
+
+bool StreamAggregate::Next(ExecContext* ctx, Row* out) {
+  if (input_done_ && !group_open_) {
+    // Scalar aggregate over empty input still yields one row.
+    if (group_exprs_.empty() && !any_input_ && groups_emitted_ == 0) {
+      current_key_.clear();
+      current_state_ = MakeStates(aggregates_);
+      ++groups_emitted_;
+      *out = ResultRow(current_key_, current_state_);
+      Emit(ctx);
+      return true;
+    }
+    finished_ = true;
+    return false;
+  }
+  for (;;) {
+    Row row;
+    bool have_row;
+    if (pending_valid_) {
+      row = std::move(pending_row_);
+      pending_valid_ = false;
+      have_row = true;
+    } else {
+      have_row = child_->Next(ctx, &row);
+    }
+    if (!have_row) {
+      input_done_ = true;
+      if (group_open_) {
+        *out = EmitGroup();
+        Emit(ctx);
+        return true;
+      }
+      return Next(ctx, out);  // handles the empty-scalar case above
+    }
+    any_input_ = true;
+    Row key;
+    key.reserve(group_exprs_.size());
+    for (const ExprPtr& e : group_exprs_) key.push_back(e->Eval(row));
+    if (!group_open_) {
+      current_key_ = std::move(key);
+      current_state_ = MakeStates(aggregates_);
+      group_open_ = true;
+      Accumulate(row);
+      continue;
+    }
+    if (RowEq()(key, current_key_)) {
+      Accumulate(row);
+      continue;
+    }
+    // Group boundary: emit the finished group, stash the new row.
+    pending_row_ = std::move(row);
+    pending_valid_ = true;
+    Row result = EmitGroup();
+    current_key_ = std::move(key);
+    *out = std::move(result);
+    Emit(ctx);
+    return true;
+  }
+}
+
+void StreamAggregate::Close(ExecContext* ctx) { child_->Close(ctx); }
+
+std::string StreamAggregate::label() const {
+  return StringPrintf("StreamAggregate(%zu group cols, %zu aggs)",
+                      group_exprs_.size(), aggregates_.size());
+}
+
+void StreamAggregate::FillProgressState(const ExecContext& ctx,
+                                        ProgressState* state) const {
+  PhysicalOperator::FillProgressState(ctx, state);
+  state->groups_so_far = groups_emitted_ + (group_open_ ? 1 : 0);
+  state->scalar_aggregate = group_exprs_.empty();
+  state->build_done = input_done_;
+}
+
+}  // namespace qprog

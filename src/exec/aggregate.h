@@ -1,0 +1,143 @@
+// Aggregation operators: HashAggregate (γ, blocking build then emit) and
+// StreamAggregate (input pre-sorted on the grouping keys, streaming).
+
+#ifndef QPROG_EXEC_AGGREGATE_H_
+#define QPROG_EXEC_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/expr.h"
+
+namespace qprog {
+
+enum class AggFunc {
+  kCount,  // COUNT(*) when arg is null, else COUNT(arg)
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kCountDistinct,
+};
+
+const char* AggFuncToString(AggFunc func);
+
+/// One aggregate in the output list.
+struct AggregateDesc {
+  AggFunc func = AggFunc::kCount;
+  ExprPtr arg;  // null for COUNT(*)
+  std::string output_name;
+
+  AggregateDesc() = default;
+  AggregateDesc(AggFunc f, ExprPtr a, std::string name)
+      : func(f), arg(std::move(a)), output_name(std::move(name)) {}
+};
+
+/// Running state for one aggregate within one group.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(AggFunc func) : func_(func) {}
+  void Add(const Value& v);
+  void AddCountStar() { ++count_; }
+  Value Result() const;
+
+ private:
+  struct ValueHasher {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  struct ValueEq {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.EqualsForGrouping(b);
+    }
+  };
+
+  AggFunc func_;
+  uint64_t count_ = 0;  // non-null inputs seen
+  double sum_ = 0.0;
+  Value min_, max_;
+  std::unordered_set<Value, ValueHasher, ValueEq> distinct_;
+};
+
+/// γ via hashing. Output schema: group columns (named by `group_names`),
+/// then one column per aggregate. Groups are emitted in first-seen order
+/// (deterministic). A grouping-free ("scalar") aggregate emits exactly one
+/// row even over empty input.
+class HashAggregate : public PhysicalOperator {
+ public:
+  HashAggregate(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+                std::vector<std::string> group_names,
+                std::vector<AggregateDesc> aggregates);
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Row* out) override;
+  void Close(ExecContext* ctx) override;
+
+  OpKind kind() const override { return OpKind::kHashAggregate; }
+  const Schema& output_schema() const override { return schema_; }
+  size_t num_children() const override { return 1; }
+  PhysicalOperator* child(size_t) override { return child_.get(); }
+  std::string label() const override;
+  void FillProgressState(const ExecContext& ctx,
+                         ProgressState* state) const override;
+
+ private:
+  void Build(ExecContext* ctx);
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggregateDesc> aggregates_;
+  Schema schema_;
+
+  bool built_ = false;
+  std::unordered_map<Row, size_t, RowHash, RowEq> group_index_;
+  std::vector<Row> group_keys_;  // first-seen order
+  std::vector<std::vector<AggAccumulator>> group_states_;
+  size_t cursor_ = 0;
+};
+
+/// γ over an input already sorted by the grouping expressions; emits each
+/// group as soon as it closes (non-blocking between groups).
+class StreamAggregate : public PhysicalOperator {
+ public:
+  StreamAggregate(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+                  std::vector<std::string> group_names,
+                  std::vector<AggregateDesc> aggregates);
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Row* out) override;
+  void Close(ExecContext* ctx) override;
+
+  OpKind kind() const override { return OpKind::kStreamAggregate; }
+  const Schema& output_schema() const override { return schema_; }
+  size_t num_children() const override { return 1; }
+  PhysicalOperator* child(size_t) override { return child_.get(); }
+  std::string label() const override;
+  void FillProgressState(const ExecContext& ctx,
+                         ProgressState* state) const override;
+
+ private:
+  void Accumulate(const Row& row);
+  Row EmitGroup();
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggregateDesc> aggregates_;
+  Schema schema_;
+
+  bool group_open_ = false;
+  bool input_done_ = false;
+  bool any_input_ = false;
+  uint64_t groups_emitted_ = 0;
+  Row current_key_;
+  std::vector<AggAccumulator> current_state_;
+  Row pending_row_;
+  bool pending_valid_ = false;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_EXEC_AGGREGATE_H_

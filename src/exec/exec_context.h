@@ -1,0 +1,81 @@
+// ExecContext: per-execution state, most importantly the getnext counters
+// that define the paper's model of work (Section 2.2).
+//
+// Work is the number of getnext calls issued by operators *inside* the plan
+// tree to their children — equivalently, the number of rows produced by every
+// non-root operator. (The root's rows are returned to the consumer outside
+// the tree and do not count; this is the accounting that makes the paper's
+// Example 2 total come out to 100,000 + 1 + 10,000 = 110,001.)
+
+#ifndef QPROG_EXEC_EXEC_CONTEXT_H_
+#define QPROG_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace qprog {
+
+class ExecContext {
+ public:
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// Prepares counters for a plan with `num_nodes` operators.
+  void Reset(size_t num_nodes) {
+    rows_produced_.assign(num_nodes, 0);
+    work_ = 0;
+    next_observation_ = observation_interval_;
+  }
+
+  /// Called by an operator each time it returns a row.
+  void CountRow(int node_id, bool is_root) {
+    QPROG_DCHECK(node_id >= 0 &&
+                 static_cast<size_t>(node_id) < rows_produced_.size());
+    ++rows_produced_[static_cast<size_t>(node_id)];
+    if (!is_root) {
+      ++work_;
+      if (observer_ && work_ >= next_observation_) {
+        next_observation_ = work_ + observation_interval_;
+        observer_(work_);
+      }
+    }
+  }
+
+  /// Rows produced so far by operator `node_id`.
+  uint64_t rows_produced(int node_id) const {
+    return rows_produced_[static_cast<size_t>(node_id)];
+  }
+
+  /// Total counted getnext calls so far (Curr in the paper's notation).
+  uint64_t work() const { return work_; }
+
+  /// Installs a callback fired (approximately) every `interval` units of
+  /// work. Used by the ProgressMonitor to take estimator checkpoints.
+  void SetWorkObserver(uint64_t interval,
+                       std::function<void(uint64_t)> observer) {
+    QPROG_CHECK(interval > 0);
+    observation_interval_ = interval;
+    next_observation_ = interval;
+    observer_ = std::move(observer);
+  }
+
+  void ClearWorkObserver() {
+    observer_ = nullptr;
+    observation_interval_ = 0;
+  }
+
+ private:
+  std::vector<uint64_t> rows_produced_;
+  uint64_t work_ = 0;
+  uint64_t observation_interval_ = 0;
+  uint64_t next_observation_ = 0;
+  std::function<void(uint64_t)> observer_;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,129 @@
+#include "exec/filter_project.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace qprog {
+
+// --------------------------------------------------------------------------
+// Filter
+
+Filter::Filter(OperatorPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {
+  QPROG_CHECK(child_ != nullptr);
+  QPROG_CHECK(predicate_ != nullptr);
+  set_is_linear(true);
+}
+
+void Filter::Open(ExecContext* ctx) {
+  finished_ = false;
+  child_->Open(ctx);
+}
+
+bool Filter::Next(ExecContext* ctx, Row* out) {
+  Row row;
+  while (child_->Next(ctx, &row)) {
+    Value keep = predicate_->Eval(row);
+    if (!keep.is_null() && keep.bool_value()) {
+      *out = std::move(row);
+      Emit(ctx);
+      return true;
+    }
+  }
+  finished_ = true;
+  return false;
+}
+
+void Filter::Close(ExecContext* ctx) { child_->Close(ctx); }
+
+std::string Filter::label() const {
+  return StringPrintf("Filter(%s)", predicate_->ToString().c_str());
+}
+
+// --------------------------------------------------------------------------
+// Project
+
+Project::Project(OperatorPtr child, std::vector<ExprPtr> exprs,
+                 std::vector<std::string> names)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {
+  QPROG_CHECK(child_ != nullptr);
+  QPROG_CHECK(names.size() == exprs_.size());
+  std::vector<Field> fields;
+  fields.reserve(names.size());
+  for (std::string& name : names) {
+    fields.emplace_back(std::move(name), TypeId::kNull);
+  }
+  schema_ = Schema(std::move(fields));
+  set_is_linear(true);
+}
+
+void Project::Open(ExecContext* ctx) {
+  finished_ = false;
+  child_->Open(ctx);
+}
+
+bool Project::Next(ExecContext* ctx, Row* out) {
+  Row row;
+  if (!child_->Next(ctx, &row)) {
+    finished_ = true;
+    return false;
+  }
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) out->push_back(e->Eval(row));
+  Emit(ctx);
+  return true;
+}
+
+void Project::Close(ExecContext* ctx) { child_->Close(ctx); }
+
+std::string Project::label() const {
+  std::vector<std::string> parts;
+  parts.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) parts.push_back(e->ToString());
+  return StringPrintf("Project(%s)", JoinStrings(parts, ", ").c_str());
+}
+
+// --------------------------------------------------------------------------
+// Limit
+
+Limit::Limit(OperatorPtr child, uint64_t limit)
+    : child_(std::move(child)), limit_(limit) {
+  QPROG_CHECK(child_ != nullptr);
+  set_is_linear(true);
+}
+
+void Limit::Open(ExecContext* ctx) {
+  finished_ = false;
+  produced_ = 0;
+  child_->Open(ctx);
+}
+
+bool Limit::Next(ExecContext* ctx, Row* out) {
+  if (produced_ >= limit_) {
+    finished_ = true;
+    return false;
+  }
+  if (!child_->Next(ctx, out)) {
+    finished_ = true;
+    return false;
+  }
+  ++produced_;
+  Emit(ctx);
+  return true;
+}
+
+void Limit::Close(ExecContext* ctx) { child_->Close(ctx); }
+
+std::string Limit::label() const {
+  return StringPrintf("Limit(%llu)", static_cast<unsigned long long>(limit_));
+}
+
+void Limit::FillProgressState(const ExecContext& ctx,
+                              ProgressState* state) const {
+  PhysicalOperator::FillProgressState(ctx, state);
+  state->has_limit = true;
+  state->limit_remaining = limit_ > produced_ ? limit_ - produced_ : 0;
+}
+
+}  // namespace qprog

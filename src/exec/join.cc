@@ -1,0 +1,518 @@
+#include "exec/join.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace qprog {
+
+namespace {
+
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+Row NullRow(size_t arity) { return Row(arity); }
+
+Schema JoinOutputSchema(const Schema& left, const Schema& right,
+                        JoinType type) {
+  if (type == JoinType::kLeftSemi || type == JoinType::kLeftAnti) return left;
+  return Schema::Concat(left, right);
+}
+
+bool PredicatePasses(const Expr* predicate, const Row& row) {
+  if (predicate == nullptr) return true;
+  Value v = predicate->Eval(row);
+  return !v.is_null() && v.bool_value();
+}
+
+}  // namespace
+
+const char* JoinTypeToString(JoinType type) {
+  switch (type) {
+    case JoinType::kInner:
+      return "inner";
+    case JoinType::kLeftOuter:
+      return "left-outer";
+    case JoinType::kLeftSemi:
+      return "left-semi";
+    case JoinType::kLeftAnti:
+      return "left-anti";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------------------------
+// NestedLoopsJoin
+
+NestedLoopsJoin::NestedLoopsJoin(OperatorPtr outer, OperatorPtr inner,
+                                 ExprPtr predicate, JoinType join_type)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      predicate_(std::move(predicate)),
+      join_type_(join_type),
+      schema_(JoinOutputSchema(outer_->output_schema(), inner_->output_schema(),
+                               join_type)) {}
+
+void NestedLoopsJoin::Open(ExecContext* ctx) {
+  finished_ = false;
+  outer_valid_ = false;
+  outer_matched_ = false;
+  outer_->Open(ctx);
+}
+
+bool NestedLoopsJoin::AdvanceOuter(ExecContext* ctx) {
+  if (!outer_->Next(ctx, &outer_row_)) {
+    outer_valid_ = false;
+    return false;
+  }
+  outer_valid_ = true;
+  outer_matched_ = false;
+  inner_->Open(ctx);  // rescan the inner input
+  return true;
+}
+
+bool NestedLoopsJoin::Next(ExecContext* ctx, Row* out) {
+  for (;;) {
+    if (!outer_valid_) {
+      if (!AdvanceOuter(ctx)) {
+        finished_ = true;
+        return false;
+      }
+    }
+    Row inner_row;
+    while (inner_->Next(ctx, &inner_row)) {
+      Row joined = ConcatRows(outer_row_, inner_row);
+      if (!PredicatePasses(predicate_.get(), joined)) continue;
+      outer_matched_ = true;
+      if (join_type_ == JoinType::kInner || join_type_ == JoinType::kLeftOuter) {
+        *out = std::move(joined);
+        Emit(ctx);
+        return true;
+      }
+      if (join_type_ == JoinType::kLeftSemi) {
+        *out = outer_row_;
+        Emit(ctx);
+        outer_valid_ = false;  // one output per outer row
+        return true;
+      }
+      break;  // kLeftAnti: a match disqualifies the outer row
+    }
+    // Inner exhausted for the current outer row (or anti-match found).
+    if (!outer_matched_) {
+      if (join_type_ == JoinType::kLeftOuter) {
+        *out = ConcatRows(outer_row_,
+                          NullRow(inner_->output_schema().num_fields()));
+        outer_valid_ = false;
+        Emit(ctx);
+        return true;
+      }
+      if (join_type_ == JoinType::kLeftAnti) {
+        *out = outer_row_;
+        outer_valid_ = false;
+        Emit(ctx);
+        return true;
+      }
+    }
+    outer_valid_ = false;
+  }
+}
+
+void NestedLoopsJoin::Close(ExecContext* ctx) {
+  outer_->Close(ctx);
+  inner_->Close(ctx);
+}
+
+std::string NestedLoopsJoin::label() const {
+  return StringPrintf("NestedLoopsJoin(%s%s)", JoinTypeToString(join_type_),
+                      predicate_ != nullptr
+                          ? (", " + predicate_->ToString()).c_str()
+                          : "");
+}
+
+// --------------------------------------------------------------------------
+// IndexNestedLoopsJoin
+
+IndexNestedLoopsJoin::IndexNestedLoopsJoin(OperatorPtr outer,
+                                           std::unique_ptr<IndexSeek> inner,
+                                           ExprPtr outer_key,
+                                           JoinType join_type, ExprPtr residual)
+    : outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      outer_key_(std::move(outer_key)),
+      join_type_(join_type),
+      residual_(std::move(residual)),
+      schema_(JoinOutputSchema(outer_->output_schema(), inner_->output_schema(),
+                               join_type)) {}
+
+void IndexNestedLoopsJoin::Open(ExecContext* ctx) {
+  finished_ = false;
+  outer_valid_ = false;
+  outer_matched_ = false;
+  outer_->Open(ctx);
+  inner_->Open(ctx);
+}
+
+bool IndexNestedLoopsJoin::AdvanceOuter(ExecContext* ctx) {
+  if (!outer_->Next(ctx, &outer_row_)) {
+    outer_valid_ = false;
+    return false;
+  }
+  outer_valid_ = true;
+  outer_matched_ = false;
+  inner_->Rebind(outer_key_->Eval(outer_row_));
+  return true;
+}
+
+bool IndexNestedLoopsJoin::Next(ExecContext* ctx, Row* out) {
+  for (;;) {
+    if (!outer_valid_) {
+      if (!AdvanceOuter(ctx)) {
+        finished_ = true;
+        return false;
+      }
+    }
+    Row inner_row;
+    while (inner_->Next(ctx, &inner_row)) {
+      Row joined = ConcatRows(outer_row_, inner_row);
+      if (!PredicatePasses(residual_.get(), joined)) continue;
+      outer_matched_ = true;
+      if (join_type_ == JoinType::kInner || join_type_ == JoinType::kLeftOuter) {
+        *out = std::move(joined);
+        Emit(ctx);
+        return true;
+      }
+      if (join_type_ == JoinType::kLeftSemi) {
+        *out = outer_row_;
+        Emit(ctx);
+        outer_valid_ = false;
+        return true;
+      }
+      break;  // kLeftAnti
+    }
+    if (!outer_matched_) {
+      if (join_type_ == JoinType::kLeftOuter) {
+        *out = ConcatRows(outer_row_,
+                          NullRow(inner_->output_schema().num_fields()));
+        outer_valid_ = false;
+        Emit(ctx);
+        return true;
+      }
+      if (join_type_ == JoinType::kLeftAnti) {
+        *out = outer_row_;
+        outer_valid_ = false;
+        Emit(ctx);
+        return true;
+      }
+    }
+    outer_valid_ = false;
+  }
+}
+
+void IndexNestedLoopsJoin::Close(ExecContext* ctx) {
+  outer_->Close(ctx);
+  inner_->Close(ctx);
+}
+
+std::string IndexNestedLoopsJoin::label() const {
+  return StringPrintf("IndexNestedLoopsJoin(%s, key=%s)",
+                      JoinTypeToString(join_type_),
+                      outer_key_->ToString().c_str());
+}
+
+// --------------------------------------------------------------------------
+// HashJoin
+
+HashJoin::HashJoin(OperatorPtr probe, OperatorPtr build,
+                   std::vector<ExprPtr> probe_keys,
+                   std::vector<ExprPtr> build_keys, JoinType join_type,
+                   ExprPtr residual)
+    : probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_keys_(std::move(probe_keys)),
+      build_keys_(std::move(build_keys)),
+      join_type_(join_type),
+      residual_(std::move(residual)),
+      schema_(JoinOutputSchema(probe_->output_schema(), build_->output_schema(),
+                               join_type)) {
+  QPROG_CHECK(probe_keys_.size() == build_keys_.size());
+  QPROG_CHECK(!probe_keys_.empty());
+}
+
+void HashJoin::Open(ExecContext* ctx) {
+  finished_ = false;
+  build_done_ = false;
+  table_.clear();
+  build_rows_ = 0;
+  max_bucket_ = 0;
+  probe_valid_ = false;
+  probe_matched_ = false;
+  bucket_ = nullptr;
+  bucket_pos_ = 0;
+  build_->Open(ctx);
+  probe_->Open(ctx);
+}
+
+void HashJoin::BuildTable(ExecContext* ctx) {
+  Row row;
+  while (build_->Next(ctx, &row)) {
+    Row key;
+    key.reserve(build_keys_.size());
+    bool has_null = false;
+    for (const ExprPtr& e : build_keys_) {
+      Value v = e->Eval(row);
+      has_null = has_null || v.is_null();
+      key.push_back(std::move(v));
+    }
+    if (has_null) continue;  // NULL keys never match
+    auto& bucket = table_[std::move(key)];
+    bucket.push_back(std::move(row));
+    ++build_rows_;
+    max_bucket_ = std::max<uint64_t>(max_bucket_, bucket.size());
+  }
+  build_done_ = true;
+}
+
+bool HashJoin::AdvanceProbe(ExecContext* ctx) {
+  for (;;) {
+    if (!probe_->Next(ctx, &probe_row_)) {
+      probe_valid_ = false;
+      return false;
+    }
+    probe_valid_ = true;
+    probe_matched_ = false;
+    bucket_ = nullptr;
+    bucket_pos_ = 0;
+    Row key;
+    key.reserve(probe_keys_.size());
+    bool has_null = false;
+    for (const ExprPtr& e : probe_keys_) {
+      Value v = e->Eval(probe_row_);
+      has_null = has_null || v.is_null();
+      key.push_back(std::move(v));
+    }
+    if (!has_null) {
+      auto it = table_.find(key);
+      if (it != table_.end()) bucket_ = &it->second;
+    }
+    return true;
+  }
+}
+
+bool HashJoin::Next(ExecContext* ctx, Row* out) {
+  if (!build_done_) BuildTable(ctx);
+  for (;;) {
+    if (!probe_valid_) {
+      if (!AdvanceProbe(ctx)) {
+        finished_ = true;
+        return false;
+      }
+    }
+    if (bucket_ != nullptr) {
+      bool anti_rejected = false;
+      while (bucket_pos_ < bucket_->size()) {
+        const Row& build_row = (*bucket_)[bucket_pos_++];
+        Row joined = ConcatRows(probe_row_, build_row);
+        if (!PredicatePasses(residual_.get(), joined)) continue;
+        probe_matched_ = true;
+        if (join_type_ == JoinType::kInner ||
+            join_type_ == JoinType::kLeftOuter) {
+          *out = std::move(joined);
+          Emit(ctx);
+          return true;
+        }
+        if (join_type_ == JoinType::kLeftSemi) {
+          *out = probe_row_;
+          Emit(ctx);
+          probe_valid_ = false;
+          return true;
+        }
+        anti_rejected = true;  // kLeftAnti
+        break;
+      }
+      if (anti_rejected) {
+        probe_valid_ = false;
+        continue;
+      }
+    }
+    // Bucket exhausted (or no bucket).
+    if (!probe_matched_) {
+      if (join_type_ == JoinType::kLeftOuter) {
+        *out = ConcatRows(probe_row_,
+                          NullRow(build_->output_schema().num_fields()));
+        probe_valid_ = false;
+        Emit(ctx);
+        return true;
+      }
+      if (join_type_ == JoinType::kLeftAnti) {
+        *out = probe_row_;
+        probe_valid_ = false;
+        Emit(ctx);
+        return true;
+      }
+    }
+    probe_valid_ = false;
+  }
+}
+
+void HashJoin::Close(ExecContext* ctx) {
+  probe_->Close(ctx);
+  build_->Close(ctx);
+  table_.clear();
+}
+
+std::string HashJoin::label() const {
+  return StringPrintf("HashJoin(%s%s)", JoinTypeToString(join_type_),
+                      is_linear() ? ", linear" : "");
+}
+
+void HashJoin::FillProgressState(const ExecContext& ctx,
+                                 ProgressState* state) const {
+  PhysicalOperator::FillProgressState(ctx, state);
+  state->build_done = build_done_;
+  state->build_rows = build_rows_;
+  state->max_multiplicity = max_bucket_;
+}
+
+// --------------------------------------------------------------------------
+// MergeJoin
+
+MergeJoin::MergeJoin(OperatorPtr left, OperatorPtr right,
+                     std::vector<ExprPtr> left_keys,
+                     std::vector<ExprPtr> right_keys)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      schema_(Schema::Concat(left_->output_schema(), right_->output_schema())) {
+  QPROG_CHECK(left_keys_.size() == right_keys_.size());
+  QPROG_CHECK(!left_keys_.empty());
+}
+
+Row MergeJoin::KeyOf(const Row& row, const std::vector<ExprPtr>& keys) const {
+  Row key;
+  key.reserve(keys.size());
+  for (const ExprPtr& e : keys) key.push_back(e->Eval(row));
+  return key;
+}
+
+bool MergeJoin::KeyHasNull(const Row& key) {
+  for (const Value& v : key) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+int MergeJoin::CompareKeys(const Row& a, const Row& b) {
+  QPROG_DCHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+bool MergeJoin::PullLeft(ExecContext* ctx) {
+  for (;;) {
+    if (!left_->Next(ctx, &left_row_)) {
+      left_valid_ = false;
+      return false;
+    }
+    left_key_ = KeyOf(left_row_, left_keys_);
+    if (!KeyHasNull(left_key_)) {
+      left_valid_ = true;
+      return true;
+    }
+  }
+}
+
+bool MergeJoin::PullRight(ExecContext* ctx) {
+  for (;;) {
+    if (!right_->Next(ctx, &right_row_)) {
+      right_valid_ = false;
+      return false;
+    }
+    right_key_ = KeyOf(right_row_, right_keys_);
+    if (!KeyHasNull(right_key_)) {
+      right_valid_ = true;
+      return true;
+    }
+  }
+}
+
+void MergeJoin::Open(ExecContext* ctx) {
+  finished_ = false;
+  left_valid_ = right_valid_ = false;
+  group_.clear();
+  group_active_ = false;
+  group_pos_ = 0;
+  left_->Open(ctx);
+  right_->Open(ctx);
+  PullLeft(ctx);
+  PullRight(ctx);
+}
+
+bool MergeJoin::Next(ExecContext* ctx, Row* out) {
+  for (;;) {
+    if (group_active_) {
+      if (group_pos_ < group_.size()) {
+        *out = ConcatRows(left_row_, group_[group_pos_++]);
+        Emit(ctx);
+        return true;
+      }
+      // Current left row exhausted this group; advance left.
+      if (!PullLeft(ctx)) {
+        finished_ = true;
+        return false;
+      }
+      if (CompareKeys(left_key_, group_key_) == 0) {
+        group_pos_ = 0;  // replay the buffered group
+        continue;
+      }
+      group_active_ = false;
+    }
+    if (!left_valid_ || !right_valid_) {
+      finished_ = true;
+      return false;
+    }
+    int cmp = CompareKeys(left_key_, right_key_);
+    if (cmp < 0) {
+      if (!PullLeft(ctx)) {
+        finished_ = true;
+        return false;
+      }
+    } else if (cmp > 0) {
+      if (!PullRight(ctx)) {
+        finished_ = true;
+        return false;
+      }
+    } else {
+      // Collect the full right group with this key.
+      group_.clear();
+      group_key_ = right_key_;
+      do {
+        group_.push_back(right_row_);
+      } while (PullRight(ctx) && CompareKeys(right_key_, group_key_) == 0);
+      group_active_ = true;
+      group_pos_ = 0;
+    }
+  }
+}
+
+void MergeJoin::Close(ExecContext* ctx) {
+  left_->Close(ctx);
+  right_->Close(ctx);
+  group_.clear();
+}
+
+std::string MergeJoin::label() const {
+  return StringPrintf("MergeJoin(%zu keys%s)", left_keys_.size(),
+                      is_linear() ? ", linear" : "");
+}
+
+}  // namespace qprog

@@ -1,0 +1,204 @@
+// Join operators: nested loops (⋈NL), index nested loops (⋈INL), hash
+// (⋈hash) and merge (⋈merge) — the paper's operator set (Section 2.1).
+//
+// Conventions shared by all joins here:
+//  * child(0) is the *preserved / streamed* side ("left"): the outer input
+//    for NL/INL, the probe input for hash join. child(1) is the inner /
+//    build input.  (For HashJoin the build child is still *executed* first.)
+//  * Output schema is left ++ right for inner/outer joins and just the left
+//    schema for semi/anti joins.
+//  * NULL join keys never match (SQL equi-join semantics).
+
+#ifndef QPROG_EXEC_JOIN_H_
+#define QPROG_EXEC_JOIN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/scan.h"
+#include "expr/expr.h"
+
+namespace qprog {
+
+enum class JoinType {
+  kInner,
+  kLeftOuter,  // left (streamed) side preserved
+  kLeftSemi,
+  kLeftAnti,
+};
+
+const char* JoinTypeToString(JoinType type);
+
+/// ⋈NL: re-opens the inner child for every outer row; arbitrary predicate.
+class NestedLoopsJoin : public PhysicalOperator {
+ public:
+  /// `predicate` is evaluated over the concatenated (outer ++ inner) row;
+  /// nullptr means cross product.
+  NestedLoopsJoin(OperatorPtr outer, OperatorPtr inner, ExprPtr predicate,
+                  JoinType join_type = JoinType::kInner);
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Row* out) override;
+  void Close(ExecContext* ctx) override;
+
+  OpKind kind() const override { return OpKind::kNestedLoopsJoin; }
+  const Schema& output_schema() const override { return schema_; }
+  size_t num_children() const override { return 2; }
+  PhysicalOperator* child(size_t i) override {
+    return i == 0 ? outer_.get() : inner_.get();
+  }
+  std::string label() const override;
+
+  JoinType join_type() const { return join_type_; }
+
+ private:
+  bool AdvanceOuter(ExecContext* ctx);
+
+  OperatorPtr outer_;
+  OperatorPtr inner_;
+  ExprPtr predicate_;
+  JoinType join_type_;
+  Schema schema_;
+
+  Row outer_row_;
+  bool outer_valid_ = false;
+  bool outer_matched_ = false;
+};
+
+/// ⋈INL: for each outer row, rebinds an IndexSeek on the join key. The
+/// IndexSeek is a real plan node — its rows are getnext calls, exactly the
+/// accounting in the paper's Examples 1 and 2.
+class IndexNestedLoopsJoin : public PhysicalOperator {
+ public:
+  /// `outer_key` is evaluated on outer rows to produce the seek key.
+  /// `residual` (optional) is evaluated over (outer ++ inner).
+  IndexNestedLoopsJoin(OperatorPtr outer, std::unique_ptr<IndexSeek> inner,
+                       ExprPtr outer_key, JoinType join_type = JoinType::kInner,
+                       ExprPtr residual = nullptr);
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Row* out) override;
+  void Close(ExecContext* ctx) override;
+
+  OpKind kind() const override { return OpKind::kIndexNestedLoopsJoin; }
+  const Schema& output_schema() const override { return schema_; }
+  size_t num_children() const override { return 2; }
+  PhysicalOperator* child(size_t i) override {
+    return i == 0 ? outer_.get() : static_cast<PhysicalOperator*>(inner_.get());
+  }
+  std::string label() const override;
+
+  JoinType join_type() const { return join_type_; }
+
+ private:
+  bool AdvanceOuter(ExecContext* ctx);
+
+  OperatorPtr outer_;
+  std::unique_ptr<IndexSeek> inner_;
+  ExprPtr outer_key_;
+  JoinType join_type_;
+  ExprPtr residual_;
+  Schema schema_;
+
+  Row outer_row_;
+  bool outer_valid_ = false;
+  bool outer_matched_ = false;
+};
+
+/// ⋈hash: blocking build over child(1), streaming probe over child(0).
+class HashJoin : public PhysicalOperator {
+ public:
+  /// Equi-join on `probe_keys` (over probe rows) == `build_keys` (over build
+  /// rows); `residual` (optional) is evaluated over (probe ++ build).
+  HashJoin(OperatorPtr probe, OperatorPtr build,
+           std::vector<ExprPtr> probe_keys, std::vector<ExprPtr> build_keys,
+           JoinType join_type = JoinType::kInner, ExprPtr residual = nullptr);
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Row* out) override;
+  void Close(ExecContext* ctx) override;
+
+  OpKind kind() const override { return OpKind::kHashJoin; }
+  const Schema& output_schema() const override { return schema_; }
+  size_t num_children() const override { return 2; }
+  PhysicalOperator* child(size_t i) override {
+    return i == 0 ? probe_.get() : build_.get();
+  }
+  std::string label() const override;
+  void FillProgressState(const ExecContext& ctx,
+                         ProgressState* state) const override;
+
+  JoinType join_type() const { return join_type_; }
+
+ private:
+  void BuildTable(ExecContext* ctx);
+  bool AdvanceProbe(ExecContext* ctx);
+
+  OperatorPtr probe_;
+  OperatorPtr build_;
+  std::vector<ExprPtr> probe_keys_;
+  std::vector<ExprPtr> build_keys_;
+  JoinType join_type_;
+  ExprPtr residual_;
+  Schema schema_;
+
+  bool build_done_ = false;
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> table_;
+  uint64_t build_rows_ = 0;
+  uint64_t max_bucket_ = 0;
+
+  Row probe_row_;
+  bool probe_valid_ = false;
+  bool probe_matched_ = false;
+  const std::vector<Row>* bucket_ = nullptr;
+  size_t bucket_pos_ = 0;
+};
+
+/// ⋈merge: inner equi-join over inputs sorted ascending on the key
+/// expressions. Buffers each right-side key group to handle duplicates.
+class MergeJoin : public PhysicalOperator {
+ public:
+  MergeJoin(OperatorPtr left, OperatorPtr right, std::vector<ExprPtr> left_keys,
+            std::vector<ExprPtr> right_keys);
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Row* out) override;
+  void Close(ExecContext* ctx) override;
+
+  OpKind kind() const override { return OpKind::kMergeJoin; }
+  const Schema& output_schema() const override { return schema_; }
+  size_t num_children() const override { return 2; }
+  PhysicalOperator* child(size_t i) override {
+    return i == 0 ? left_.get() : right_.get();
+  }
+  std::string label() const override;
+
+ private:
+  Row KeyOf(const Row& row, const std::vector<ExprPtr>& keys) const;
+  bool PullLeft(ExecContext* ctx);
+  bool PullRight(ExecContext* ctx);
+  static bool KeyHasNull(const Row& key);
+  static int CompareKeys(const Row& a, const Row& b);
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  Schema schema_;
+
+  Row left_row_, right_row_;
+  Row left_key_, right_key_;
+  bool left_valid_ = false, right_valid_ = false;
+
+  std::vector<Row> group_;
+  Row group_key_;
+  bool group_active_ = false;
+  size_t group_pos_ = 0;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_EXEC_JOIN_H_

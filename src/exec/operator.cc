@@ -1,0 +1,48 @@
+#include "exec/operator.h"
+
+namespace qprog {
+
+const char* OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kSeqScan:
+      return "SeqScan";
+    case OpKind::kIndexSeek:
+      return "IndexSeek";
+    case OpKind::kFilter:
+      return "Filter";
+    case OpKind::kProject:
+      return "Project";
+    case OpKind::kNestedLoopsJoin:
+      return "NestedLoopsJoin";
+    case OpKind::kIndexNestedLoopsJoin:
+      return "IndexNestedLoopsJoin";
+    case OpKind::kHashJoin:
+      return "HashJoin";
+    case OpKind::kMergeJoin:
+      return "MergeJoin";
+    case OpKind::kSort:
+      return "Sort";
+    case OpKind::kHashAggregate:
+      return "HashAggregate";
+    case OpKind::kStreamAggregate:
+      return "StreamAggregate";
+    case OpKind::kLimit:
+      return "Limit";
+  }
+  return "Unknown";
+}
+
+bool IsNestedIterationKind(OpKind kind) {
+  return kind == OpKind::kNestedLoopsJoin ||
+         kind == OpKind::kIndexNestedLoopsJoin || kind == OpKind::kIndexSeek;
+}
+
+std::string PhysicalOperator::label() const { return OpKindToString(kind()); }
+
+void PhysicalOperator::FillProgressState(const ExecContext& ctx,
+                                         ProgressState* state) const {
+  state->rows_produced = ctx.rows_produced(node_id_);
+  state->finished = finished_;
+}
+
+}  // namespace qprog

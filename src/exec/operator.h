@@ -1,0 +1,143 @@
+// PhysicalOperator: the iterator (Volcano) operator interface, instrumented
+// for the paper's getnext model of work, plus the narrow state accessors the
+// progress subsystem needs to maintain cardinality bounds (Section 5.1).
+
+#ifndef QPROG_EXEC_OPERATOR_H_
+#define QPROG_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace qprog {
+
+enum class OpKind {
+  kSeqScan,
+  kIndexSeek,
+  kFilter,
+  kProject,
+  kNestedLoopsJoin,
+  kIndexNestedLoopsJoin,
+  kHashJoin,
+  kMergeJoin,
+  kSort,
+  kHashAggregate,
+  kStreamAggregate,
+  kLimit,
+};
+
+const char* OpKindToString(OpKind kind);
+
+/// True for operators performing nested iteration (⋈NL, ⋈INL, index-seek).
+/// A plan free of these is "scan-based" in the paper's sense (Section 5.4).
+bool IsNestedIterationKind(OpKind kind);
+
+/// Execution-state snapshot consumed by the cardinality-bounds tracker.
+/// Fields are meaningful only for the operator kinds that set them.
+struct ProgressState {
+  uint64_t rows_produced = 0;  // filled in by the tracker from counters
+  bool finished = false;       // operator has returned its last row
+
+  // SeqScan: rows examined so far and table size; `exact_total` is the
+  // final production when it is known a priori (unfiltered scan).
+  uint64_t input_examined = 0;
+  uint64_t base_rows = 0;
+  double exact_total = -1.0;
+
+  // IndexSeek: worst-case matches for a single probe.
+  uint64_t max_per_probe = 0;
+
+  // HashJoin / aggregates: whether the blocking phase has completed, and
+  // hash-table facts learned from it.
+  bool build_done = false;
+  uint64_t build_rows = 0;        // hash join: rows inserted into the table
+  uint64_t max_multiplicity = 0;  // hash join: largest bucket
+  uint64_t groups_so_far = 0;     // aggregates: distinct groups seen
+  bool scalar_aggregate = false;  // aggregate without GROUP BY (always 1 row)
+
+  // Limit: remaining output budget.
+  uint64_t limit_remaining = 0;
+  bool has_limit = false;
+};
+
+/// Base class for all physical operators. Operators own their children.
+/// Lifecycle: construct -> (PhysicalPlan::Finalize assigns node ids) ->
+/// Open -> Next* -> Close. Open fully resets state, so plans are rerunnable.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  PhysicalOperator(const PhysicalOperator&) = delete;
+  PhysicalOperator& operator=(const PhysicalOperator&) = delete;
+
+  virtual void Open(ExecContext* ctx) = 0;
+
+  /// Produces the next row into `*out`; false at end of stream. A row
+  /// returned here is one getnext call in the paper's work model (counted
+  /// via Emit()).
+  virtual bool Next(ExecContext* ctx, Row* out) = 0;
+
+  virtual void Close(ExecContext* ctx) = 0;
+
+  virtual OpKind kind() const = 0;
+  virtual const Schema& output_schema() const = 0;
+
+  virtual size_t num_children() const = 0;
+  virtual PhysicalOperator* child(size_t i) = 0;
+  const PhysicalOperator* child(size_t i) const {
+    return const_cast<PhysicalOperator*>(this)->child(i);
+  }
+
+  /// One-line label for plan printing, e.g. "HashJoin(inner, linear)".
+  virtual std::string label() const;
+
+  /// Fills the bounds-tracker snapshot. Subclasses override to publish the
+  /// fields relevant to their kind; `rows_produced`/`finished` are set here.
+  virtual void FillProgressState(const ExecContext& ctx,
+                                 ProgressState* state) const;
+
+  // -- plan wiring (set by PhysicalPlan::Finalize) --------------------------
+  int node_id() const { return node_id_; }
+  bool is_root() const { return is_root_; }
+  void set_node_id(int id) { node_id_ = id; }
+  void set_is_root(bool r) { is_root_ = r; }
+
+  // -- planner metadata ------------------------------------------------------
+  /// Optimizer estimate of this node's total production; < 0 when unknown.
+  /// Feeds the dne estimator's driver totals, never the bounds tracker.
+  double estimated_rows() const { return estimated_rows_; }
+  void set_estimated_rows(double rows) { estimated_rows_ = rows; }
+
+  /// Linear operator flag (Section 5.4): production is at most the largest
+  /// input. True by construction for σ/π/γ/sort; set explicitly on joins
+  /// known to be foreign-key (linear) joins.
+  bool is_linear() const { return is_linear_; }
+  void set_is_linear(bool linear) { is_linear_ = linear; }
+
+ protected:
+  PhysicalOperator() = default;
+
+  /// Counts the row this operator is about to return. Every Next
+  /// implementation calls this exactly once per produced row.
+  void Emit(ExecContext* ctx) const { ctx->CountRow(node_id_, is_root_); }
+
+  /// True once the operator has reported end-of-stream.
+  bool finished_ = false;
+
+ private:
+  int node_id_ = -1;
+  bool is_root_ = false;
+  double estimated_rows_ = -1.0;
+  bool is_linear_ = false;
+};
+
+using OperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+}  // namespace qprog
+
+#endif  // QPROG_EXEC_OPERATOR_H_

@@ -1,0 +1,76 @@
+#include "exec/plan.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace qprog {
+
+namespace {
+
+void AssignIds(PhysicalOperator* op, std::vector<PhysicalOperator*>* nodes) {
+  op->set_node_id(static_cast<int>(nodes->size()));
+  nodes->push_back(op);
+  for (size_t i = 0; i < op->num_children(); ++i) {
+    AssignIds(op->child(i), nodes);
+  }
+}
+
+void PrintTree(const PhysicalOperator* op, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(StringPrintf("#%d %s", op->node_id(), op->label().c_str()));
+  if (op->estimated_rows() >= 0) {
+    out->append(StringPrintf("  [est=%.0f]", op->estimated_rows()));
+  }
+  out->append("\n");
+  for (size_t i = 0; i < op->num_children(); ++i) {
+    PrintTree(op->child(i), depth + 1, out);
+  }
+}
+
+}  // namespace
+
+PhysicalPlan::PhysicalPlan(OperatorPtr root) : root_(std::move(root)) {
+  QPROG_CHECK(root_ != nullptr);
+  AssignIds(root_.get(), &nodes_);
+  root_->set_is_root(true);
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::string out;
+  PrintTree(root_.get(), 0, &out);
+  return out;
+}
+
+uint64_t ExecutePlan(PhysicalPlan* plan, ExecContext* ctx,
+                     const std::function<void(const Row&)>& sink) {
+  ctx->Reset(plan->num_nodes());
+  PhysicalOperator* root = plan->root();
+  root->Open(ctx);
+  Row row;
+  uint64_t produced = 0;
+  while (root->Next(ctx, &row)) {
+    ++produced;
+    if (sink) sink(row);
+  }
+  root->Close(ctx);
+  return produced;
+}
+
+std::vector<Row> CollectRows(PhysicalPlan* plan, ExecContext* ctx) {
+  std::vector<Row> rows;
+  ExecutePlan(plan, ctx, [&rows](const Row& row) { rows.push_back(row); });
+  return rows;
+}
+
+std::vector<Row> CollectRows(PhysicalPlan* plan) {
+  ExecContext ctx;
+  return CollectRows(plan, &ctx);
+}
+
+uint64_t MeasureTotalWork(PhysicalPlan* plan) {
+  ExecContext ctx;
+  ExecutePlan(plan, &ctx);
+  return ctx.work();
+}
+
+}  // namespace qprog

@@ -1,0 +1,60 @@
+// PhysicalPlan: owns an operator tree, assigns node ids, and provides
+// execution drivers. Finalize() must run before execution so the getnext
+// counters in ExecContext line up with node ids.
+
+#ifndef QPROG_EXEC_PLAN_H_
+#define QPROG_EXEC_PLAN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace qprog {
+
+class PhysicalPlan {
+ public:
+  /// Takes ownership of the operator tree and finalizes it (assigns
+  /// pre-order node ids; marks the root).
+  explicit PhysicalPlan(OperatorPtr root);
+
+  PhysicalPlan(const PhysicalPlan&) = delete;
+  PhysicalPlan& operator=(const PhysicalPlan&) = delete;
+  PhysicalPlan(PhysicalPlan&&) = default;
+  PhysicalPlan& operator=(PhysicalPlan&&) = default;
+
+  PhysicalOperator* root() { return root_.get(); }
+  const PhysicalOperator* root() const { return root_.get(); }
+
+  /// All operators in pre-order; node_id() equals the position here.
+  const std::vector<PhysicalOperator*>& nodes() const { return nodes_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Indented tree rendering.
+  std::string ToString() const;
+
+ private:
+  OperatorPtr root_;
+  std::vector<PhysicalOperator*> nodes_;
+};
+
+/// Runs the plan to completion. Returns the number of rows the root
+/// produced. `sink` (optional) receives each output row.
+uint64_t ExecutePlan(PhysicalPlan* plan, ExecContext* ctx,
+                     const std::function<void(const Row&)>& sink = nullptr);
+
+/// Runs the plan and collects the root's output.
+std::vector<Row> CollectRows(PhysicalPlan* plan, ExecContext* ctx);
+
+/// Convenience: run with a throwaway context, returning the output rows.
+std::vector<Row> CollectRows(PhysicalPlan* plan);
+
+/// Total getnext calls of a complete execution of `plan` — total(Q) in the
+/// paper's notation. Runs the plan to completion on a fresh context.
+uint64_t MeasureTotalWork(PhysicalPlan* plan);
+
+}  // namespace qprog
+
+#endif  // QPROG_EXEC_PLAN_H_

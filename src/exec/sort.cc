@@ -1,0 +1,92 @@
+#include "exec/sort.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace qprog {
+
+Sort::Sort(OperatorPtr child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {
+  QPROG_CHECK(child_ != nullptr);
+  QPROG_CHECK(!keys_.empty());
+  set_is_linear(true);
+}
+
+void Sort::Open(ExecContext* ctx) {
+  finished_ = false;
+  materialized_ = false;
+  rows_.clear();
+  cursor_ = 0;
+  child_->Open(ctx);
+}
+
+void Sort::Materialize(ExecContext* ctx) {
+  Row row;
+  while (child_->Next(ctx, &row)) rows_.push_back(std::move(row));
+
+  // Precompute the key tuple per row, then sort indices.
+  const size_t nkeys = keys_.size();
+  std::vector<Row> key_rows(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    key_rows[i].reserve(nkeys);
+    for (const SortKey& k : keys_) key_rows[i].push_back(k.expr->Eval(rows_[i]));
+  }
+  std::vector<size_t> order(rows_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < nkeys; ++k) {
+      const Value& va = key_rows[a][k];
+      const Value& vb = key_rows[b][k];
+      int cmp;
+      if (va.is_null() || vb.is_null()) {
+        // NULLs order lowest.
+        cmp = (va.is_null() ? 0 : 1) - (vb.is_null() ? 0 : 1);
+      } else {
+        cmp = va.Compare(vb);
+      }
+      if (cmp != 0) return keys_[k].descending ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  });
+  std::vector<Row> sorted;
+  sorted.reserve(rows_.size());
+  for (size_t i : order) sorted.push_back(std::move(rows_[i]));
+  rows_ = std::move(sorted);
+  materialized_ = true;
+}
+
+bool Sort::Next(ExecContext* ctx, Row* out) {
+  if (!materialized_) Materialize(ctx);
+  if (cursor_ >= rows_.size()) {
+    finished_ = true;
+    return false;
+  }
+  *out = rows_[cursor_++];
+  Emit(ctx);
+  return true;
+}
+
+void Sort::Close(ExecContext* ctx) {
+  child_->Close(ctx);
+  rows_.clear();
+}
+
+std::string Sort::label() const {
+  std::vector<std::string> parts;
+  parts.reserve(keys_.size());
+  for (const SortKey& k : keys_) {
+    parts.push_back(k.expr->ToString() + (k.descending ? " DESC" : ""));
+  }
+  return StringPrintf("Sort(%s)", JoinStrings(parts, ", ").c_str());
+}
+
+void Sort::FillProgressState(const ExecContext& ctx,
+                             ProgressState* state) const {
+  PhysicalOperator::FillProgressState(ctx, state);
+  state->build_done = materialized_;
+  state->build_rows = rows_.size();
+}
+
+}  // namespace qprog

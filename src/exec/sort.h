@@ -1,0 +1,57 @@
+// Sort: the blocking order-by operator (also used beneath merge joins and
+// stream aggregates). Consumes its whole input on first Next, then emits.
+
+#ifndef QPROG_EXEC_SORT_H_
+#define QPROG_EXEC_SORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/expr.h"
+
+namespace qprog {
+
+/// One sort key. NULLs order lowest (first under ascending).
+struct SortKey {
+  ExprPtr expr;
+  bool descending = false;
+
+  SortKey() = default;
+  SortKey(ExprPtr e, bool desc = false)  // NOLINT(runtime/explicit)
+      : expr(std::move(e)), descending(desc) {}
+};
+
+class Sort : public PhysicalOperator {
+ public:
+  Sort(OperatorPtr child, std::vector<SortKey> keys);
+
+  void Open(ExecContext* ctx) override;
+  bool Next(ExecContext* ctx, Row* out) override;
+  void Close(ExecContext* ctx) override;
+
+  OpKind kind() const override { return OpKind::kSort; }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  size_t num_children() const override { return 1; }
+  PhysicalOperator* child(size_t) override { return child_.get(); }
+  std::string label() const override;
+  void FillProgressState(const ExecContext& ctx,
+                         ProgressState* state) const override;
+
+ private:
+  void Materialize(ExecContext* ctx);
+
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+
+  bool materialized_ = false;
+  std::vector<Row> rows_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_EXEC_SORT_H_

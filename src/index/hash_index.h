@@ -1,0 +1,54 @@
+// HashIndex: an equality-only secondary index (hash multimap over one
+// column). Functionally a faster alternative to OrderedIndex::EqualRange for
+// point probes; kept separate so plans can state which access path they use.
+
+#ifndef QPROG_INDEX_HASH_INDEX_H_
+#define QPROG_INDEX_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "types/value.h"
+
+namespace qprog {
+
+class HashIndex {
+ public:
+  /// Builds the index over `table`.`column`; NULL keys are excluded.
+  HashIndex(const Table* table, size_t column);
+
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
+
+  const Table* table() const { return table_; }
+  size_t column() const { return column_; }
+
+  /// Row ids whose key equals `key` (empty vector reference when no match).
+  const std::vector<uint64_t>& Lookup(const Value& key) const;
+
+  uint64_t max_key_multiplicity() const { return max_key_multiplicity_; }
+  uint64_t num_distinct_keys() const { return buckets_.size(); }
+
+ private:
+  struct ValueHasher {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  struct ValueEq {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.EqualsForGrouping(b);
+    }
+  };
+
+  const Table* table_;
+  size_t column_;
+  std::unordered_map<Value, std::vector<uint64_t>, ValueHasher, ValueEq>
+      buckets_;
+  std::vector<uint64_t> empty_;
+  uint64_t max_key_multiplicity_ = 0;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_INDEX_HASH_INDEX_H_

@@ -1,0 +1,75 @@
+#include "index/ordered_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace qprog {
+
+OrderedIndex::OrderedIndex(const Table* table, size_t column)
+    : table_(table), column_(column) {
+  QPROG_CHECK(column < table->schema().num_fields());
+  std::vector<uint64_t> ids;
+  ids.reserve(table->num_rows());
+  for (uint64_t i = 0; i < table->num_rows(); ++i) {
+    if (!table->at(i, column).is_null()) ids.push_back(i);
+  }
+  std::stable_sort(ids.begin(), ids.end(), [&](uint64_t a, uint64_t b) {
+    return table->at(a, column).Compare(table->at(b, column)) < 0;
+  });
+  keys_.reserve(ids.size());
+  row_ids_ = std::move(ids);
+  for (uint64_t id : row_ids_) keys_.push_back(table->at(id, column));
+
+  uint64_t run = 0;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i == 0 || keys_[i].Compare(keys_[i - 1]) != 0) {
+      run = 1;
+    } else {
+      ++run;
+    }
+    max_key_multiplicity_ = std::max(max_key_multiplicity_, run);
+  }
+}
+
+OrderedIndex::EntryRange OrderedIndex::EqualRange(const Value& key) const {
+  if (key.is_null() || keys_.empty()) return {};
+  auto lower = std::lower_bound(
+      keys_.begin(), keys_.end(), key,
+      [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  auto upper = std::upper_bound(
+      lower, keys_.end(), key,
+      [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  size_t lo = static_cast<size_t>(lower - keys_.begin());
+  size_t hi = static_cast<size_t>(upper - keys_.begin());
+  return {row_ids_.data() + lo, row_ids_.data() + hi};
+}
+
+OrderedIndex::EntryRange OrderedIndex::Range(const Value& lo, bool lo_inclusive,
+                                             bool lo_unbounded, const Value& hi,
+                                             bool hi_inclusive,
+                                             bool hi_unbounded) const {
+  if (keys_.empty()) return {};
+  auto cmp = [](const Value& a, const Value& b) { return a.Compare(b) < 0; };
+  size_t begin = 0;
+  size_t end = keys_.size();
+  if (!lo_unbounded) {
+    QPROG_CHECK(!lo.is_null());
+    auto it = lo_inclusive
+                  ? std::lower_bound(keys_.begin(), keys_.end(), lo, cmp)
+                  : std::upper_bound(keys_.begin(), keys_.end(), lo, cmp);
+    begin = static_cast<size_t>(it - keys_.begin());
+  }
+  if (!hi_unbounded) {
+    QPROG_CHECK(!hi.is_null());
+    auto it = hi_inclusive
+                  ? std::upper_bound(keys_.begin(), keys_.end(), hi, cmp)
+                  : std::lower_bound(keys_.begin(), keys_.end(), hi, cmp);
+    end = static_cast<size_t>(it - keys_.begin());
+  }
+  if (begin >= end) return {};
+  return {row_ids_.data() + begin, row_ids_.data() + end};
+}
+
+}  // namespace qprog

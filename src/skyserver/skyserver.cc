@@ -1,0 +1,353 @@
+#include "skyserver/skyserver.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "common/strings.h"
+#include "common/zipf.h"
+#include "exec/aggregate.h"
+#include "exec/filter_project.h"
+#include "exec/join.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "stats/table_stats.h"
+
+namespace qprog {
+namespace skyserver {
+
+namespace {
+
+// photoobj columns.
+constexpr size_t kPoObjid = 0, kPoRa = 1, kPoDec = 2, kPoType = 3,
+                 kPoFlags = 4, kPoU = 5, kPoG = 6, kPoR = 7, kPoI = 8,
+                 kPoZ = 9;
+constexpr size_t kPoCols = 10;
+// specobj columns.
+constexpr size_t kSpSpecobjid = 0, kSpBestobjid = 1, kSpClass = 2,
+                 kSpRedshift = 3, kSpZconf = 4;
+constexpr size_t kSpCols = 5;
+// neighbors columns.
+constexpr size_t kNbObjid = 0, kNbNeighborid = 1, kNbDistance = 2;
+// photoz columns.
+constexpr size_t kPzObjid = 0, kPzZphot = 1, kPzZerr = 2;
+
+constexpr int64_t kTypeGalaxy = 3;
+constexpr int64_t kTypeStar = 6;
+
+Schema PhotoobjSchema() {
+  return Schema({{"objid", TypeId::kInt64},
+                 {"ra", TypeId::kDouble},
+                 {"dec", TypeId::kDouble},
+                 {"type", TypeId::kInt64},
+                 {"flags", TypeId::kInt64},
+                 {"u", TypeId::kDouble},
+                 {"g", TypeId::kDouble},
+                 {"r", TypeId::kDouble},
+                 {"i", TypeId::kDouble},
+                 {"z", TypeId::kDouble}});
+}
+
+Schema SpecobjSchema() {
+  return Schema({{"specobjid", TypeId::kInt64},
+                 {"bestobjid", TypeId::kInt64},
+                 {"class", TypeId::kString},
+                 {"redshift", TypeId::kDouble},
+                 {"zconf", TypeId::kDouble}});
+}
+
+Schema NeighborsSchema() {
+  return Schema({{"objid", TypeId::kInt64},
+                 {"neighborobjid", TypeId::kInt64},
+                 {"distance", TypeId::kDouble}});
+}
+
+Schema PhotozSchema() {
+  return Schema({{"objid", TypeId::kInt64},
+                 {"z_phot", TypeId::kDouble},
+                 {"z_err", TypeId::kDouble}});
+}
+
+}  // namespace
+
+Status GenerateSkyServer(const SkyServerConfig& config, Database* db) {
+  if (config.num_photoobj == 0) {
+    return InvalidArgument("num_photoobj must be positive");
+  }
+  Rng rng(config.seed);
+  const int64_t n = static_cast<int64_t>(config.num_photoobj);
+
+  Table photoobj("photoobj", PhotoobjSchema());
+  photoobj.Reserve(config.num_photoobj);
+  for (int64_t i = 1; i <= n; ++i) {
+    bool galaxy = rng.Bernoulli(0.6);
+    double base = galaxy ? 20.5 : 18.5;
+    double r_mag = base + rng.NextGaussian() * 1.5;
+    photoobj.AppendRow(
+        {Value::Int64(i), Value::Double(rng.UniformDouble(0, 360)),
+         Value::Double(rng.UniformDouble(-90, 90)),
+         Value::Int64(galaxy ? kTypeGalaxy : kTypeStar),
+         Value::Int64(rng.UniformInt(0, 255)),
+         Value::Double(r_mag + rng.UniformDouble(0.5, 2.5)),
+         Value::Double(r_mag + rng.UniformDouble(0.1, 1.2)),
+         Value::Double(r_mag),
+         Value::Double(r_mag - rng.UniformDouble(0.0, 0.6)),
+         Value::Double(r_mag - rng.UniformDouble(0.0, 1.0))});
+  }
+
+  Table specobj("specobj", SpecobjSchema());
+  int64_t spec_id = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    if (!rng.Bernoulli(0.1)) continue;
+    ++spec_id;
+    double dice = rng.NextDouble();
+    const char* cls = dice < 0.55 ? "GALAXY" : (dice < 0.9 ? "STAR" : "QSO");
+    double redshift = cls[0] == 'S'
+                          ? rng.UniformDouble(-0.001, 0.001)
+                          : (cls[0] == 'Q' ? rng.UniformDouble(0.5, 4.0)
+                                           : -std::log(1.0 - rng.NextDouble()) *
+                                                 0.15);
+    specobj.AppendRow({Value::Int64(spec_id), Value::Int64(i),
+                       Value::String(cls), Value::Double(redshift),
+                       Value::Double(rng.UniformDouble(0.8, 1.0))});
+  }
+
+  // Neighbor counts are zipf-skewed: dense cluster cores have many pairs.
+  Table neighbors("neighbors", NeighborsSchema());
+  ZipfDistribution nbr_zipf(8, 1.2);
+  for (int64_t i = 1; i <= n; ++i) {
+    uint64_t count = nbr_zipf.Sample(&rng);
+    for (uint64_t k = 0; k < count; ++k) {
+      neighbors.AppendRow({Value::Int64(i),
+                           Value::Int64(rng.UniformInt(1, n)),
+                           Value::Double(rng.UniformDouble(0.0, 0.5))});
+    }
+  }
+
+  Table photoz("photoz", PhotozSchema());
+  photoz.Reserve(config.num_photoobj);
+  for (int64_t i = 1; i <= n; ++i) {
+    double zp = -std::log(1.0 - rng.NextDouble()) * 0.2;
+    photoz.AppendRow({Value::Int64(i), Value::Double(zp),
+                      Value::Double(rng.UniformDouble(0.01, 0.2))});
+  }
+
+  QPROG_RETURN_IF_ERROR(db->AddTable(std::move(photoobj)).status());
+  QPROG_RETURN_IF_ERROR(db->AddTable(std::move(specobj)).status());
+  QPROG_RETURN_IF_ERROR(db->AddTable(std::move(neighbors)).status());
+  QPROG_RETURN_IF_ERROR(db->AddTable(std::move(photoz)).status());
+
+  if (config.collect_stats) {
+    HistogramStatisticsGenerator gen(32);
+    for (const std::string& name : db->TableNames()) {
+      db->SetStats(name, gen.Generate(*db->GetTable(name)));
+    }
+  }
+  return OkStatus();
+}
+
+std::vector<int> AvailableSkyQueries() { return {3, 6, 14, 18, 22, 28, 32}; }
+
+namespace {
+
+using qprog::eb::And;
+using qprog::eb::Col;
+using qprog::eb::Dbl;
+using qprog::eb::Eq;
+using qprog::eb::Ge;
+using qprog::eb::Gt;
+using qprog::eb::Int;
+using qprog::eb::Le;
+using qprog::eb::Lt;
+using qprog::eb::Mul;
+using qprog::eb::Str;
+using qprog::eb::Sub;
+
+OperatorPtr Scan(const Database& db, const char* table) {
+  const Table* t = db.GetTable(table);
+  QPROG_CHECK_MSG(t != nullptr, "missing table %s", table);
+  auto scan = std::make_unique<SeqScan>(t);
+  scan->set_estimated_rows(static_cast<double>(t->num_rows()));
+  return scan;
+}
+
+OperatorPtr Sigma(OperatorPtr child, ExprPtr pred, double est) {
+  auto f = std::make_unique<Filter>(std::move(child), std::move(pred));
+  f->set_estimated_rows(est);
+  return f;
+}
+
+OperatorPtr CountStar(OperatorPtr child) {
+  std::vector<AggregateDesc> aggs;
+  aggs.emplace_back(AggFunc::kCount, nullptr, "cnt");
+  return std::make_unique<HashAggregate>(std::move(child),
+                                         std::vector<ExprPtr>{},
+                                         std::vector<std::string>{},
+                                         std::move(aggs));
+}
+
+// SQ3 (paper query 3 analogue): galaxy color distribution; the type
+// predicate merges into the scan (paper mu = 1.008 for its Table 3 row).
+// SELECT round(g - r), count(*) FROM photoobj WHERE type = galaxy GROUP BY 1.
+PhysicalPlan BuildSq3(const Database& db) {
+  const Table* t = db.GetTable("photoobj");
+  QPROG_CHECK(t != nullptr);
+  auto f = std::make_unique<SeqScan>(
+      t, Eq(Col(kPoType, "type"), Int(kTypeGalaxy)));
+  f->set_estimated_rows(0.6 * static_cast<double>(t->num_rows()));
+  std::vector<ExprPtr> groups;
+  // Bucket g - r into tenths via multiply (no floor op: grouping by the
+  // continuous value times ten cast through arithmetic keeps ~small groups).
+  groups.push_back(Mul(Dbl(10.0), Sub(Col(kPoG, "g"), Col(kPoR, "r"))));
+  std::vector<AggregateDesc> aggs;
+  aggs.emplace_back(AggFunc::kCount, nullptr, "cnt");
+  auto agg = std::make_unique<HashAggregate>(
+      std::move(f), std::move(groups), std::vector<std::string>{"color"},
+      std::move(aggs));
+  agg->set_estimated_rows(500);
+  return PhysicalPlan(std::move(agg));
+}
+
+// SQ6: QSO redshift survey. photoobj |x| specobj, sigma(class='QSO'),
+// aggregate per confidence.
+PhysicalPlan BuildSq6(const Database& db) {
+  auto spec = Sigma(Scan(db, "specobj"), Eq(Col(kSpClass, "class"),
+                                            Str("QSO")),
+                    400);
+  std::vector<ExprPtr> pk, bk;
+  pk.push_back(Col(kPoObjid, "objid"));
+  bk.push_back(Col(kSpBestobjid, "bestobjid"));
+  auto join = std::make_unique<HashJoin>(Scan(db, "photoobj"), std::move(spec),
+                                         std::move(pk), std::move(bk));
+  join->set_is_linear(true);
+  std::vector<AggregateDesc> aggs;
+  aggs.emplace_back(AggFunc::kAvg, Col(kPoCols + kSpRedshift, "redshift"),
+                    "avg_z");
+  aggs.emplace_back(AggFunc::kCount, nullptr, "cnt");
+  auto agg = std::make_unique<HashAggregate>(
+      std::move(join), std::vector<ExprPtr>{}, std::vector<std::string>{},
+      std::move(aggs));
+  return PhysicalPlan(std::move(agg));
+}
+
+// SQ14: bright-star magnitude summary.
+PhysicalPlan BuildSq14(const Database& db) {
+  std::vector<ExprPtr> conj;
+  conj.push_back(Eq(Col(kPoType, "type"), Int(kTypeStar)));
+  conj.push_back(Lt(Col(kPoR, "r"), Dbl(18.0)));
+  auto f = Sigma(Scan(db, "photoobj"), And(std::move(conj)), 5000);
+  std::vector<AggregateDesc> aggs;
+  aggs.emplace_back(AggFunc::kAvg, Col(kPoU, "u"), "avg_u");
+  aggs.emplace_back(AggFunc::kAvg, Col(kPoG, "g"), "avg_g");
+  aggs.emplace_back(AggFunc::kMin, Col(kPoR, "r"), "min_r");
+  aggs.emplace_back(AggFunc::kMax, Col(kPoR, "r"), "max_r");
+  aggs.emplace_back(AggFunc::kCount, nullptr, "cnt");
+  auto agg = std::make_unique<HashAggregate>(
+      std::move(f), std::vector<ExprPtr>{}, std::vector<std::string>{},
+      std::move(aggs));
+  return PhysicalPlan(std::move(agg));
+}
+
+// SQ18: close galaxy pairs (merger candidates) — the join-heavy case.
+// neighbors |x| photoobj, sigma(distance, galaxy), count.
+PhysicalPlan BuildSq18(const Database& db) {
+  auto nbr = Sigma(Scan(db, "neighbors"),
+                   Lt(Col(kNbDistance, "distance"), Dbl(0.3)), 8000);
+  std::vector<ExprPtr> pk, bk;
+  pk.push_back(Col(kNbNeighborid, "neighborobjid"));
+  bk.push_back(Col(kPoObjid, "objid"));
+  auto join = std::make_unique<HashJoin>(std::move(nbr), Scan(db, "photoobj"),
+                                         std::move(pk), std::move(bk));
+  join->set_is_linear(true);
+  auto f = Sigma(std::move(join),
+                 Eq(Col(3 + kPoType, "type"), Int(kTypeGalaxy)), 5000);
+  return PhysicalPlan(CountStar(std::move(f)));
+}
+
+// SQ22: photometric vs spectroscopic redshift comparison.
+// photoz |x| specobj on objid, residual statistics.
+PhysicalPlan BuildSq22(const Database& db) {
+  std::vector<ExprPtr> pk, bk;
+  pk.push_back(Col(kPzObjid, "objid"));
+  bk.push_back(Col(kSpBestobjid, "bestobjid"));
+  auto join = std::make_unique<HashJoin>(Scan(db, "photoz"),
+                                         Scan(db, "specobj"), std::move(pk),
+                                         std::move(bk));
+  join->set_is_linear(true);
+  std::vector<AggregateDesc> aggs;
+  aggs.emplace_back(AggFunc::kAvg,
+                    Sub(Col(kPzZphot, "z_phot"),
+                        Col(3 + kSpRedshift, "redshift")),
+                    "avg_resid");
+  aggs.emplace_back(AggFunc::kCount, nullptr, "cnt");
+  auto agg = std::make_unique<HashAggregate>(
+      std::move(join), std::vector<ExprPtr>{}, std::vector<std::string>{},
+      std::move(aggs));
+  return PhysicalPlan(std::move(agg));
+}
+
+// SQ28: flag census over the full photometry table.
+PhysicalPlan BuildSq28(const Database& db) {
+  auto f = Sigma(Scan(db, "photoobj"), Gt(Col(kPoFlags, "flags"), Int(240)),
+                 2500);
+  std::vector<ExprPtr> groups;
+  groups.push_back(Col(kPoType, "type"));
+  std::vector<AggregateDesc> aggs;
+  aggs.emplace_back(AggFunc::kCount, nullptr, "cnt");
+  auto agg = std::make_unique<HashAggregate>(
+      std::move(f), std::move(groups), std::vector<std::string>{"type"},
+      std::move(aggs));
+  agg->set_estimated_rows(2);
+  return PhysicalPlan(std::move(agg));
+}
+
+// SQ32: spectra classified per class in a redshift shell.
+PhysicalPlan BuildSq32(const Database& db) {
+  auto spec = Sigma(Scan(db, "specobj"),
+                    And(Ge(Col(kSpRedshift, "redshift"), Dbl(0.05)),
+                        Le(Col(kSpRedshift, "redshift"), Dbl(0.25))),
+                    1500);
+  std::vector<ExprPtr> pk, bk;
+  pk.push_back(Col(kSpBestobjid, "bestobjid"));
+  bk.push_back(Col(kPoObjid, "objid"));
+  auto join = std::make_unique<HashJoin>(std::move(spec), Scan(db, "photoobj"),
+                                         std::move(pk), std::move(bk));
+  join->set_is_linear(true);
+  std::vector<ExprPtr> groups;
+  groups.push_back(Col(kSpClass, "class"));
+  std::vector<AggregateDesc> aggs;
+  aggs.emplace_back(AggFunc::kCount, nullptr, "cnt");
+  aggs.emplace_back(AggFunc::kAvg, Col(kSpCols + kPoR, "r"), "avg_r");
+  auto agg = std::make_unique<HashAggregate>(
+      std::move(join), std::move(groups), std::vector<std::string>{"class"},
+      std::move(aggs));
+  agg->set_estimated_rows(3);
+  return PhysicalPlan(std::move(agg));
+}
+
+}  // namespace
+
+StatusOr<PhysicalPlan> BuildSkyQuery(int id, const Database& db) {
+  switch (id) {
+    case 3:
+      return BuildSq3(db);
+    case 6:
+      return BuildSq6(db);
+    case 14:
+      return BuildSq14(db);
+    case 18:
+      return BuildSq18(db);
+    case 22:
+      return BuildSq22(db);
+    case 28:
+      return BuildSq28(db);
+    case 32:
+      return BuildSq32(db);
+    default:
+      return InvalidArgument(
+          StringPrintf("no SkyServer query %d (have 3,6,14,18,22,28,32)", id));
+  }
+}
+
+}  // namespace skyserver
+}  // namespace qprog

@@ -1,0 +1,44 @@
+// Synthetic SkyServer stand-in (see DESIGN.md, Substitutions).
+//
+// The paper's Table 3 measures mu for 7 long-running queries of the SDSS
+// SkyServer personal-edition database. The real data is not redistributable
+// here, so this module generates an astronomical-shaped database (photometry
+// and spectra with realistic magnitude/redshift distributions, a neighbors
+// self-relation) and re-expresses the analysis queries over it. Table 3 only
+// depends on plan shape — large scans feeding small aggregations, with a few
+// join-heavy cases — which the analogue preserves.
+
+#ifndef QPROG_SKYSERVER_SKYSERVER_H_
+#define QPROG_SKYSERVER_SKYSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "exec/plan.h"
+#include "storage/catalog.h"
+
+namespace qprog {
+namespace skyserver {
+
+struct SkyServerConfig {
+  uint64_t num_photoobj = 40000;
+  uint64_t seed = 20050614;
+  bool collect_stats = true;
+};
+
+/// Populates `db` with: photoobj (photometry; ~num_photoobj rows), specobj
+/// (spectra for ~10% of objects), neighbors (~2 per object, zipf-skewed),
+/// photoz (photometric redshift estimates, one per object).
+Status GenerateSkyServer(const SkyServerConfig& config, Database* db);
+
+/// Query ids mirroring the paper's Table 3 rows: 3, 6, 14, 18, 22, 28, 32.
+std::vector<int> AvailableSkyQueries();
+
+/// Builds the plan for SkyServer query `id` over `db`.
+StatusOr<PhysicalPlan> BuildSkyQuery(int id, const Database& db);
+
+}  // namespace skyserver
+}  // namespace qprog
+
+#endif  // QPROG_SKYSERVER_SKYSERVER_H_

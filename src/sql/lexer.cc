@@ -1,0 +1,111 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace qprog {
+namespace sql {
+
+bool Token::Is(const char* s) const {
+  if (type == TokenType::kEnd) return false;
+  return text == ToLower(s);
+}
+
+StatusOr<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto peek = [&](size_t off = 0) -> char {
+    return i + off < n ? input[i + off] : '\0';
+  };
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comments to end of line.
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = ToLower(input.substr(start, i - start));
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      tok.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      tok.text = input.substr(start, i - start);
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (peek(1) == '\'') {  // escaped quote
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += input[i++];
+      }
+      if (!closed) {
+        return InvalidArgument(StringPrintf(
+            "unterminated string literal at position %zu", tok.position));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+    } else if (c == '<' && (peek(1) == '=' || peek(1) == '>')) {
+      tok.type = TokenType::kSymbol;
+      tok.text = input.substr(i, 2);
+      i += 2;
+    } else if (c == '>' && peek(1) == '=') {
+      tok.type = TokenType::kSymbol;
+      tok.text = ">=";
+      i += 2;
+    } else if (c == '!' && peek(1) == '=') {
+      tok.type = TokenType::kSymbol;
+      tok.text = "<>";
+      i += 2;
+    } else if (std::strchr("=<>+-*/(),.;", c) != nullptr) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return InvalidArgument(
+          StringPrintf("unexpected character '%c' at position %zu", c, i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace qprog

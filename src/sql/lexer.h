@@ -1,0 +1,40 @@
+// SQL lexer for the subset the qprog frontend supports.
+
+#ifndef QPROG_SQL_LEXER_H_
+#define QPROG_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace qprog {
+namespace sql {
+
+enum class TokenType {
+  kIdentifier,  // foo, lineitem  (keywords are identifiers matched later)
+  kInteger,     // 42
+  kFloat,       // 3.14
+  kString,      // 'text'
+  kSymbol,      // = <> <= >= < > + - * / ( ) , . ;
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // identifiers lower-cased; symbols verbatim
+  size_t position = 0;
+
+  bool Is(TokenType t) const { return type == t; }
+  /// Case-insensitive keyword/symbol match.
+  bool Is(const char* s) const;
+};
+
+/// Tokenizes `input`. Returns InvalidArgument on unterminated strings or
+/// unexpected characters. The final token is always kEnd.
+StatusOr<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace sql
+}  // namespace qprog
+
+#endif  // QPROG_SQL_LEXER_H_

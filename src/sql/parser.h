@@ -1,0 +1,29 @@
+// Recursive-descent parser for the SQL subset:
+//
+//   SELECT <expr [AS alias]>[, ...] | *
+//   FROM <table [alias]>[, ...] [JOIN <table [alias]> ON <cond>]...
+//   [WHERE <cond>] [GROUP BY <expr>[, ...]] [HAVING <cond>]
+//   [ORDER BY <expr> [ASC|DESC][, ...]] [LIMIT <n>]
+//
+// Expressions: comparisons, arithmetic, AND/OR/NOT, [NOT] LIKE, [NOT] IN
+// (literal list), BETWEEN, IS [NOT] NULL, DATE 'YYYY-MM-DD' literals, and
+// the aggregate functions COUNT([DISTINCT] x | *), SUM, AVG, MIN, MAX.
+
+#ifndef QPROG_SQL_PARSER_H_
+#define QPROG_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "sql/ast.h"
+
+namespace qprog {
+namespace sql {
+
+/// Parses one SELECT statement (optionally ';'-terminated).
+StatusOr<SelectStmt> Parse(const std::string& input);
+
+}  // namespace sql
+}  // namespace qprog
+
+#endif  // QPROG_SQL_PARSER_H_

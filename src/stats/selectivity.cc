@@ -1,0 +1,85 @@
+#include "stats/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qprog {
+
+namespace {
+constexpr double kDefaultEqSelectivity = 0.1;
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+}  // namespace
+
+double EstimatePredicateSelectivity(const TableStats& stats,
+                                    const PredicateDesc& pred) {
+  if (stats.row_count() == 0) return 0.0;
+  if (pred.column >= stats.num_columns()) {
+    return pred.op == CompareOp::kEq ? kDefaultEqSelectivity
+                                     : kDefaultRangeSelectivity;
+  }
+  const ColumnStats& cs = stats.column(pred.column);
+  const double rows = static_cast<double>(stats.row_count());
+  if (!cs.histogram.has_value() || cs.histogram->num_buckets() == 0) {
+    if (pred.op == CompareOp::kEq && cs.distinct > 0) {
+      return 1.0 / static_cast<double>(cs.distinct);
+    }
+    return pred.op == CompareOp::kEq ? kDefaultEqSelectivity
+                                     : kDefaultRangeSelectivity;
+  }
+  const Histogram& h = *cs.histogram;
+  double matched = 0.0;
+  switch (pred.op) {
+    case CompareOp::kEq:
+      matched = h.EstimateEquals(pred.operand);
+      break;
+    case CompareOp::kNe:
+      matched = rows - h.EstimateEquals(pred.operand) -
+                static_cast<double>(cs.null_count);
+      break;
+    case CompareOp::kLt:
+      matched = h.EstimateRange(Value::Null(), false, true, pred.operand,
+                                /*hi_inclusive=*/false, false);
+      break;
+    case CompareOp::kLe:
+      matched = h.EstimateRange(Value::Null(), false, true, pred.operand,
+                                /*hi_inclusive=*/true, false);
+      break;
+    case CompareOp::kGt:
+      matched = h.EstimateRange(pred.operand, /*lo_inclusive=*/false, false,
+                                Value::Null(), false, true);
+      break;
+    case CompareOp::kGe:
+      matched = h.EstimateRange(pred.operand, /*lo_inclusive=*/true, false,
+                                Value::Null(), false, true);
+      break;
+  }
+  return std::clamp(matched / rows, 0.0, 1.0);
+}
+
+double EstimateConjunctionSelectivity(const TableStats& stats,
+                                      const std::vector<PredicateDesc>& preds) {
+  double sel = 1.0;
+  for (const PredicateDesc& p : preds) {
+    sel *= EstimatePredicateSelectivity(stats, p);
+  }
+  return sel;
+}
+
+double EstimateJoinCardinality(double left_rows, uint64_t left_distinct,
+                               double right_rows, uint64_t right_distinct) {
+  double d = static_cast<double>(std::max<uint64_t>(
+      1, std::max(left_distinct, right_distinct)));
+  return left_rows * right_rows / d;
+}
+
+double EstimateGroupCount(double input_rows,
+                          const std::vector<uint64_t>& column_distincts) {
+  double groups = 1.0;
+  for (uint64_t d : column_distincts) {
+    groups *= static_cast<double>(std::max<uint64_t>(1, d));
+    if (groups > input_rows) break;
+  }
+  return std::min(groups, std::max(1.0, input_rows));
+}
+
+}  // namespace qprog

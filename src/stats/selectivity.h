@@ -1,0 +1,53 @@
+// Selectivity and cardinality estimation from single-relation statistics.
+//
+// This is the optimizer-style estimator the paper contrasts progress
+// estimation against (Sections 2.5 and 7): histogram lookups combined under
+// the independence assumption, and join estimation via the standard
+// 1/max(distinct) containment formula. It supplies the dne estimator's
+// pipeline weights and the SQL planner's join ordering, and — exactly as the
+// paper observes — it stays badly wrong under skew, which is why the
+// bounds-based estimators do not rely on it.
+
+#ifndef QPROG_STATS_SELECTIVITY_H_
+#define QPROG_STATS_SELECTIVITY_H_
+
+#include <optional>
+#include <vector>
+
+#include "stats/table_stats.h"
+#include "types/compare_op.h"
+#include "types/value.h"
+
+namespace qprog {
+
+/// A simple predicate "column <op> literal" for estimation purposes.
+struct PredicateDesc {
+  size_t column = 0;
+  CompareOp op = CompareOp::kEq;
+  Value operand;
+};
+
+/// Estimated selectivity (0..1) of a single predicate against `stats`.
+/// Falls back to textbook magic constants (1/10 equality, 1/3 range) when
+/// the column lacks a histogram.
+double EstimatePredicateSelectivity(const TableStats& stats,
+                                    const PredicateDesc& pred);
+
+/// Independence-assumption conjunction of predicates.
+double EstimateConjunctionSelectivity(const TableStats& stats,
+                                      const std::vector<PredicateDesc>& preds);
+
+/// Estimated output cardinality of an equi-join between two inputs with the
+/// given cardinalities and per-side join-column distinct counts:
+/// |L| * |R| / max(d_L, d_R).
+double EstimateJoinCardinality(double left_rows, uint64_t left_distinct,
+                               double right_rows, uint64_t right_distinct);
+
+/// Estimated number of groups when grouping `input_rows` rows by columns
+/// with the given distinct counts (capped product, then capped by rows).
+double EstimateGroupCount(double input_rows,
+                          const std::vector<uint64_t>& column_distincts);
+
+}  // namespace qprog
+
+#endif  // QPROG_STATS_SELECTIVITY_H_

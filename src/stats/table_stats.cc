@@ -1,0 +1,70 @@
+#include "stats/table_stats.h"
+
+#include <unordered_set>
+
+#include "common/random.h"
+#include "storage/table.h"
+
+namespace qprog {
+
+std::unique_ptr<TableStats> HistogramStatisticsGenerator::Generate(
+    const Table& table) {
+  auto stats = std::make_unique<TableStats>();
+  stats->set_row_count(table.num_rows());
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    ColumnStats cs;
+    cs.name = schema.field(c).name;
+    Histogram h = Histogram::Build(table, c, buckets_per_column_);
+    cs.null_count = h.null_rows();
+    cs.distinct = h.TotalDistinct();
+    if (h.num_buckets() > 0) {
+      cs.min = h.bucket(0).lower;
+      cs.max = h.bucket(h.num_buckets() - 1).upper;
+    }
+    cs.histogram = std::move(h);
+    stats->AddColumn(std::move(cs));
+  }
+  return stats;
+}
+
+std::unique_ptr<TableStats> SampleStatisticsGenerator::Generate(
+    const Table& table) {
+  auto stats = std::make_unique<TableStats>();
+  stats->set_row_count(table.num_rows());
+  Rng rng(seed_);
+  std::vector<Row> reservoir;
+  reservoir.reserve(sample_size_);
+  for (uint64_t i = 0; i < table.num_rows(); ++i) {
+    if (reservoir.size() < sample_size_) {
+      reservoir.push_back(table.row(i));
+    } else {
+      uint64_t j = rng.Uniform(i + 1);
+      if (j < sample_size_) reservoir[j] = table.row(i);
+    }
+  }
+  stats->set_sample(std::move(reservoir));
+  // Column summaries (distinct/min/max) still come from a full pass so the
+  // sample generator remains usable by the cardinality estimator.
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    ColumnStats cs;
+    cs.name = schema.field(c).name;
+    std::unordered_set<size_t> hashes;
+    for (uint64_t i = 0; i < table.num_rows(); ++i) {
+      const Value& v = table.at(i, c);
+      if (v.is_null()) {
+        ++cs.null_count;
+        continue;
+      }
+      hashes.insert(v.Hash());
+      if (cs.min.is_null() || v.Compare(cs.min) < 0) cs.min = v;
+      if (cs.max.is_null() || v.Compare(cs.max) > 0) cs.max = v;
+    }
+    cs.distinct = hashes.size();
+    stats->AddColumn(std::move(cs));
+  }
+  return stats;
+}
+
+}  // namespace qprog

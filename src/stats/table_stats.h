@@ -1,0 +1,101 @@
+// TableStats / StatisticsGenerator: the paper's single-relation statistics
+// abstraction (Section 2.3). A StatisticsGenerator maps a relation instance
+// to a statistic; generators may be deterministic (histograms) or randomized
+// (precomputed samples). All generators here are *lossy* in the paper's
+// sense: one can change a tuple without changing the produced statistic.
+
+#ifndef QPROG_STATS_TABLE_STATS_H_
+#define QPROG_STATS_TABLE_STATS_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "types/value.h"
+
+namespace qprog {
+
+class Table;
+class Rng;
+
+/// Per-column statistics.
+struct ColumnStats {
+  std::string name;
+  uint64_t distinct = 0;
+  uint64_t null_count = 0;
+  Value min;  // NULL when the column is all-NULL
+  Value max;
+  std::optional<Histogram> histogram;
+};
+
+/// Statistics for a single relation.
+class TableStats {
+ public:
+  TableStats() = default;
+
+  uint64_t row_count() const { return row_count_; }
+  void set_row_count(uint64_t n) { row_count_ = n; }
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnStats& column(size_t i) const { return columns_[i]; }
+  ColumnStats* mutable_column(size_t i) { return &columns_[i]; }
+  void AddColumn(ColumnStats stats) { columns_.push_back(std::move(stats)); }
+
+  /// Optional row sample (row ids into the base table at collection time).
+  const std::vector<Row>& sample() const { return sample_; }
+  void set_sample(std::vector<Row> sample) { sample_ = std::move(sample); }
+
+ private:
+  uint64_t row_count_ = 0;
+  std::vector<ColumnStats> columns_;
+  std::vector<Row> sample_;
+};
+
+/// Interface: maps one relation instance to a statistic (the paper's SG).
+class StatisticsGenerator {
+ public:
+  virtual ~StatisticsGenerator() = default;
+
+  /// Produces statistics for `table`.
+  virtual std::unique_ptr<TableStats> Generate(const Table& table) = 0;
+
+  /// Human-readable generator name.
+  virtual std::string name() const = 0;
+};
+
+/// Deterministic generator: per-column equi-depth histograms with a bounded
+/// bucket budget, plus min/max/distinct/null counts. Lossy whenever a bucket
+/// holds more than one distinct value slot.
+class HistogramStatisticsGenerator : public StatisticsGenerator {
+ public:
+  explicit HistogramStatisticsGenerator(size_t buckets_per_column = 32)
+      : buckets_per_column_(buckets_per_column) {}
+
+  std::unique_ptr<TableStats> Generate(const Table& table) override;
+  std::string name() const override { return "histogram"; }
+
+ private:
+  size_t buckets_per_column_;
+};
+
+/// Randomized generator: a uniform reservoir sample of whole rows, plus row
+/// count. Models the paper's "pre-computed samples" alternative.
+class SampleStatisticsGenerator : public StatisticsGenerator {
+ public:
+  SampleStatisticsGenerator(size_t sample_size, uint64_t seed)
+      : sample_size_(sample_size), seed_(seed) {}
+
+  std::unique_ptr<TableStats> Generate(const Table& table) override;
+  std::string name() const override { return "sample"; }
+
+ private:
+  size_t sample_size_;
+  uint64_t seed_;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_STATS_TABLE_STATS_H_

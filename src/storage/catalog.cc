@@ -1,0 +1,109 @@
+#include "storage/catalog.h"
+
+#include "common/strings.h"
+#include "index/ordered_index.h"
+#include "stats/table_stats.h"
+
+namespace qprog {
+
+namespace {
+std::string IndexName(const std::string& table, const std::string& column) {
+  return table + "." + column;
+}
+}  // namespace
+
+Database::Database() = default;
+Database::~Database() = default;
+Database::Database(Database&&) noexcept = default;
+Database& Database::operator=(Database&&) noexcept = default;
+
+StatusOr<Table*> Database::CreateTable(std::string name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return AlreadyExists(StringPrintf("table '%s' already exists", name.c_str()));
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* raw = table.get();
+  tables_[std::move(name)] = std::move(table);
+  return raw;
+}
+
+StatusOr<Table*> Database::AddTable(Table table) {
+  std::string name = table.name();
+  if (tables_.count(name) > 0) {
+    return AlreadyExists(StringPrintf("table '%s' already exists", name.c_str()));
+  }
+  auto owned = std::make_unique<Table>(std::move(table));
+  Table* raw = owned.get();
+  tables_[std::move(name)] = std::move(owned);
+  return raw;
+}
+
+Status Database::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFound(StringPrintf("table '%s' not found", name.c_str()));
+  }
+  // Remove dependent indexes.
+  for (auto idx = indexes_.begin(); idx != indexes_.end();) {
+    if (StartsWith(idx->first, name + ".")) {
+      idx = indexes_.erase(idx);
+    } else {
+      ++idx;
+    }
+  }
+  stats_.erase(name);
+  tables_.erase(it);
+  return OkStatus();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+StatusOr<const OrderedIndex*> Database::BuildOrderedIndex(
+    const std::string& table, const std::string& column) {
+  Table* t = GetTable(table);
+  if (t == nullptr) {
+    return NotFound(StringPrintf("table '%s' not found", table.c_str()));
+  }
+  int col = t->schema().FindField(column);
+  if (col < 0) {
+    return NotFound(StringPrintf("column '%s' not found in table '%s'",
+                                 column.c_str(), table.c_str()));
+  }
+  auto index = std::make_unique<OrderedIndex>(t, static_cast<size_t>(col));
+  const OrderedIndex* raw = index.get();
+  indexes_[IndexName(table, column)] = std::move(index);
+  return raw;
+}
+
+const OrderedIndex* Database::GetOrderedIndex(const std::string& table,
+                                              const std::string& column) const {
+  auto it = indexes_.find(IndexName(table, column));
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+void Database::SetStats(const std::string& table,
+                        std::unique_ptr<TableStats> stats) {
+  stats_[table] = std::move(stats);
+}
+
+const TableStats* Database::GetStats(const std::string& table) const {
+  auto it = stats_.find(table);
+  return it == stats_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace qprog

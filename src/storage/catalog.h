@@ -1,0 +1,74 @@
+// Catalog / Database: the named collection of tables, indexes and statistics
+// visible to the planner and to progress estimators. Matches the paper's
+// setup: base-table cardinalities are exactly known from the catalog
+// (Section 5.1) while everything else must be inferred from single-relation
+// statistics and execution feedback.
+
+#ifndef QPROG_STORAGE_CATALOG_H_
+#define QPROG_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "storage/table.h"
+
+namespace qprog {
+
+class OrderedIndex;  // index/ordered_index.h
+class TableStats;    // stats/table_stats.h
+
+/// Owns tables, their secondary indexes and their statistics.
+class Database {
+ public:
+  Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  // Move operations are defined out of line: the maps hold unique_ptrs to
+  // types that are forward-declared here.
+  Database(Database&&) noexcept;
+  Database& operator=(Database&&) noexcept;
+  ~Database();
+
+  /// Creates an empty table. Fails with AlreadyExists on duplicate names.
+  StatusOr<Table*> CreateTable(std::string name, Schema schema);
+
+  /// Adds an already-built table (used by generators).
+  StatusOr<Table*> AddTable(Table table);
+
+  /// Removes a table together with its indexes and statistics.
+  Status DropTable(const std::string& name);
+
+  /// Lookup; nullptr when absent.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Builds (or rebuilds) an ordered secondary index on `column` of `table`.
+  /// Index name is "<table>.<column>".
+  StatusOr<const OrderedIndex*> BuildOrderedIndex(const std::string& table,
+                                                  const std::string& column);
+
+  /// Returns the index on `table`.`column`, or nullptr.
+  const OrderedIndex* GetOrderedIndex(const std::string& table,
+                                      const std::string& column) const;
+
+  /// Attaches statistics for `table` (replacing any existing ones).
+  void SetStats(const std::string& table, std::unique_ptr<TableStats> stats);
+
+  /// Returns statistics for `table`, or nullptr if none collected.
+  const TableStats* GetStats(const std::string& table) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<OrderedIndex>> indexes_;
+  std::map<std::string, std::unique_ptr<TableStats>> stats_;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_STORAGE_CATALOG_H_

@@ -1,0 +1,41 @@
+// CSV import/export for tables — the bulk-load path a downstream user needs
+// to bring their own data into the engine. RFC-4180-style quoting; values
+// are parsed according to the target schema's column types.
+
+#ifndef QPROG_STORAGE_CSV_H_
+#define QPROG_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "storage/table.h"
+
+namespace qprog {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Text representing SQL NULL (in addition to a fully empty field).
+  std::string null_text = "";
+};
+
+/// Writes `table` to `path` (header row from the schema, then data rows).
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options = {});
+
+/// Reads `path` into a new table with the given name and schema. Each field
+/// is parsed according to the schema type (BIGINT, DOUBLE, DATE as
+/// YYYY-MM-DD, BOOLEAN as true/false, VARCHAR verbatim); an empty or
+/// null_text field becomes NULL. Fails with InvalidArgument on arity or
+/// parse errors (reporting the line number).
+StatusOr<Table> ReadCsv(const std::string& path, const std::string& name,
+                        const Schema& schema, const CsvOptions& options = {});
+
+/// Parses one CSV record (without trailing newline) into raw fields,
+/// honoring quotes. Exposed for tests.
+StatusOr<std::vector<std::string>> SplitCsvRecord(const std::string& line,
+                                                  char delimiter);
+
+}  // namespace qprog
+
+#endif  // QPROG_STORAGE_CSV_H_

@@ -1,0 +1,36 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace qprog {
+
+void Table::AppendRow(Row row) {
+  QPROG_CHECK_MSG(row.size() == schema_.num_fields(),
+                  "row arity %zu != schema arity %zu in table %s", row.size(),
+                  schema_.num_fields(), name_.c_str());
+  rows_.push_back(std::move(row));
+}
+
+void Table::Reorder(const std::vector<size_t>& perm) {
+  QPROG_CHECK(perm.size() == rows_.size());
+  std::vector<Row> reordered;
+  reordered.reserve(rows_.size());
+  for (size_t src : perm) {
+    QPROG_CHECK(src < rows_.size());
+    reordered.push_back(std::move(rows_[src]));
+  }
+  rows_ = std::move(reordered);
+}
+
+void Table::SortByColumn(size_t col) {
+  QPROG_CHECK(col < schema_.num_fields());
+  std::stable_sort(rows_.begin(), rows_.end(), [col](const Row& a, const Row& b) {
+    if (a[col].is_null()) return !b[col].is_null();
+    if (b[col].is_null()) return false;
+    return a[col].Compare(b[col]) < 0;
+  });
+}
+
+}  // namespace qprog

@@ -1,0 +1,63 @@
+// Table: an in-memory row store. The workloads in this project are read-only
+// after bulk load, so the table is append-only and supports reordering its
+// rows (the paper's experiments depend critically on physical tuple order —
+// skew-first, skew-last, random — see Sections 4 and 5).
+
+#ifndef QPROG_STORAGE_TABLE_H_
+#define QPROG_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace qprog {
+
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row. Aborts if the arity does not match the schema (type
+  /// checking is the loader's job; NULLs are always admissible).
+  void AppendRow(Row row);
+
+  /// Reserves capacity for bulk loads.
+  void Reserve(uint64_t n) { rows_.reserve(n); }
+
+  const Row& row(uint64_t i) const { return rows_[i]; }
+  Row* mutable_row(uint64_t i) { return &rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Value of column `col` in row `i`.
+  const Value& at(uint64_t i, size_t col) const { return rows_[i][col]; }
+
+  /// Physically reorders the rows so that row i of the new table is
+  /// `perm[i]` of the old one. `perm` must be a permutation of [0, n).
+  void Reorder(const std::vector<size_t>& perm);
+
+  /// Stable-sorts rows by ascending values in `col` (used to lay data out in
+  /// "natural" clustered order, and by merge-join test fixtures).
+  void SortByColumn(size_t col);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_STORAGE_TABLE_H_

@@ -1,0 +1,43 @@
+// Skewed TPC-H data generator.
+//
+// Mirrors the dbgen population rules (row counts per scale factor, value
+// domains, date relationships, referential integrity) with the zipfian skew
+// knob of the Microsoft skewed TPC-D generator the paper uses (ref [18]):
+// `z` skews foreign-key choices (l_partkey, l_suppkey, o_custkey, nation
+// keys) and several attribute choices. z = 0 degenerates to uniform dbgen.
+
+#ifndef QPROG_TPCH_DBGEN_H_
+#define QPROG_TPCH_DBGEN_H_
+
+#include <cstdint>
+
+#include "storage/catalog.h"
+
+namespace qprog {
+namespace tpch {
+
+struct TpchConfig {
+  double scale_factor = 0.01;  // 1.0 = the paper's 1GB (6M lineitems)
+  double z = 2.0;              // zipfian skew, the paper uses z = 2
+  uint64_t seed = 19940704;
+  bool build_indexes = true;    // ordered indexes on primary/foreign keys
+  bool collect_stats = true;    // per-table histograms
+  size_t histogram_buckets = 32;
+};
+
+/// Populates `db` with the eight TPC-H tables. Row counts:
+/// supplier 10000*SF, part 200000*SF, customer 150000*SF, orders
+/// 1.5M*SF (10 per customer), lineitem 1..7 per order, partsupp 4 per part,
+/// nation 25, region 5.
+Status GenerateTpch(const TpchConfig& config, Database* db);
+
+/// Expected base row counts for a scale factor (for tests).
+uint64_t ExpectedSuppliers(double sf);
+uint64_t ExpectedParts(double sf);
+uint64_t ExpectedCustomers(double sf);
+uint64_t ExpectedOrders(double sf);
+
+}  // namespace tpch
+}  // namespace qprog
+
+#endif  // QPROG_TPCH_DBGEN_H_

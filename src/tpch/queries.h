@@ -1,0 +1,28 @@
+// Hand-crafted physical plans for TPC-H Q1-Q22, mirroring typical
+// decision-support plans (hash joins, hash aggregation, sorts; subqueries
+// decorrelated into semi/anti joins and scalar-aggregate cross joins).
+// Used by the paper's Table 2 (mu per query), Figure 3 (Q1) and Figure 6
+// (Q21) reproductions.
+
+#ifndef QPROG_TPCH_QUERIES_H_
+#define QPROG_TPCH_QUERIES_H_
+
+#include "common/statusor.h"
+#include "exec/plan.h"
+#include "storage/catalog.h"
+
+namespace qprog {
+namespace tpch {
+
+/// Builds the plan for TPC-H query `q` (1-22) over `db` (which must have
+/// been populated by GenerateTpch and must outlive the plan). Returns
+/// InvalidArgument for unknown query numbers.
+StatusOr<PhysicalPlan> BuildQuery(int q, const Database& db);
+
+/// Query numbers with a plan available (1..22).
+std::vector<int> AvailableQueries();
+
+}  // namespace tpch
+}  // namespace qprog
+
+#endif  // QPROG_TPCH_QUERIES_H_

@@ -1,0 +1,119 @@
+// Internal plan-building helpers shared by the TPC-H query implementations.
+// Not part of the public API.
+
+#ifndef QPROG_TPCH_QUERIES_INTERNAL_H_
+#define QPROG_TPCH_QUERIES_INTERNAL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "exec/aggregate.h"
+#include "exec/filter_project.h"
+#include "exec/join.h"
+#include "exec/plan.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "storage/catalog.h"
+#include "tpch/schema.h"
+
+namespace qprog {
+namespace tpch {
+namespace internal {
+
+/// An operator subtree plus its output arity, so join/aggregate builders can
+/// compute column offsets mechanically.
+struct Rel {
+  OperatorPtr op;
+  size_t arity = 0;
+};
+
+/// Leaf scan, optionally with a merged predicate; sets the planner row
+/// estimate from the catalog.
+Rel ScanRel(const Database& db, const std::string& table,
+            ExprPtr predicate = nullptr);
+
+/// sigma as a separate plan node.
+Rel FilterRel(Rel in, ExprPtr predicate);
+
+/// Hash join: `probe` streamed, `build` hashed; single-column equi-key.
+/// Output columns: probe's, then build's (shifted by probe.arity).
+/// `linear` marks key/foreign-key joins for the bounds tracker.
+Rel HashJoinRel(Rel probe, Rel build, size_t probe_col, size_t build_col,
+                JoinType jt = JoinType::kInner, bool linear = true,
+                ExprPtr residual = nullptr, double est_rows = -1);
+
+/// Two-column equi-key hash join.
+Rel HashJoinRel2(Rel probe, Rel build, size_t pc1, size_t bc1, size_t pc2,
+                 size_t bc2, JoinType jt = JoinType::kInner,
+                 bool linear = true, ExprPtr residual = nullptr,
+                 double est_rows = -1);
+
+/// Hash aggregation. `keys` are (input column, output name) pairs; output
+/// schema is keys then aggregates. `est_groups` seeds the dne driver total.
+Rel GroupByRel(Rel in, std::vector<std::pair<size_t, std::string>> keys,
+               std::vector<AggregateDesc> aggs, double est_groups);
+
+/// Sort-based aggregation (Sort on the keys feeding a StreamAggregate) —
+/// the plan style SQL Server favours for several TPC-H queries; the sort's
+/// output getnexts are what push mu up for Q3/Q18-class plans (Table 2).
+Rel SortedGroupByRel(Rel in, std::vector<std::pair<size_t, std::string>> keys,
+                     std::vector<AggregateDesc> aggs, double est_groups,
+                     double est_input = -1);
+
+/// Sort by (column, descending) pairs.
+Rel SortRel(Rel in, std::vector<std::pair<size_t, bool>> keys,
+            double est_rows = -1);
+
+Rel LimitRel(Rel in, uint64_t k);
+
+Rel ProjectRel(Rel in, std::vector<ExprPtr> exprs,
+               std::vector<std::string> names);
+
+/// Nested-loops join (used for cross joins against one-row scalar
+/// aggregates in Q11/Q15/Q22).
+Rel NestedLoopRel(Rel outer, Rel inner, ExprPtr pred, JoinType jt,
+                  double est_rows);
+
+/// Aggregate-descriptor shorthands.
+AggregateDesc CntStar(std::string name);
+AggregateDesc SumOf(ExprPtr e, std::string name);
+AggregateDesc AvgOf(ExprPtr e, std::string name);
+AggregateDesc MinOf(ExprPtr e, std::string name);
+AggregateDesc MaxOf(ExprPtr e, std::string name);
+AggregateDesc CntOf(ExprPtr e, std::string name);
+AggregateDesc CntDistinct(ExprPtr e, std::string name);
+
+/// l_extendedprice * (1 - l_discount) with the given column offsets.
+ExprPtr Revenue(size_t extendedprice_col, size_t discount_col);
+
+// Query builders (queries.cc: 1-11; queries2.cc: 12-22).
+PhysicalPlan BuildQ1(const Database& db);
+PhysicalPlan BuildQ2(const Database& db);
+PhysicalPlan BuildQ3(const Database& db);
+PhysicalPlan BuildQ4(const Database& db);
+PhysicalPlan BuildQ5(const Database& db);
+PhysicalPlan BuildQ6(const Database& db);
+PhysicalPlan BuildQ7(const Database& db);
+PhysicalPlan BuildQ8(const Database& db);
+PhysicalPlan BuildQ9(const Database& db);
+PhysicalPlan BuildQ10(const Database& db);
+PhysicalPlan BuildQ11(const Database& db);
+PhysicalPlan BuildQ12(const Database& db);
+PhysicalPlan BuildQ13(const Database& db);
+PhysicalPlan BuildQ14(const Database& db);
+PhysicalPlan BuildQ15(const Database& db);
+PhysicalPlan BuildQ16(const Database& db);
+PhysicalPlan BuildQ17(const Database& db);
+PhysicalPlan BuildQ18(const Database& db);
+PhysicalPlan BuildQ19(const Database& db);
+PhysicalPlan BuildQ20(const Database& db);
+PhysicalPlan BuildQ21(const Database& db);
+PhysicalPlan BuildQ22(const Database& db);
+
+}  // namespace internal
+}  // namespace tpch
+}  // namespace qprog
+
+#endif  // QPROG_TPCH_QUERIES_INTERNAL_H_

@@ -1,0 +1,92 @@
+#include "tpch/schema.h"
+
+namespace qprog {
+namespace tpch {
+
+Schema RegionSchema() {
+  return Schema({{"r_regionkey", TypeId::kInt64},
+                 {"r_name", TypeId::kString},
+                 {"r_comment", TypeId::kString}});
+}
+
+Schema NationSchema() {
+  return Schema({{"n_nationkey", TypeId::kInt64},
+                 {"n_name", TypeId::kString},
+                 {"n_regionkey", TypeId::kInt64},
+                 {"n_comment", TypeId::kString}});
+}
+
+Schema SupplierSchema() {
+  return Schema({{"s_suppkey", TypeId::kInt64},
+                 {"s_name", TypeId::kString},
+                 {"s_address", TypeId::kString},
+                 {"s_nationkey", TypeId::kInt64},
+                 {"s_phone", TypeId::kString},
+                 {"s_acctbal", TypeId::kDouble},
+                 {"s_comment", TypeId::kString}});
+}
+
+Schema PartSchema() {
+  return Schema({{"p_partkey", TypeId::kInt64},
+                 {"p_name", TypeId::kString},
+                 {"p_mfgr", TypeId::kString},
+                 {"p_brand", TypeId::kString},
+                 {"p_type", TypeId::kString},
+                 {"p_size", TypeId::kInt64},
+                 {"p_container", TypeId::kString},
+                 {"p_retailprice", TypeId::kDouble},
+                 {"p_comment", TypeId::kString}});
+}
+
+Schema PartsuppSchema() {
+  return Schema({{"ps_partkey", TypeId::kInt64},
+                 {"ps_suppkey", TypeId::kInt64},
+                 {"ps_availqty", TypeId::kInt64},
+                 {"ps_supplycost", TypeId::kDouble},
+                 {"ps_comment", TypeId::kString}});
+}
+
+Schema CustomerSchema() {
+  return Schema({{"c_custkey", TypeId::kInt64},
+                 {"c_name", TypeId::kString},
+                 {"c_address", TypeId::kString},
+                 {"c_nationkey", TypeId::kInt64},
+                 {"c_phone", TypeId::kString},
+                 {"c_acctbal", TypeId::kDouble},
+                 {"c_mktsegment", TypeId::kString},
+                 {"c_comment", TypeId::kString}});
+}
+
+Schema OrdersSchema() {
+  return Schema({{"o_orderkey", TypeId::kInt64},
+                 {"o_custkey", TypeId::kInt64},
+                 {"o_orderstatus", TypeId::kString},
+                 {"o_totalprice", TypeId::kDouble},
+                 {"o_orderdate", TypeId::kDate},
+                 {"o_orderpriority", TypeId::kString},
+                 {"o_clerk", TypeId::kString},
+                 {"o_shippriority", TypeId::kInt64},
+                 {"o_comment", TypeId::kString}});
+}
+
+Schema LineitemSchema() {
+  return Schema({{"l_orderkey", TypeId::kInt64},
+                 {"l_partkey", TypeId::kInt64},
+                 {"l_suppkey", TypeId::kInt64},
+                 {"l_linenumber", TypeId::kInt64},
+                 {"l_quantity", TypeId::kDouble},
+                 {"l_extendedprice", TypeId::kDouble},
+                 {"l_discount", TypeId::kDouble},
+                 {"l_tax", TypeId::kDouble},
+                 {"l_returnflag", TypeId::kString},
+                 {"l_linestatus", TypeId::kString},
+                 {"l_shipdate", TypeId::kDate},
+                 {"l_commitdate", TypeId::kDate},
+                 {"l_receiptdate", TypeId::kDate},
+                 {"l_shipinstruct", TypeId::kString},
+                 {"l_shipmode", TypeId::kString},
+                 {"l_comment", TypeId::kString}});
+}
+
+}  // namespace tpch
+}  // namespace qprog

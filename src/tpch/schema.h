@@ -1,0 +1,80 @@
+// TPC-H schema: table schemas and column-index constants used by the
+// generator and the hand-crafted query plans.
+
+#ifndef QPROG_TPCH_SCHEMA_H_
+#define QPROG_TPCH_SCHEMA_H_
+
+#include <cstddef>
+
+#include "types/schema.h"
+
+namespace qprog {
+namespace tpch {
+
+// Column positions. Kept as plain constants (not enum class) because they
+// are used directly as row indices and offset arithmetic in join outputs.
+namespace r {
+inline constexpr size_t kRegionkey = 0, kName = 1, kComment = 2;
+inline constexpr size_t kNumCols = 3;
+}  // namespace r
+
+namespace n {
+inline constexpr size_t kNationkey = 0, kName = 1, kRegionkey = 2, kComment = 3;
+inline constexpr size_t kNumCols = 4;
+}  // namespace n
+
+namespace s {
+inline constexpr size_t kSuppkey = 0, kName = 1, kAddress = 2, kNationkey = 3,
+                        kPhone = 4, kAcctbal = 5, kComment = 6;
+inline constexpr size_t kNumCols = 7;
+}  // namespace s
+
+namespace p {
+inline constexpr size_t kPartkey = 0, kName = 1, kMfgr = 2, kBrand = 3,
+                        kType = 4, kSize = 5, kContainer = 6, kRetailprice = 7,
+                        kComment = 8;
+inline constexpr size_t kNumCols = 9;
+}  // namespace p
+
+namespace ps {
+inline constexpr size_t kPartkey = 0, kSuppkey = 1, kAvailqty = 2,
+                        kSupplycost = 3, kComment = 4;
+inline constexpr size_t kNumCols = 5;
+}  // namespace ps
+
+namespace c {
+inline constexpr size_t kCustkey = 0, kName = 1, kAddress = 2, kNationkey = 3,
+                        kPhone = 4, kAcctbal = 5, kMktsegment = 6, kComment = 7;
+inline constexpr size_t kNumCols = 8;
+}  // namespace c
+
+namespace o {
+inline constexpr size_t kOrderkey = 0, kCustkey = 1, kOrderstatus = 2,
+                        kTotalprice = 3, kOrderdate = 4, kOrderpriority = 5,
+                        kClerk = 6, kShippriority = 7, kComment = 8;
+inline constexpr size_t kNumCols = 9;
+}  // namespace o
+
+namespace l {
+inline constexpr size_t kOrderkey = 0, kPartkey = 1, kSuppkey = 2,
+                        kLinenumber = 3, kQuantity = 4, kExtendedprice = 5,
+                        kDiscount = 6, kTax = 7, kReturnflag = 8,
+                        kLinestatus = 9, kShipdate = 10, kCommitdate = 11,
+                        kReceiptdate = 12, kShipinstruct = 13, kShipmode = 14,
+                        kComment = 15;
+inline constexpr size_t kNumCols = 16;
+}  // namespace l
+
+Schema RegionSchema();
+Schema NationSchema();
+Schema SupplierSchema();
+Schema PartSchema();
+Schema PartsuppSchema();
+Schema CustomerSchema();
+Schema OrdersSchema();
+Schema LineitemSchema();
+
+}  // namespace tpch
+}  // namespace qprog
+
+#endif  // QPROG_TPCH_SCHEMA_H_

@@ -1,0 +1,26 @@
+// Comparison operators shared by the expression layer, the SQL frontend and
+// the statistics/selectivity machinery.
+
+#ifndef QPROG_TYPES_COMPARE_OP_H_
+#define QPROG_TYPES_COMPARE_OP_H_
+
+namespace qprog {
+
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// "=", "<>", "<", "<=", ">", ">=".
+const char* CompareOpToString(CompareOp op);
+
+/// Applies `op` to a three-way comparison result (negative/zero/positive).
+bool EvalCompareOp(CompareOp op, int cmp);
+
+}  // namespace qprog
+
+#endif  // QPROG_TYPES_COMPARE_OP_H_

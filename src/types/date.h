@@ -1,0 +1,35 @@
+// Calendar date helpers. Dates are represented as int32 days since the Unix
+// epoch (1970-01-01), the representation stored inside Value(kDate).
+
+#ifndef QPROG_TYPES_DATE_H_
+#define QPROG_TYPES_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+
+namespace qprog {
+
+/// Days since 1970-01-01 for the given civil date (proleptic Gregorian).
+int32_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int32_t days, int* year, int* month, int* day);
+
+/// Parses "YYYY-MM-DD". Returns InvalidArgument on malformed input.
+StatusOr<int32_t> ParseDate(std::string_view text);
+
+/// Formats days-since-epoch as "YYYY-MM-DD".
+std::string FormatDate(int32_t days);
+
+/// Adds `months` calendar months, clamping the day-of-month (SQL interval
+/// semantics: 1995-01-31 + 1 month = 1995-02-28).
+int32_t AddMonths(int32_t days, int months);
+
+/// Adds `years` calendar years with the same day clamping.
+int32_t AddYears(int32_t days, int years);
+
+}  // namespace qprog
+
+#endif  // QPROG_TYPES_DATE_H_

@@ -1,0 +1,56 @@
+#include "workload/adversarial.h"
+
+#include "common/macros.h"
+#include "exec/filter_project.h"
+#include "exec/join.h"
+#include "exec/scan.h"
+
+namespace qprog {
+
+AdversarialPair::AdversarialPair(uint64_t n)
+    : n_(n),
+      special_position_(n * 9 / 10),
+      r1_with_x_("r1_x", Schema({Field("a", TypeId::kInt64)})),
+      r1_with_y_("r1_y", Schema({Field("a", TypeId::kInt64)})),
+      r2_("r2", Schema({Field("b", TypeId::kInt64)})) {
+  QPROG_CHECK(n >= 100);
+  // Background values are multiples of 4 (4, 8, ..., 4n); x and y are two
+  // integers inside the same inter-value gap, so swapping them cannot move
+  // any sort boundary. The gap is picked so that the pair's sorted rank sits
+  // in the middle of a 16-way equi-depth bucket, keeping bounded-budget
+  // histograms bit-identical across the two instances.
+  uint64_t depth = (n + 15) / 16;
+  uint64_t rank = depth * ((n / 2) / depth) + depth / 2;
+  x_ = static_cast<int64_t>(4 * rank) + 1;
+  y_ = static_cast<int64_t>(4 * rank) + 2;
+  r1_with_x_.Reserve(n);
+  r1_with_y_.Reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i == special_position_) {
+      r1_with_x_.AppendRow({Value::Int64(x_)});
+      r1_with_y_.AppendRow({Value::Int64(y_)});
+    } else {
+      int64_t v = static_cast<int64_t>(4 * (i + 1));
+      r1_with_x_.AppendRow({Value::Int64(v)});
+      r1_with_y_.AppendRow({Value::Int64(v)});
+    }
+  }
+  uint64_t r2_rows = 9 * n + 9;
+  r2_.Reserve(r2_rows);
+  for (uint64_t i = 0; i < r2_rows; ++i) r2_.AppendRow({Value::Int64(y_)});
+  r2_index_ = std::make_unique<OrderedIndex>(&r2_, 0);
+}
+
+PhysicalPlan AdversarialPair::BuildPlan(bool use_y_instance) const {
+  const Table* r1 = use_y_instance ? &r1_with_y_ : &r1_with_x_;
+  auto scan = std::make_unique<SeqScan>(r1);
+  auto sigma = std::make_unique<Filter>(
+      std::move(scan), eb::Or(eb::Eq(eb::Col(0, "a"), eb::Int(x_)),
+                              eb::Eq(eb::Col(0, "a"), eb::Int(y_))));
+  auto seek = std::make_unique<IndexSeek>(r2_index_.get());
+  auto join = std::make_unique<IndexNestedLoopsJoin>(
+      std::move(sigma), std::move(seek), eb::Col(0, "a"));
+  return PhysicalPlan(std::move(join));
+}
+
+}  // namespace qprog

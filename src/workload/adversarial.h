@@ -1,0 +1,54 @@
+// The Example-1 / Theorem-1 adversarial instance pair.
+//
+// Two instances of R1 differing in a single tuple t (value x vs y, both
+// absent from the rest of the relation and both interior to the same
+// histogram bucket, so every single-relation statistic with a bounded bucket
+// budget is identical on the two instances). R2 holds 9|R1|+9 copies of y.
+// Under scan(R1) -> sigma(A=x OR A=y) -> INL-join(R2.B), total(Q) is
+// |R1|+1 on the x-instance and 10|R1|+10 on the y-instance, yet no progress
+// estimator can tell the instances apart before t is read.
+
+#ifndef QPROG_WORKLOAD_ADVERSARIAL_H_
+#define QPROG_WORKLOAD_ADVERSARIAL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "exec/plan.h"
+#include "index/ordered_index.h"
+#include "storage/table.h"
+
+namespace qprog {
+
+class AdversarialPair {
+ public:
+  /// `n` is |R1|; the special tuple sits after a 0.9 fraction of the rows.
+  explicit AdversarialPair(uint64_t n);
+
+  AdversarialPair(const AdversarialPair&) = delete;
+  AdversarialPair& operator=(const AdversarialPair&) = delete;
+
+  const Table& r1_with_x() const { return r1_with_x_; }
+  const Table& r1_with_y() const { return r1_with_y_; }
+  const Table& r2() const { return r2_; }
+  int64_t x() const { return x_; }
+  int64_t y() const { return y_; }
+  uint64_t special_position() const { return special_position_; }
+
+  /// The Figure-2 plan over the chosen instance.
+  PhysicalPlan BuildPlan(bool use_y_instance) const;
+
+ private:
+  uint64_t n_;
+  uint64_t special_position_;
+  int64_t x_;
+  int64_t y_;
+  Table r1_with_x_;
+  Table r1_with_y_;
+  Table r2_;
+  std::unique_ptr<OrderedIndex> r2_index_;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_WORKLOAD_ADVERSARIAL_H_

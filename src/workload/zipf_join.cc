@@ -1,0 +1,99 @@
+#include "workload/zipf_join.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "exec/aggregate.h"
+#include "exec/filter_project.h"
+#include "exec/join.h"
+#include "exec/scan.h"
+
+namespace qprog {
+
+namespace {
+
+Schema OneIntColumn(const char* name) {
+  return Schema({Field(name, TypeId::kInt64)});
+}
+
+}  // namespace
+
+ZipfJoinData::ZipfJoinData(const ZipfJoinConfig& config)
+    : config_(config),
+      r1_("r1", OneIntColumn("a")),
+      r2_("r2", OneIntColumn("b")) {
+  Rng rng(config.seed);
+
+  // R1: unique values 0..n1-1 in the configured physical order. Value v's
+  // zipf rank is v, so ascending order = most frequent first.
+  std::vector<int64_t> values(config.r1_rows);
+  for (uint64_t i = 0; i < config.r1_rows; ++i) {
+    values[i] = static_cast<int64_t>(i);
+  }
+  switch (config.order) {
+    case R1Order::kSkewFirst:
+      break;
+    case R1Order::kSkewLast:
+      std::reverse(values.begin(), values.end());
+      break;
+    case R1Order::kRandom:
+      rng.Shuffle(&values);
+      break;
+  }
+  r1_.Reserve(config.r1_rows);
+  for (int64_t v : values) r1_.AppendRow({Value::Int64(v)});
+
+  // R2: zipfian draw over the same domain.
+  ZipfDistribution zipf(config.r1_rows, config.z);
+  r2_.Reserve(config.r2_rows);
+  for (uint64_t i = 0; i < config.r2_rows; ++i) {
+    r2_.AppendRow({Value::Int64(static_cast<int64_t>(zipf.Sample(&rng)))});
+  }
+  r2_index_ = std::make_unique<OrderedIndex>(&r2_, 0);
+}
+
+uint64_t ZipfJoinData::MatchCount(int64_t v) const {
+  return r2_index_->EqualRange(Value::Int64(v)).size();
+}
+
+namespace {
+
+OperatorPtr CountStarOver(OperatorPtr child) {
+  std::vector<AggregateDesc> aggs;
+  aggs.emplace_back(AggFunc::kCount, nullptr, "cnt");
+  return std::make_unique<HashAggregate>(std::move(child),
+                                         std::vector<ExprPtr>{},
+                                         std::vector<std::string>{},
+                                         std::move(aggs));
+}
+
+OperatorPtr MaybeFilter(OperatorPtr child, ExprPtr filter) {
+  if (filter == nullptr) return child;
+  return std::make_unique<Filter>(std::move(child), std::move(filter));
+}
+
+}  // namespace
+
+PhysicalPlan ZipfJoinData::BuildInlPlan(ExprPtr r1_filter, bool linear) const {
+  auto outer = MaybeFilter(std::make_unique<SeqScan>(&r1_), std::move(r1_filter));
+  auto seek = std::make_unique<IndexSeek>(r2_index_.get());
+  auto join = std::make_unique<IndexNestedLoopsJoin>(
+      std::move(outer), std::move(seek), eb::Col(0, "a"));
+  join->set_is_linear(linear);
+  return PhysicalPlan(CountStarOver(std::move(join)));
+}
+
+PhysicalPlan ZipfJoinData::BuildHashPlan(ExprPtr r1_filter, bool linear) const {
+  auto build = MaybeFilter(std::make_unique<SeqScan>(&r1_), std::move(r1_filter));
+  auto probe = std::make_unique<SeqScan>(&r2_);
+  std::vector<ExprPtr> pk, bk;
+  pk.push_back(eb::Col(0, "b"));
+  bk.push_back(eb::Col(0, "a"));
+  auto join = std::make_unique<HashJoin>(std::move(probe), std::move(build),
+                                         std::move(pk), std::move(bk));
+  join->set_is_linear(linear);
+  return PhysicalPlan(CountStarOver(std::move(join)));
+}
+
+}  // namespace qprog

@@ -1,0 +1,74 @@
+// The synthetic R1 ⋈ R2 zipfian-join workload of Sections 5.2-5.4.
+//
+// R1(A) holds n1 unique values 0..n1-1. R2(B) holds n2 values drawn from a
+// zipfian distribution with parameter z over the same domain, so the R1
+// tuple with value 0 joins with ~Pmf(0)*n2 rows of R2 — the "high join skew"
+// element. The physical order of R1 is the experiment's knob:
+//
+//   kSkewFirst — high-frequency values first (Figure 4: dne underestimates)
+//   kSkewLast  — the worst case, skew element at the end (Figure 5, Table 1)
+//   kRandom    — random order (where dne is provably good, Theorem 3)
+//
+// Plans put a COUNT(*) aggregate above the join so the join's production is
+// part of the measured work, as in the paper's instrumented server runs.
+
+#ifndef QPROG_WORKLOAD_ZIPF_JOIN_H_
+#define QPROG_WORKLOAD_ZIPF_JOIN_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "exec/plan.h"
+#include "expr/expr.h"
+#include "index/ordered_index.h"
+#include "storage/table.h"
+
+namespace qprog {
+
+enum class R1Order { kSkewFirst, kSkewLast, kRandom };
+
+struct ZipfJoinConfig {
+  uint64_t r1_rows = 100000;
+  uint64_t r2_rows = 100000;
+  double z = 2.0;
+  R1Order order = R1Order::kSkewFirst;
+  uint64_t seed = 42;
+};
+
+/// Owns the generated tables and the index on R2.B.
+class ZipfJoinData {
+ public:
+  explicit ZipfJoinData(const ZipfJoinConfig& config);
+
+  ZipfJoinData(const ZipfJoinData&) = delete;
+  ZipfJoinData& operator=(const ZipfJoinData&) = delete;
+
+  const Table& r1() const { return r1_; }
+  const Table& r2() const { return r2_; }
+  const OrderedIndex& r2_index() const { return *r2_index_; }
+  const ZipfJoinConfig& config() const { return config_; }
+
+  /// count(*) over R1 ⋈INL R2 on A = B (index nested loops, R1 outer).
+  /// `r1_filter` (optional) is a pushed σ on R1 applied in a Filter node.
+  /// `linear` marks the join linear for the bounds tracker.
+  PhysicalPlan BuildInlPlan(ExprPtr r1_filter = nullptr,
+                            bool linear = false) const;
+
+  /// count(*) over R1 ⋈hash R2 (R1 build side, R2 probe side), the
+  /// scan-based alternative of Section 5.4.
+  PhysicalPlan BuildHashPlan(ExprPtr r1_filter = nullptr,
+                             bool linear = false) const;
+
+  /// Number of R2 rows joining with R1 value `v` (ground truth, for tests).
+  uint64_t MatchCount(int64_t v) const;
+
+ private:
+  ZipfJoinConfig config_;
+  Table r1_;
+  Table r2_;
+  std::unique_ptr<OrderedIndex> r2_index_;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_WORKLOAD_ZIPF_JOIN_H_

@@ -1,0 +1,135 @@
+// Per-tuple work attribution, predictive orders (Theorem 4) and mu/variance.
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/monitor.h"
+#include "exec/filter_project.h"
+#include "exec/join.h"
+#include "exec/scan.h"
+#include "index/ordered_index.h"
+#include "tests/test_util.h"
+#include "workload/zipf_join.h"
+
+namespace qprog {
+namespace {
+
+using testutil::I;
+
+TEST(PerTupleWorkTest, AttributesInlMatchesToOuterTuples) {
+  // R1 = {1, 2, 3}; R2 holds one 1, two 2s, zero 3s.
+  Table r1 = testutil::MakeTable("r1", {"a"}, {{I(1)}, {I(2)}, {I(3)}});
+  Table r2 = testutil::MakeTable("r2", {"b"}, {{I(1)}, {I(2)}, {I(2)}});
+  OrderedIndex idx(&r2, 0);
+  auto join = std::make_unique<IndexNestedLoopsJoin>(
+      std::make_unique<SeqScan>(&r1), std::make_unique<IndexSeek>(&idx),
+      eb::Col(0, "a"));
+  PhysicalPlan plan(std::move(join));
+  // Driver = the scan, node id 1.
+  PerTupleWork ptw = CollectPerTupleWork(&plan, 1);
+  ASSERT_EQ(ptw.work.size(), 3u);
+  // Tuple 1: its own getnext + 1 match; tuple 2: 1 + 2; tuple 3: 1 + 0.
+  EXPECT_EQ(ptw.work[0], 2u);
+  EXPECT_EQ(ptw.work[1], 3u);
+  EXPECT_EQ(ptw.work[2], 1u);
+  EXPECT_EQ(ptw.total_work, 6u);
+  EXPECT_DOUBLE_EQ(ptw.Mean(), 2.0);
+  EXPECT_NEAR(ptw.Variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PerTupleWorkTest, ConstantWorkHasZeroVariance) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 50; ++i) rows.push_back({I(i)});
+  Table t = testutil::MakeTable("t", {"v"}, std::move(rows));
+  auto scan = std::make_unique<SeqScan>(&t);
+  auto filter = std::make_unique<Filter>(std::move(scan),
+                                         eb::Ge(eb::Col(0), eb::Int(0)));
+  PhysicalPlan plan(std::move(filter));
+  PerTupleWork ptw = CollectPerTupleWork(&plan, 1);
+  ASSERT_EQ(ptw.work.size(), 50u);
+  EXPECT_DOUBLE_EQ(ptw.Mean(), 1.0);
+  EXPECT_DOUBLE_EQ(ptw.Variance(), 0.0);
+}
+
+TEST(PredictiveOrderTest, UniformWorkIsAlwaysPredictive) {
+  std::vector<uint64_t> work(100, 3);
+  EXPECT_TRUE(IsCPredictive(work, 1.0));
+  EXPECT_TRUE(IsCPredictive(work, 2.0));
+}
+
+TEST(PredictiveOrderTest, SkewAtEndViolatesPredictivity) {
+  // 99 tuples of work 1, then one of work 1000: at k = 50 the running
+  // average is 1 but mu ~ 11: not 2-predictive.
+  std::vector<uint64_t> work(99, 1);
+  work.push_back(1000);
+  EXPECT_FALSE(IsCPredictive(work, 2.0));
+}
+
+TEST(PredictiveOrderTest, SkewAtFrontAlsoViolates) {
+  // The huge tuple first: prefix average at k = n/2 is ~21, mu ~ 11 — within
+  // factor 2; but right after the first tuple prefix averages are fine since
+  // checks start at half. Construct a violation: huge tuple first makes the
+  // half-point average 1000/50 + ... ~ 21 vs mu ~ 11: ratio < 2 — so this
+  // one IS 2-predictive; tighten c to show the violation.
+  std::vector<uint64_t> work;
+  work.push_back(1000);
+  for (int i = 0; i < 99; ++i) work.push_back(1);
+  EXPECT_FALSE(IsCPredictive(work, 1.5));
+  EXPECT_TRUE(IsCPredictive(work, 2.0));
+}
+
+TEST(PredictiveOrderTest, Theorem4AtLeastHalfOfOrdersAre2Predictive) {
+  Rng rng(1234);
+  // Several adversarial work distributions.
+  std::vector<std::vector<uint64_t>> distributions;
+  {
+    std::vector<uint64_t> w(200, 1);
+    w[0] = 5000;  // one heavy element
+    distributions.push_back(w);
+  }
+  {
+    std::vector<uint64_t> w;
+    for (int i = 0; i < 100; ++i) w.push_back(i < 10 ? 100 : 1);
+    distributions.push_back(w);
+  }
+  {
+    std::vector<uint64_t> w;
+    for (int i = 0; i < 300; ++i) w.push_back(1 + (i % 7 == 0 ? 50 : 0));
+    distributions.push_back(w);
+  }
+  for (const auto& w : distributions) {
+    double frac = FractionCPredictive(w, 2.0, 400, &rng);
+    EXPECT_GE(frac, 0.5) << "distribution size " << w.size();
+  }
+}
+
+TEST(PredictiveOrderTest, EmptyAndZeroWork) {
+  EXPECT_TRUE(IsCPredictive({}, 2.0));
+  EXPECT_TRUE(IsCPredictive(std::vector<uint64_t>(10, 0), 2.0));
+}
+
+TEST(MuTest, MuMatchesHandComputation) {
+  // Hash plan: total = |R1| + |R2| + matches; scanned leaves = |R1| + |R2|.
+  ZipfJoinConfig cfg;
+  cfg.r1_rows = 1000;
+  cfg.r2_rows = 1000;
+  cfg.order = R1Order::kRandom;
+  ZipfJoinData data(cfg);
+  uint64_t matches = 0;
+  for (int64_t v = 0; v < static_cast<int64_t>(cfg.r1_rows); ++v) {
+    matches += data.MatchCount(v);
+  }
+  PhysicalPlan plan = data.BuildHashPlan();
+  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"pmax"});
+  ProgressReport r = m.RunWithApproxCheckpoints(20);
+  EXPECT_EQ(r.total_work, cfg.r1_rows + cfg.r2_rows + matches);
+  EXPECT_NEAR(r.mu,
+              static_cast<double>(r.total_work) /
+                  static_cast<double>(cfg.r1_rows + cfg.r2_rows),
+              1e-12);
+  // Every R2 draw comes from R1's domain, so matches == |R2| and mu = 1.5.
+  EXPECT_DOUBLE_EQ(r.mu, 1.5);
+}
+
+}  // namespace
+}  // namespace qprog

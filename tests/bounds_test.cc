@@ -1,0 +1,306 @@
+// Cardinality-bounds tracker invariants (Section 5.1), property-tested over
+// a family of plan shapes:
+//   (1) Curr <= LB at every checkpoint (pmax <= 1 and pmax >= progress);
+//   (2) LB <= total(Q) <= UB at every checkpoint;
+//   (3) at completion LB == UB == total(Q).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "core/bounds.h"
+#include "exec/aggregate.h"
+#include "exec/filter_project.h"
+#include "exec/join.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "tests/test_util.h"
+#include "workload/zipf_join.h"
+
+namespace qprog {
+namespace {
+
+using testutil::I;
+
+// Fixture tables shared across the plan builders.
+class BoundsInvariantTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    std::vector<Row> a_rows, b_rows;
+    Rng rng(99);
+    for (int64_t i = 0; i < 400; ++i) {
+      a_rows.push_back({I(rng.UniformInt(0, 50)), I(i)});
+    }
+    for (int64_t i = 0; i < 300; ++i) {
+      b_rows.push_back({I(rng.UniformInt(0, 50)), I(-i)});
+    }
+    table_a_ = new Table(testutil::MakeTable("a", {"k", "v"}, std::move(a_rows)));
+    table_b_ = new Table(testutil::MakeTable("b", {"k", "w"}, std::move(b_rows)));
+    index_b_ = new OrderedIndex(table_b_, 0);
+  }
+
+  static PhysicalPlan BuildPlan(int which) {
+    const Table* a = table_a_;
+    const Table* b = table_b_;
+    switch (which) {
+      case 0: {  // scan -> filter -> scalar agg
+        auto scan = std::make_unique<SeqScan>(a);
+        auto f = std::make_unique<Filter>(std::move(scan),
+                                          eb::Lt(eb::Col(0), eb::Int(25)));
+        return PhysicalPlan(CountStar(std::move(f)));
+      }
+      case 1: {  // scan with merged predicate -> project
+        auto scan = std::make_unique<SeqScan>(
+            a, eb::Ge(eb::Col(0), eb::Int(10)));
+        std::vector<ExprPtr> exprs;
+        exprs.push_back(eb::Add(eb::Col(0), eb::Col(1)));
+        return PhysicalPlan(std::make_unique<Project>(
+            std::move(scan), std::move(exprs), std::vector<std::string>{"s"}));
+      }
+      case 2: {  // hash join (inner) -> agg
+        std::vector<ExprPtr> pk, bk;
+        pk.push_back(eb::Col(0));
+        bk.push_back(eb::Col(0));
+        auto join = std::make_unique<HashJoin>(std::make_unique<SeqScan>(a),
+                                               std::make_unique<SeqScan>(b),
+                                               std::move(pk), std::move(bk));
+        return PhysicalPlan(CountStar(std::move(join)));
+      }
+      case 3: {  // INL join -> agg
+        auto seek = std::make_unique<IndexSeek>(index_b_);
+        auto join = std::make_unique<IndexNestedLoopsJoin>(
+            std::make_unique<SeqScan>(a), std::move(seek), eb::Col(0));
+        return PhysicalPlan(CountStar(std::move(join)));
+      }
+      case 4: {  // sort -> limit
+        std::vector<SortKey> keys;
+        keys.emplace_back(eb::Col(1), true);
+        auto sort = std::make_unique<Sort>(std::make_unique<SeqScan>(a),
+                                           std::move(keys));
+        return PhysicalPlan(std::make_unique<Limit>(std::move(sort), 10));
+      }
+      case 5: {  // group-by agg above filter
+        auto scan = std::make_unique<SeqScan>(a);
+        auto f = std::make_unique<Filter>(std::move(scan),
+                                          eb::Lt(eb::Col(0), eb::Int(40)));
+        std::vector<ExprPtr> groups;
+        groups.push_back(eb::Col(0));
+        std::vector<AggregateDesc> aggs;
+        aggs.emplace_back(AggFunc::kSum, eb::Col(1), "s");
+        return PhysicalPlan(std::make_unique<HashAggregate>(
+            std::move(f), std::move(groups), std::vector<std::string>{"k"},
+            std::move(aggs)));
+      }
+      case 6: {  // nested loops join with predicate -> agg
+        auto join = std::make_unique<NestedLoopsJoin>(
+            std::make_unique<SeqScan>(
+                a, eb::Lt(eb::Col(1), eb::Int(30))),  // 30 outer rows
+            std::make_unique<SeqScan>(b),
+            eb::Eq(eb::Col(0), eb::Col(2)));
+        return PhysicalPlan(CountStar(std::move(join)));
+      }
+      case 7: {  // merge join over sorts -> agg
+        std::vector<SortKey> ka, kb;
+        ka.emplace_back(eb::Col(0), false);
+        kb.emplace_back(eb::Col(0), false);
+        auto sa = std::make_unique<Sort>(std::make_unique<SeqScan>(a),
+                                         std::move(ka));
+        auto sb = std::make_unique<Sort>(std::make_unique<SeqScan>(b),
+                                         std::move(kb));
+        std::vector<ExprPtr> la, lb;
+        la.push_back(eb::Col(0));
+        lb.push_back(eb::Col(0));
+        auto join = std::make_unique<MergeJoin>(std::move(sa), std::move(sb),
+                                                std::move(la), std::move(lb));
+        return PhysicalPlan(CountStar(std::move(join)));
+      }
+      case 8: {  // semi join -> agg
+        std::vector<ExprPtr> pk, bk;
+        pk.push_back(eb::Col(0));
+        bk.push_back(eb::Col(0));
+        auto join = std::make_unique<HashJoin>(
+            std::make_unique<SeqScan>(a), std::make_unique<SeqScan>(b),
+            std::move(pk), std::move(bk), JoinType::kLeftSemi);
+        return PhysicalPlan(CountStar(std::move(join)));
+      }
+      case 9: {  // left outer join -> agg
+        std::vector<ExprPtr> pk, bk;
+        pk.push_back(eb::Col(0));
+        bk.push_back(eb::Col(0));
+        auto join = std::make_unique<HashJoin>(
+            std::make_unique<SeqScan>(a),
+            std::make_unique<SeqScan>(b, eb::Lt(eb::Col(1), eb::Int(0))),
+            std::move(pk), std::move(bk), JoinType::kLeftOuter);
+        return PhysicalPlan(CountStar(std::move(join)));
+      }
+      default:
+        QPROG_CHECK(false);
+    }
+    __builtin_unreachable();
+  }
+
+  static OperatorPtr CountStar(OperatorPtr child) {
+    std::vector<AggregateDesc> aggs;
+    aggs.emplace_back(AggFunc::kCount, nullptr, "cnt");
+    return std::make_unique<HashAggregate>(std::move(child),
+                                           std::vector<ExprPtr>{},
+                                           std::vector<std::string>{},
+                                           std::move(aggs));
+  }
+
+  static Table* table_a_;
+  static Table* table_b_;
+  static OrderedIndex* index_b_;
+};
+
+Table* BoundsInvariantTest::table_a_ = nullptr;
+Table* BoundsInvariantTest::table_b_ = nullptr;
+OrderedIndex* BoundsInvariantTest::index_b_ = nullptr;
+
+TEST_P(BoundsInvariantTest, SandwichInvariantsHoldAtEveryCheckpoint) {
+  const int which = GetParam();
+  PhysicalPlan ground_truth = BuildPlan(which);
+  const double total = static_cast<double>(MeasureTotalWork(&ground_truth));
+
+  PhysicalPlan plan = BuildPlan(which);
+  BoundsTracker tracker(&plan);
+  ExecContext ctx;
+  size_t checkpoints = 0;
+  ctx.SetWorkObserver(7, [&](uint64_t work) {
+    PlanBounds b = tracker.Compute(ctx);
+    ++checkpoints;
+    EXPECT_GE(b.work_lb, static_cast<double>(work))
+        << "plan " << which << ": LB below Curr";
+    EXPECT_LE(b.work_lb, total + 1e-6) << "plan " << which << ": LB above total";
+    EXPECT_GE(b.work_ub, total - 1e-6) << "plan " << which << ": UB below total";
+    EXPECT_LE(b.work_lb, b.work_ub);
+  });
+  ExecutePlan(&plan, &ctx);
+  ctx.ClearWorkObserver();
+  EXPECT_GT(checkpoints, 0u);
+
+  PlanBounds final_bounds = tracker.Compute(ctx);
+  EXPECT_DOUBLE_EQ(final_bounds.work_lb, total) << "plan " << which;
+  EXPECT_DOUBLE_EQ(final_bounds.work_ub, total) << "plan " << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlanShapes, BoundsInvariantTest,
+                         ::testing::Range(0, 10));
+
+TEST(BoundsTest, UnfilteredScanBoundsExactFromCatalog) {
+  Table t = testutil::MakeTable("t", {"v"}, {{I(1)}, {I(2)}, {I(3)}});
+  auto scan = std::make_unique<SeqScan>(&t);
+  auto filter = std::make_unique<Filter>(std::move(scan),
+                                         eb::Ge(eb::Col(0), eb::Int(0)));
+  PhysicalPlan plan(std::move(filter));
+  BoundsTracker tracker(&plan);
+  ExecContext ctx;
+  ctx.Reset(plan.num_nodes());
+  plan.root()->Open(&ctx);
+  PlanBounds b = tracker.Compute(ctx);
+  // Scan node is id 1: exactly 3 rows before anything has run.
+  EXPECT_DOUBLE_EQ(b.node_bounds[1].lb, 3.0);
+  EXPECT_DOUBLE_EQ(b.node_bounds[1].ub, 3.0);
+  // Filter is root (excluded from work sums): work bounds = scan bounds.
+  EXPECT_DOUBLE_EQ(b.work_lb, 3.0);
+  EXPECT_DOUBLE_EQ(b.work_ub, 3.0);
+}
+
+TEST(BoundsTest, LinearFlagTightensHashJoinUpperBound) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 100; ++i) rows.push_back({I(i)});
+  Table a = testutil::MakeTable("a", {"k"}, std::move(rows));
+  std::vector<Row> rows2;
+  for (int64_t i = 0; i < 100; ++i) rows2.push_back({I(i)});
+  Table b = testutil::MakeTable("b", {"k"}, std::move(rows2));
+
+  auto build_plan = [&](bool linear) {
+    std::vector<ExprPtr> pk, bk;
+    pk.push_back(eb::Col(0));
+    bk.push_back(eb::Col(0));
+    auto join = std::make_unique<HashJoin>(std::make_unique<SeqScan>(&a),
+                                           std::make_unique<SeqScan>(&b),
+                                           std::move(pk), std::move(bk));
+    join->set_is_linear(linear);
+    std::vector<AggregateDesc> aggs;
+    aggs.emplace_back(AggFunc::kCount, nullptr, "c");
+    return PhysicalPlan(std::make_unique<HashAggregate>(
+        std::move(join), std::vector<ExprPtr>{}, std::vector<std::string>{},
+        std::move(aggs)));
+  };
+
+  PhysicalPlan p_lin = build_plan(true);
+  PhysicalPlan p_gen = build_plan(false);
+  ExecContext c1, c2;
+  c1.Reset(p_lin.num_nodes());
+  c2.Reset(p_gen.num_nodes());
+  p_lin.root()->Open(&c1);
+  p_gen.root()->Open(&c2);
+  PlanBounds b_lin = BoundsTracker(&p_lin).Compute(c1);
+  PlanBounds b_gen = BoundsTracker(&p_gen).Compute(c2);
+  EXPECT_LT(b_lin.work_ub, b_gen.work_ub);
+  // Linear: join output <= max(100, 100); UB = 100+100+100 = 300.
+  EXPECT_DOUBLE_EQ(b_lin.work_ub, 300.0);
+  // General: 100*100 + 200.
+  EXPECT_DOUBLE_EQ(b_gen.work_ub, 10200.0);
+}
+
+TEST(BoundsTest, ScanBasedPlanSatisfiesPropertySix) {
+  // Property 6: for a scan-based linear plan with m internal (non-root,
+  // non-leaf) nodes, UB <= (m+1) * LB at the start of execution.
+  ZipfJoinConfig cfg;
+  cfg.r1_rows = 2000;
+  cfg.r2_rows = 2000;
+  cfg.order = R1Order::kSkewLast;
+  ZipfJoinData data(cfg);
+  PhysicalPlan plan = data.BuildHashPlan(nullptr, /*linear=*/true);
+  ExecContext ctx;
+  ctx.Reset(plan.num_nodes());
+  plan.root()->Open(&ctx);
+  PlanBounds b = BoundsTracker(&plan).Compute(ctx);
+  // Count internal non-root nodes (join) — m = 1 here (agg is root).
+  double m = 1;
+  EXPECT_LE(b.work_ub, (m + 1) * b.work_lb + 1e-6);
+  EXPECT_GE(b.work_lb, 4000.0);  // both scans known exactly
+}
+
+TEST(BoundsTest, StaticPerPassUpperBoundShapes) {
+  Table t = testutil::MakeTable("t", {"v"}, {{I(1)}, {I(2)}});
+  auto scan = std::make_unique<SeqScan>(&t);
+  EXPECT_DOUBLE_EQ(StaticPerPassUpperBound(scan.get()), 2.0);
+  auto filter = std::make_unique<Filter>(std::move(scan),
+                                         eb::Ge(eb::Col(0), eb::Int(0)));
+  EXPECT_DOUBLE_EQ(StaticPerPassUpperBound(filter.get()), 2.0);
+  auto limit = std::make_unique<Limit>(std::move(filter), 1);
+  EXPECT_DOUBLE_EQ(StaticPerPassUpperBound(limit.get()), 2.0);
+}
+
+TEST(BoundsTest, ScannedLeafCardinalityExcludesInlInner) {
+  Table outer = testutil::MakeTable("o", {"k"}, {{I(1)}, {I(2)}, {I(3)}});
+  Table inner = testutil::MakeTable("i", {"k"}, {{I(1)}, {I(2)}});
+  OrderedIndex idx(&inner, 0);
+  auto join = std::make_unique<IndexNestedLoopsJoin>(
+      std::make_unique<SeqScan>(&outer), std::make_unique<IndexSeek>(&idx),
+      eb::Col(0));
+  PhysicalPlan plan(std::move(join));
+  EXPECT_DOUBLE_EQ(ScannedLeafCardinality(plan), 3.0);
+}
+
+TEST(BoundsTest, ScannedLeafCardinalitySumsBothHashJoinSides) {
+  Table a = testutil::MakeTable("a", {"k"}, {{I(1)}, {I(2)}, {I(3)}});
+  Table b = testutil::MakeTable("b", {"k"}, {{I(1)}, {I(2)}});
+  std::vector<ExprPtr> pk, bk;
+  pk.push_back(eb::Col(0));
+  bk.push_back(eb::Col(0));
+  auto join = std::make_unique<HashJoin>(std::make_unique<SeqScan>(&a),
+                                         std::make_unique<SeqScan>(&b),
+                                         std::move(pk), std::move(bk));
+  PhysicalPlan plan(std::move(join));
+  EXPECT_DOUBLE_EQ(ScannedLeafCardinality(plan), 5.0);
+}
+
+}  // namespace
+}  // namespace qprog

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/strings.h"
+#include "common/zipf.h"
+
+namespace qprog {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("table t");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table t");
+  EXPECT_EQ(s.ToString(), "NotFound: table t");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingCodes) {
+  EXPECT_EQ(InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(NotFound("a"), NotFound("a"));
+  EXPECT_FALSE(NotFound("a") == NotFound("b"));
+  EXPECT_FALSE(NotFound("a") == Internal("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = InvalidArgument("bad");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StringsTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+  EXPECT_EQ(StringPrintf("%.2f", 1.005), "1.00");
+}
+
+TEST(StringsTest, JoinAndSplit) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringsTest, CaseAndAffixes) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(StartsWith("lineitem.l_orderkey", "lineitem."));
+  EXPECT_FALSE(StartsWith("x", "xy"));
+  EXPECT_TRUE(EndsWith("query.sql", ".sql"));
+  EXPECT_EQ(StripWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next64() == b.Next64());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(5);
+  auto perm = rng.Permutation(100);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(ZipfTest, UniformWhenZZero) {
+  ZipfDistribution z(10, 0.0);
+  for (uint64_t r = 0; r < 10; ++r) EXPECT_NEAR(z.Pmf(r), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(1000, 2.0);
+  double sum = 0;
+  for (uint64_t r = 0; r < 1000; ++r) sum += z.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroDominatesAtHighSkew) {
+  ZipfDistribution z(100000, 2.0);
+  // For z=2, P(0) = 1/zeta-ish: around 0.6.
+  EXPECT_GT(z.Pmf(0), 0.5);
+  EXPECT_GT(z.Pmf(0), 3.9 * z.Pmf(1));  // 1/1 vs 1/4
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+  ZipfDistribution z(50, 1.0);
+  Rng rng(21);
+  std::vector<int> counts(50, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(&rng)];
+  for (uint64_t r : {0ull, 1ull, 5ull, 20ull}) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(n), z.Pmf(r), 0.01);
+  }
+}
+
+TEST(ZipfTest, SingleValueDistribution) {
+  ZipfDistribution z(1, 2.0);
+  Rng rng(1);
+  EXPECT_EQ(z.Sample(&rng), 0u);
+  EXPECT_NEAR(z.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(ZipfTest, ExpectedMaxFrequency) {
+  ZipfDistribution z(10, 2.0);
+  EXPECT_NEAR(z.ExpectedMaxFrequency(1000), z.Pmf(0) * 1000, 1e-9);
+}
+
+}  // namespace
+}  // namespace qprog

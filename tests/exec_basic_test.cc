@@ -1,0 +1,231 @@
+// Tests for scan, index-seek, filter, project, limit and sort operators.
+
+#include <gtest/gtest.h>
+
+#include "exec/filter_project.h"
+#include "exec/plan.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "index/ordered_index.h"
+#include "tests/test_util.h"
+
+namespace qprog {
+namespace {
+
+using testutil::D;
+using testutil::I;
+using testutil::N;
+using testutil::S;
+
+Table Numbers(int64_t n) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < n; ++i) rows.push_back({I(i)});
+  return testutil::MakeTable("numbers", {"v"}, std::move(rows));
+}
+
+TEST(SeqScanTest, ScansAllRows) {
+  Table t = Numbers(10);
+  PhysicalPlan plan(std::make_unique<SeqScan>(&t));
+  auto rows = CollectRows(&plan);
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows[0][0].int64_value(), 0);
+  EXPECT_EQ(rows[9][0].int64_value(), 9);
+}
+
+TEST(SeqScanTest, MergedPredicate) {
+  Table t = Numbers(10);
+  PhysicalPlan plan(std::make_unique<SeqScan>(
+      &t, eb::Ge(eb::Col(0, "v"), eb::Int(7))));
+  auto rows = CollectRows(&plan);
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(SeqScanTest, EmptyTable) {
+  Table t = Numbers(0);
+  PhysicalPlan plan(std::make_unique<SeqScan>(&t));
+  EXPECT_TRUE(CollectRows(&plan).empty());
+}
+
+TEST(SeqScanTest, RerunnableAfterReopen) {
+  Table t = Numbers(5);
+  PhysicalPlan plan(std::make_unique<SeqScan>(&t));
+  EXPECT_EQ(CollectRows(&plan).size(), 5u);
+  EXPECT_EQ(CollectRows(&plan).size(), 5u);
+}
+
+TEST(IndexSeekTest, StaticRange) {
+  Table t = Numbers(100);
+  OrderedIndex idx(&t, 0);
+  PhysicalPlan plan(std::make_unique<IndexSeek>(
+      &idx, I(10), true, false, I(19), true, false));
+  auto rows = CollectRows(&plan);
+  EXPECT_EQ(rows.size(), 10u);
+}
+
+TEST(IndexSeekTest, RebindableEquality) {
+  Table t = testutil::MakeTable("t", {"k"}, {{I(1)}, {I(2)}, {I(2)}, {I(3)}});
+  OrderedIndex idx(&t, 0);
+  IndexSeek seek(&idx);
+  ExecContext ctx;
+  ctx.Reset(1);
+  seek.set_node_id(0);
+  seek.Open(&ctx);
+  Row out;
+  seek.Rebind(I(2));
+  int n = 0;
+  while (seek.Next(&ctx, &out)) ++n;
+  EXPECT_EQ(n, 2);
+  seek.Rebind(I(99));
+  EXPECT_FALSE(seek.Next(&ctx, &out));
+  seek.Rebind(I(1));
+  EXPECT_TRUE(seek.Next(&ctx, &out));
+}
+
+TEST(FilterTest, PassesMatchingRows) {
+  Table t = Numbers(100);
+  auto scan = std::make_unique<SeqScan>(&t);
+  PhysicalPlan plan(std::make_unique<Filter>(
+      std::move(scan), eb::Lt(eb::Col(0, "v"), eb::Int(30))));
+  EXPECT_EQ(CollectRows(&plan).size(), 30u);
+}
+
+TEST(FilterTest, NullPredicateResultRejects) {
+  Table t = testutil::MakeTable("t", {"v"}, {{I(1)}, {N()}, {I(3)}});
+  auto scan = std::make_unique<SeqScan>(&t);
+  PhysicalPlan plan(std::make_unique<Filter>(
+      std::move(scan), eb::Gt(eb::Col(0, "v"), eb::Int(0))));
+  EXPECT_EQ(CollectRows(&plan).size(), 2u);  // NULL comparison rejected
+}
+
+TEST(ProjectTest, ComputesExpressions) {
+  Table t = testutil::MakeTable("t", {"a", "b"}, {{I(2), I(3)}, {I(5), I(7)}});
+  auto scan = std::make_unique<SeqScan>(&t);
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(eb::Mul(eb::Col(0), eb::Col(1)));
+  exprs.push_back(eb::Col(0));
+  PhysicalPlan plan(std::make_unique<Project>(
+      std::move(scan), std::move(exprs),
+      std::vector<std::string>{"prod", "a"}));
+  auto rows = CollectRows(&plan);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].int64_value(), 6);
+  EXPECT_EQ(rows[1][0].int64_value(), 35);
+  EXPECT_EQ(plan.root()->output_schema().FindField("prod"), 0);
+}
+
+TEST(LimitTest, StopsEarly) {
+  Table t = Numbers(1000);
+  auto scan = std::make_unique<SeqScan>(&t);
+  PhysicalPlan plan(std::make_unique<Limit>(std::move(scan), 7));
+  ExecContext ctx;
+  auto rows = CollectRows(&plan, &ctx);
+  EXPECT_EQ(rows.size(), 7u);
+  // The scan fed exactly 7 rows (+0: limit root's own rows not counted).
+  EXPECT_EQ(ctx.work(), 7u);
+}
+
+TEST(LimitTest, LimitLargerThanInput) {
+  Table t = Numbers(3);
+  auto scan = std::make_unique<SeqScan>(&t);
+  PhysicalPlan plan(std::make_unique<Limit>(std::move(scan), 10));
+  EXPECT_EQ(CollectRows(&plan).size(), 3u);
+}
+
+TEST(LimitTest, LimitZero) {
+  Table t = Numbers(3);
+  auto scan = std::make_unique<SeqScan>(&t);
+  PhysicalPlan plan(std::make_unique<Limit>(std::move(scan), 0));
+  EXPECT_TRUE(CollectRows(&plan).empty());
+}
+
+TEST(SortTest, AscendingAndDescending) {
+  Table t = testutil::MakeTable("t", {"v"}, {{I(3)}, {I(1)}, {I(2)}});
+  {
+    auto scan = std::make_unique<SeqScan>(&t);
+    std::vector<SortKey> keys;
+    keys.emplace_back(eb::Col(0, "v"), false);
+    PhysicalPlan plan(std::make_unique<Sort>(std::move(scan), std::move(keys)));
+    auto rows = CollectRows(&plan);
+    EXPECT_EQ(rows[0][0].int64_value(), 1);
+    EXPECT_EQ(rows[2][0].int64_value(), 3);
+  }
+  {
+    auto scan = std::make_unique<SeqScan>(&t);
+    std::vector<SortKey> keys;
+    keys.emplace_back(eb::Col(0, "v"), true);
+    PhysicalPlan plan(std::make_unique<Sort>(std::move(scan), std::move(keys)));
+    auto rows = CollectRows(&plan);
+    EXPECT_EQ(rows[0][0].int64_value(), 3);
+    EXPECT_EQ(rows[2][0].int64_value(), 1);
+  }
+}
+
+TEST(SortTest, MultiKeyWithTieBreak) {
+  Table t = testutil::MakeTable(
+      "t", {"a", "b"},
+      {{I(1), S("z")}, {I(1), S("a")}, {I(0), S("m")}});
+  auto scan = std::make_unique<SeqScan>(&t);
+  std::vector<SortKey> keys;
+  keys.emplace_back(eb::Col(0, "a"), false);
+  keys.emplace_back(eb::Col(1, "b"), false);
+  PhysicalPlan plan(std::make_unique<Sort>(std::move(scan), std::move(keys)));
+  auto rows = CollectRows(&plan);
+  EXPECT_EQ(rows[0][1].string_value(), "m");
+  EXPECT_EQ(rows[1][1].string_value(), "a");
+  EXPECT_EQ(rows[2][1].string_value(), "z");
+}
+
+TEST(SortTest, NullsOrderLowest) {
+  Table t = testutil::MakeTable("t", {"v"}, {{I(1)}, {N()}, {I(0)}});
+  auto scan = std::make_unique<SeqScan>(&t);
+  std::vector<SortKey> keys;
+  keys.emplace_back(eb::Col(0, "v"), false);
+  PhysicalPlan plan(std::make_unique<Sort>(std::move(scan), std::move(keys)));
+  auto rows = CollectRows(&plan);
+  EXPECT_TRUE(rows[0][0].is_null());
+  EXPECT_EQ(rows[1][0].int64_value(), 0);
+}
+
+TEST(SortTest, SortIsStable) {
+  // Equal keys preserve input order.
+  Table t = testutil::MakeTable(
+      "t", {"k", "tag"},
+      {{I(1), S("first")}, {I(1), S("second")}, {I(1), S("third")}});
+  auto scan = std::make_unique<SeqScan>(&t);
+  std::vector<SortKey> keys;
+  keys.emplace_back(eb::Col(0, "k"), false);
+  PhysicalPlan plan(std::make_unique<Sort>(std::move(scan), std::move(keys)));
+  auto rows = CollectRows(&plan);
+  EXPECT_EQ(rows[0][1].string_value(), "first");
+  EXPECT_EQ(rows[2][1].string_value(), "third");
+}
+
+TEST(PlanTest, NodeIdsArePreOrder) {
+  Table t = Numbers(1);
+  auto scan = std::make_unique<SeqScan>(&t);
+  auto filter = std::make_unique<Filter>(std::move(scan),
+                                         eb::Ge(eb::Col(0), eb::Int(0)));
+  auto limit = std::make_unique<Limit>(std::move(filter), 1);
+  PhysicalPlan plan(std::move(limit));
+  ASSERT_EQ(plan.num_nodes(), 3u);
+  EXPECT_EQ(plan.nodes()[0]->kind(), OpKind::kLimit);
+  EXPECT_EQ(plan.nodes()[1]->kind(), OpKind::kFilter);
+  EXPECT_EQ(plan.nodes()[2]->kind(), OpKind::kSeqScan);
+  EXPECT_TRUE(plan.nodes()[0]->is_root());
+  EXPECT_FALSE(plan.nodes()[1]->is_root());
+  EXPECT_EQ(plan.nodes()[2]->node_id(), 2);
+}
+
+TEST(PlanTest, ToStringRendersTree) {
+  Table t = Numbers(1);
+  auto scan = std::make_unique<SeqScan>(&t);
+  auto filter = std::make_unique<Filter>(std::move(scan),
+                                         eb::Ge(eb::Col(0, "v"), eb::Int(0)));
+  PhysicalPlan plan(std::move(filter));
+  std::string s = plan.ToString();
+  EXPECT_NE(s.find("Filter"), std::string::npos);
+  EXPECT_NE(s.find("SeqScan(numbers)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qprog

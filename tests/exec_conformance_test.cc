@@ -1,0 +1,202 @@
+// Cross-operator conformance: different physical implementations of the
+// same logical operation must agree on randomized inputs — the invariant
+// that lets the Table-1 experiment attribute error differences purely to the
+// estimators, not to the plans computing different answers.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/aggregate.h"
+#include "exec/filter_project.h"
+#include "exec/join.h"
+#include "exec/plan.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "index/ordered_index.h"
+#include "tests/test_util.h"
+
+namespace qprog {
+namespace {
+
+using testutil::I;
+using testutil::N;
+using testutil::Sorted;
+
+Table RandomTwoKeyTable(const char* name, int rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> data;
+  for (int i = 0; i < rows; ++i) {
+    data.push_back({I(rng.UniformInt(0, 8)), I(rng.UniformInt(0, 5)), I(i)});
+  }
+  return testutil::MakeTable(name, {"k1", "k2", "v"}, std::move(data));
+}
+
+std::vector<AggregateDesc> StandardAggs() {
+  std::vector<AggregateDesc> aggs;
+  aggs.emplace_back(AggFunc::kCount, nullptr, "cnt");
+  aggs.emplace_back(AggFunc::kSum, eb::Col(2), "sum");
+  aggs.emplace_back(AggFunc::kMin, eb::Col(2), "min");
+  aggs.emplace_back(AggFunc::kMax, eb::Col(2), "max");
+  return aggs;
+}
+
+TEST(ConformanceTest, HashAndStreamAggregateAgreeOnRandomData) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Table t = RandomTwoKeyTable("t", 500, seed);
+
+    std::vector<ExprPtr> g1;
+    g1.push_back(eb::Col(0));
+    g1.push_back(eb::Col(1));
+    PhysicalPlan hash_plan(std::make_unique<HashAggregate>(
+        std::make_unique<SeqScan>(&t), std::move(g1),
+        std::vector<std::string>{"k1", "k2"}, StandardAggs()));
+
+    std::vector<SortKey> keys;
+    keys.emplace_back(eb::Col(0), false);
+    keys.emplace_back(eb::Col(1), false);
+    auto sort = std::make_unique<Sort>(std::make_unique<SeqScan>(&t),
+                                       std::move(keys));
+    std::vector<ExprPtr> g2;
+    g2.push_back(eb::Col(0));
+    g2.push_back(eb::Col(1));
+    PhysicalPlan stream_plan(std::make_unique<StreamAggregate>(
+        std::move(sort), std::move(g2), std::vector<std::string>{"k1", "k2"},
+        StandardAggs()));
+
+    auto hash_rows = Sorted(CollectRows(&hash_plan));
+    auto stream_rows = Sorted(CollectRows(&stream_plan));
+    EXPECT_EQ(testutil::RowsToString(hash_rows),
+              testutil::RowsToString(stream_rows))
+        << "seed " << seed;
+  }
+}
+
+TEST(ConformanceTest, TwoKeyJoinsAgreeAcrossAlgorithms) {
+  for (uint64_t seed = 10; seed <= 13; ++seed) {
+    Table l = RandomTwoKeyTable("l", 120, seed);
+    Table r = RandomTwoKeyTable("r", 150, seed + 50);
+
+    // Hash join on (k1, k2).
+    std::vector<ExprPtr> pk, bk;
+    pk.push_back(eb::Col(0));
+    pk.push_back(eb::Col(1));
+    bk.push_back(eb::Col(0));
+    bk.push_back(eb::Col(1));
+    auto hj = std::make_unique<HashJoin>(std::make_unique<SeqScan>(&l),
+                                         std::make_unique<SeqScan>(&r),
+                                         std::move(pk), std::move(bk));
+    PhysicalPlan hash_plan(std::move(hj));
+
+    // NL join with equivalent predicate.
+    auto nl = std::make_unique<NestedLoopsJoin>(
+        std::make_unique<SeqScan>(&l), std::make_unique<SeqScan>(&r),
+        eb::And(eb::Eq(eb::Col(0), eb::Col(3)),
+                eb::Eq(eb::Col(1), eb::Col(4))));
+    PhysicalPlan nl_plan(std::move(nl));
+
+    // Merge join over sorts on the composite key.
+    std::vector<SortKey> lk, rk;
+    lk.emplace_back(eb::Col(0), false);
+    lk.emplace_back(eb::Col(1), false);
+    rk.emplace_back(eb::Col(0), false);
+    rk.emplace_back(eb::Col(1), false);
+    auto ls = std::make_unique<Sort>(std::make_unique<SeqScan>(&l),
+                                     std::move(lk));
+    auto rs = std::make_unique<Sort>(std::make_unique<SeqScan>(&r),
+                                     std::move(rk));
+    std::vector<ExprPtr> lke, rke;
+    lke.push_back(eb::Col(0));
+    lke.push_back(eb::Col(1));
+    rke.push_back(eb::Col(0));
+    rke.push_back(eb::Col(1));
+    auto mj = std::make_unique<MergeJoin>(std::move(ls), std::move(rs),
+                                          std::move(lke), std::move(rke));
+    PhysicalPlan merge_plan(std::move(mj));
+
+    auto hash_rows = testutil::RowsToString(Sorted(CollectRows(&hash_plan)));
+    auto nl_rows = testutil::RowsToString(Sorted(CollectRows(&nl_plan)));
+    auto merge_rows = testutil::RowsToString(Sorted(CollectRows(&merge_plan)));
+    EXPECT_EQ(hash_rows, nl_rows) << "seed " << seed;
+    EXPECT_EQ(hash_rows, merge_rows) << "seed " << seed;
+  }
+}
+
+TEST(ConformanceTest, IndexSeekAgreesWithFilterScan) {
+  Rng rng(77);
+  std::vector<Row> rows;
+  for (int i = 0; i < 800; ++i) rows.push_back({I(rng.UniformInt(0, 99))});
+  Table t = testutil::MakeTable("t", {"k"}, std::move(rows));
+  OrderedIndex idx(&t, 0);
+  for (auto [lo, hi] : {std::pair<int64_t, int64_t>{10, 30},
+                        {0, 0},
+                        {95, 200},
+                        {50, 49}}) {
+    PhysicalPlan seek_plan(std::make_unique<IndexSeek>(
+        &idx, I(lo), true, false, I(hi), true, false));
+    auto scan = std::make_unique<SeqScan>(
+        &t, eb::Between(eb::Col(0), eb::Int(lo), eb::Int(hi)));
+    PhysicalPlan scan_plan(std::move(scan));
+    EXPECT_EQ(CollectRows(&seek_plan).size(), CollectRows(&scan_plan).size())
+        << lo << ".." << hi;
+  }
+}
+
+TEST(ConformanceTest, EveryOperatorIsRerunnable) {
+  // Open() must fully reset state: run each plan twice, expect identical
+  // output and identical total work.
+  Table l = RandomTwoKeyTable("l", 200, 3);
+  Table r = RandomTwoKeyTable("r", 200, 4);
+  OrderedIndex idx(&r, 0);
+
+  auto build_plan = [&]() {
+    auto seek = std::make_unique<IndexSeek>(&idx);
+    auto join = std::make_unique<IndexNestedLoopsJoin>(
+        std::make_unique<SeqScan>(&l, eb::Lt(eb::Col(2), eb::Int(150))),
+        std::move(seek), eb::Col(0));
+    std::vector<SortKey> keys;
+    keys.emplace_back(eb::Col(2), true);
+    auto sort = std::make_unique<Sort>(std::move(join), std::move(keys));
+    auto limit = std::make_unique<Limit>(std::move(sort), 40);
+    std::vector<ExprPtr> groups;
+    groups.push_back(eb::Col(0));
+    std::vector<AggregateDesc> aggs;
+    aggs.emplace_back(AggFunc::kCount, nullptr, "c");
+    return PhysicalPlan(std::make_unique<HashAggregate>(
+        std::move(limit), std::move(groups), std::vector<std::string>{"k"},
+        std::move(aggs)));
+  };
+
+  PhysicalPlan plan = build_plan();
+  ExecContext c1, c2;
+  auto r1 = CollectRows(&plan, &c1);
+  auto r2 = CollectRows(&plan, &c2);  // same plan object, re-executed
+  EXPECT_EQ(testutil::RowsToString(r1), testutil::RowsToString(r2));
+  EXPECT_EQ(c1.work(), c2.work());
+}
+
+TEST(ConformanceTest, LeftOuterJoinNullColumnsAreNull) {
+  Table l = testutil::MakeTable("l", {"k"}, {{I(1)}, {I(2)}});
+  Table r = testutil::MakeTable("r", {"k", "w"}, {{I(1), I(10)}});
+  std::vector<ExprPtr> pk, bk;
+  pk.push_back(eb::Col(0));
+  bk.push_back(eb::Col(0));
+  auto join = std::make_unique<HashJoin>(
+      std::make_unique<SeqScan>(&l), std::make_unique<SeqScan>(&r),
+      std::move(pk), std::move(bk), JoinType::kLeftOuter);
+  PhysicalPlan plan(std::move(join));
+  auto rows = Sorted(CollectRows(&plan));
+  ASSERT_EQ(rows.size(), 2u);
+  // Row for k=2 must be null-extended on the build columns.
+  bool found_null_extended = false;
+  for (const Row& row : rows) {
+    if (row[0].int64_value() == 2) {
+      EXPECT_TRUE(row[1].is_null());
+      EXPECT_TRUE(row[2].is_null());
+      found_null_extended = true;
+    }
+  }
+  EXPECT_TRUE(found_null_extended);
+}
+
+}  // namespace
+}  // namespace qprog

@@ -1,0 +1,261 @@
+// Join operator tests: each algorithm and join type is checked against a
+// naive reference evaluator on randomized inputs, plus targeted edge cases.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/random.h"
+#include "exec/join.h"
+#include "exec/plan.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "index/ordered_index.h"
+#include "tests/test_util.h"
+
+namespace qprog {
+namespace {
+
+using testutil::I;
+using testutil::N;
+using testutil::S;
+using testutil::Sorted;
+
+// Reference implementation of an equi-join on column 0 == column 0 with the
+// "left" (first) table preserved per JoinType.
+std::vector<Row> ReferenceJoin(const Table& left, const Table& right,
+                               JoinType type) {
+  std::vector<Row> out;
+  for (uint64_t i = 0; i < left.num_rows(); ++i) {
+    const Row& l = left.row(i);
+    bool matched = false;
+    for (uint64_t j = 0; j < right.num_rows(); ++j) {
+      const Row& r = right.row(j);
+      if (l[0].is_null() || r[0].is_null()) continue;
+      if (l[0].Compare(r[0]) != 0) continue;
+      matched = true;
+      if (type == JoinType::kInner || type == JoinType::kLeftOuter) {
+        Row joined = l;
+        joined.insert(joined.end(), r.begin(), r.end());
+        out.push_back(std::move(joined));
+      }
+    }
+    if (type == JoinType::kLeftSemi && matched) out.push_back(l);
+    if (type == JoinType::kLeftAnti && !matched) out.push_back(l);
+    if (type == JoinType::kLeftOuter && !matched) {
+      Row joined = l;
+      for (size_t c = 0; c < right.schema().num_fields(); ++c) {
+        joined.push_back(Value::Null());
+      }
+      out.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Table RandomTable(const std::string& name, int rows, int64_t domain,
+                  uint64_t seed, bool with_nulls) {
+  Rng rng(seed);
+  std::vector<Row> data;
+  for (int i = 0; i < rows; ++i) {
+    Value key = (with_nulls && rng.Bernoulli(0.1))
+                    ? Value::Null()
+                    : I(rng.UniformInt(0, domain - 1));
+    data.push_back({key, I(i)});
+  }
+  return testutil::MakeTable(name, {"k", "tag"}, std::move(data));
+}
+
+// Builds each join implementation for left ⋈ right on k = k.
+enum class Algo { kNL, kINL, kHash, kMerge };
+
+PhysicalPlan BuildJoinPlan(Algo algo, const Table* left, const Table* right,
+                           const OrderedIndex* right_idx, JoinType type) {
+  auto lscan = std::make_unique<SeqScan>(left);
+  auto rscan = std::make_unique<SeqScan>(right);
+  switch (algo) {
+    case Algo::kNL: {
+      // Predicate over concatenated (left ++ right): k columns are 0 and 2.
+      auto join = std::make_unique<NestedLoopsJoin>(
+          std::move(lscan), std::move(rscan),
+          eb::Eq(eb::Col(0, "l.k"), eb::Col(2, "r.k")), type);
+      return PhysicalPlan(std::move(join));
+    }
+    case Algo::kINL: {
+      auto seek = std::make_unique<IndexSeek>(right_idx);
+      auto join = std::make_unique<IndexNestedLoopsJoin>(
+          std::move(lscan), std::move(seek), eb::Col(0, "l.k"), type);
+      return PhysicalPlan(std::move(join));
+    }
+    case Algo::kHash: {
+      std::vector<ExprPtr> pk, bk;
+      pk.push_back(eb::Col(0, "l.k"));
+      bk.push_back(eb::Col(0, "r.k"));
+      auto join = std::make_unique<HashJoin>(std::move(lscan), std::move(rscan),
+                                             std::move(pk), std::move(bk), type);
+      return PhysicalPlan(std::move(join));
+    }
+    case Algo::kMerge: {
+      std::vector<SortKey> lk, rk;
+      lk.emplace_back(eb::Col(0, "l.k"), false);
+      rk.emplace_back(eb::Col(0, "r.k"), false);
+      auto lsort = std::make_unique<Sort>(std::move(lscan), std::move(lk));
+      auto rsort = std::make_unique<Sort>(std::move(rscan), std::move(rk));
+      std::vector<ExprPtr> lke, rke;
+      lke.push_back(eb::Col(0, "l.k"));
+      rke.push_back(eb::Col(0, "r.k"));
+      auto join = std::make_unique<MergeJoin>(std::move(lsort), std::move(rsort),
+                                              std::move(lke), std::move(rke));
+      return PhysicalPlan(std::move(join));
+    }
+  }
+  __builtin_unreachable();
+}
+
+struct JoinCase {
+  Algo algo;
+  JoinType type;
+};
+
+class JoinConformanceTest : public ::testing::TestWithParam<JoinCase> {};
+
+TEST_P(JoinConformanceTest, MatchesReferenceOnRandomData) {
+  const JoinCase c = GetParam();
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Table left = RandomTable("l", 60, 20, seed, /*with_nulls=*/true);
+    Table right = RandomTable("r", 80, 20, seed + 100, /*with_nulls=*/true);
+    OrderedIndex idx(&right, 0);
+    PhysicalPlan plan = BuildJoinPlan(c.algo, &left, &right, &idx, c.type);
+    auto expected = ReferenceJoin(left, right, c.type);
+    auto actual = CollectRows(&plan);
+    EXPECT_EQ(testutil::RowsToString(Sorted(actual)),
+              testutil::RowsToString(Sorted(expected)))
+        << "algo=" << static_cast<int>(c.algo)
+        << " type=" << JoinTypeToString(c.type) << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAndTypes, JoinConformanceTest,
+    ::testing::Values(JoinCase{Algo::kNL, JoinType::kInner},
+                      JoinCase{Algo::kNL, JoinType::kLeftOuter},
+                      JoinCase{Algo::kNL, JoinType::kLeftSemi},
+                      JoinCase{Algo::kNL, JoinType::kLeftAnti},
+                      JoinCase{Algo::kINL, JoinType::kInner},
+                      JoinCase{Algo::kINL, JoinType::kLeftOuter},
+                      JoinCase{Algo::kINL, JoinType::kLeftSemi},
+                      JoinCase{Algo::kINL, JoinType::kLeftAnti},
+                      JoinCase{Algo::kHash, JoinType::kInner},
+                      JoinCase{Algo::kHash, JoinType::kLeftOuter},
+                      JoinCase{Algo::kHash, JoinType::kLeftSemi},
+                      JoinCase{Algo::kHash, JoinType::kLeftAnti},
+                      JoinCase{Algo::kMerge, JoinType::kInner}));
+
+TEST(JoinTest, CrossJoinViaNLWithoutPredicate) {
+  Table a = testutil::MakeTable("a", {"x"}, {{I(1)}, {I(2)}});
+  Table b = testutil::MakeTable("b", {"y"}, {{I(10)}, {I(20)}, {I(30)}});
+  auto join = std::make_unique<NestedLoopsJoin>(
+      std::make_unique<SeqScan>(&a), std::make_unique<SeqScan>(&b), nullptr);
+  PhysicalPlan plan(std::move(join));
+  EXPECT_EQ(CollectRows(&plan).size(), 6u);
+}
+
+TEST(JoinTest, EmptyInputs) {
+  Table empty = testutil::MakeTable("e", {"k"}, {});
+  Table full = testutil::MakeTable("f", {"k"}, {{I(1)}});
+  {
+    std::vector<ExprPtr> pk, bk;
+    pk.push_back(eb::Col(0));
+    bk.push_back(eb::Col(0));
+    auto join = std::make_unique<HashJoin>(std::make_unique<SeqScan>(&full),
+                                           std::make_unique<SeqScan>(&empty),
+                                           std::move(pk), std::move(bk));
+    PhysicalPlan plan(std::move(join));
+    EXPECT_TRUE(CollectRows(&plan).empty());
+  }
+  {
+    std::vector<ExprPtr> pk, bk;
+    pk.push_back(eb::Col(0));
+    bk.push_back(eb::Col(0));
+    auto join = std::make_unique<HashJoin>(
+        std::make_unique<SeqScan>(&empty), std::make_unique<SeqScan>(&full),
+        std::move(pk), std::move(bk), JoinType::kLeftAnti);
+    PhysicalPlan plan(std::move(join));
+    EXPECT_TRUE(CollectRows(&plan).empty());
+  }
+}
+
+TEST(JoinTest, AntiJoinAgainstEmptyBuildKeepsAllProbe) {
+  Table empty = testutil::MakeTable("e", {"k"}, {});
+  Table full = testutil::MakeTable("f", {"k"}, {{I(1)}, {I(2)}});
+  std::vector<ExprPtr> pk, bk;
+  pk.push_back(eb::Col(0));
+  bk.push_back(eb::Col(0));
+  auto join = std::make_unique<HashJoin>(
+      std::make_unique<SeqScan>(&full), std::make_unique<SeqScan>(&empty),
+      std::move(pk), std::move(bk), JoinType::kLeftAnti);
+  PhysicalPlan plan(std::move(join));
+  EXPECT_EQ(CollectRows(&plan).size(), 2u);
+}
+
+TEST(JoinTest, HashJoinResidualPredicate) {
+  Table l = testutil::MakeTable("l", {"k", "v"}, {{I(1), I(10)}, {I(1), I(30)}});
+  Table r = testutil::MakeTable("r", {"k", "w"}, {{I(1), I(20)}});
+  std::vector<ExprPtr> pk, bk;
+  pk.push_back(eb::Col(0));
+  bk.push_back(eb::Col(0));
+  // residual over (probe ++ build): v < w means col1 < col3.
+  auto join = std::make_unique<HashJoin>(
+      std::make_unique<SeqScan>(&l), std::make_unique<SeqScan>(&r),
+      std::move(pk), std::move(bk), JoinType::kInner,
+      eb::Lt(eb::Col(1), eb::Col(3)));
+  PhysicalPlan plan(std::move(join));
+  auto rows = CollectRows(&plan);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].int64_value(), 10);
+}
+
+TEST(JoinTest, MergeJoinDuplicateKeysBothSides) {
+  Table l = testutil::MakeTable("l", {"k"}, {{I(1)}, {I(2)}, {I(2)}, {I(3)}});
+  Table r = testutil::MakeTable("r", {"k"}, {{I(2)}, {I(2)}, {I(2)}, {I(4)}});
+  std::vector<ExprPtr> lk, rk;
+  lk.push_back(eb::Col(0));
+  rk.push_back(eb::Col(0));
+  auto join = std::make_unique<MergeJoin>(std::make_unique<SeqScan>(&l),
+                                          std::make_unique<SeqScan>(&r),
+                                          std::move(lk), std::move(rk));
+  PhysicalPlan plan(std::move(join));
+  EXPECT_EQ(CollectRows(&plan).size(), 6u);  // 2 left dups x 3 right dups
+}
+
+TEST(JoinTest, INLJoinResidualPredicate) {
+  Table l = testutil::MakeTable("l", {"k", "v"}, {{I(1), I(5)}});
+  Table r = testutil::MakeTable("r", {"k", "w"},
+                                {{I(1), I(1)}, {I(1), I(9)}, {I(1), I(6)}});
+  OrderedIndex idx(&r, 0);
+  auto join = std::make_unique<IndexNestedLoopsJoin>(
+      std::make_unique<SeqScan>(&l), std::make_unique<IndexSeek>(&idx),
+      eb::Col(0), JoinType::kInner,
+      eb::Gt(eb::Col(3), eb::Col(1)));  // w > v
+  PhysicalPlan plan(std::move(join));
+  EXPECT_EQ(CollectRows(&plan).size(), 2u);
+}
+
+TEST(JoinTest, SemiJoinEmitsProbeSchemaOnly) {
+  Table l = testutil::MakeTable("l", {"k", "v"}, {{I(1), I(5)}});
+  Table r = testutil::MakeTable("r", {"k"}, {{I(1)}, {I(1)}});
+  std::vector<ExprPtr> pk, bk;
+  pk.push_back(eb::Col(0));
+  bk.push_back(eb::Col(0));
+  auto join = std::make_unique<HashJoin>(
+      std::make_unique<SeqScan>(&l), std::make_unique<SeqScan>(&r),
+      std::move(pk), std::move(bk), JoinType::kLeftSemi);
+  PhysicalPlan plan(std::move(join));
+  auto rows = CollectRows(&plan);
+  ASSERT_EQ(rows.size(), 1u);  // one output despite two matches
+  EXPECT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(plan.root()->output_schema().num_fields(), 2u);
+}
+
+}  // namespace
+}  // namespace qprog

@@ -1,0 +1,165 @@
+// Extensions beyond the paper's core: the sliding-window estimator
+// (Section 6.4's future-work direction), the bounds-annotated explain, the
+// remaining-time projection, and broad parameterized invariant sweeps over
+// skew x order x plan.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/explain.h"
+#include "core/monitor.h"
+#include "exec/filter_project.h"
+#include "exec/scan.h"
+#include "tests/test_util.h"
+#include "workload/zipf_join.h"
+
+namespace qprog {
+namespace {
+
+using testutil::I;
+
+// ---------------------------------------------------------------------------
+// WindowEstimator
+
+TEST(WindowEstimatorTest, StaysInFeasibleInterval) {
+  ZipfJoinConfig config;
+  config.r1_rows = 3000;
+  config.r2_rows = 3000;
+  config.z = 2.0;
+  config.order = R1Order::kSkewLast;
+  ZipfJoinData data(config);
+  PhysicalPlan plan = data.BuildInlPlan(nullptr, true);
+  ProgressMonitor monitor = ProgressMonitor::WithEstimators(&plan, {"window"});
+  ProgressReport report = monitor.RunWithApproxCheckpoints(150);
+  for (const Checkpoint& c : report.checkpoints) {
+    double lo = c.work_ub > 0 ? static_cast<double>(c.work) / c.work_ub : 0;
+    double hi = c.work_lb > 0 ? static_cast<double>(c.work) / c.work_lb : 1;
+    ASSERT_GE(c.estimates[0], lo - 1e-9);
+    ASSERT_LE(c.estimates[0], std::min(1.0, hi) + 1e-9);
+  }
+}
+
+TEST(WindowEstimatorTest, AdaptsToSkewFirstFasterThanDne) {
+  // With the heavy tuples first, dne assumes the horrific early per-tuple
+  // cost continues... no: dne assumes the average-so-far is the overall
+  // average, underestimating progress. The window estimator extrapolates
+  // from *recent* (cheap) tuples, so once past the head it recovers faster.
+  ZipfJoinConfig config;
+  config.r1_rows = 5000;
+  config.r2_rows = 5000;
+  config.z = 2.0;
+  config.order = R1Order::kSkewFirst;
+  ZipfJoinData data(config);
+  PhysicalPlan plan = data.BuildInlPlan(nullptr, true);
+  ProgressMonitor monitor =
+      ProgressMonitor::WithEstimators(&plan, {"dne", "window"});
+  ProgressReport report = monitor.RunWithApproxCheckpoints(200);
+  auto m_dne = report.Metrics(0);
+  auto m_win = report.Metrics(1);
+  EXPECT_LT(m_win.avg_abs_err, m_dne.avg_abs_err);
+}
+
+TEST(WindowEstimatorTest, MatchesDneOnUniformWork) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 4000; ++i) rows.push_back({I(i)});
+  Table t = testutil::MakeTable("t", {"v"}, std::move(rows));
+  auto scan = std::make_unique<SeqScan>(&t);
+  auto filter = std::make_unique<Filter>(std::move(scan),
+                                         eb::Ge(eb::Col(0), eb::Int(0)));
+  PhysicalPlan plan(std::move(filter));
+  ProgressMonitor monitor =
+      ProgressMonitor::WithEstimators(&plan, {"dne", "window"});
+  ProgressReport report = monitor.Run(100);
+  for (const Checkpoint& c : report.checkpoints) {
+    EXPECT_NEAR(c.estimates[0], c.estimates[1], 0.02);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ExplainWithBounds / EstimateRemainingSeconds
+
+TEST(ExplainTest, AnnotatesEveryNode) {
+  ZipfJoinConfig config;
+  config.r1_rows = 500;
+  config.r2_rows = 500;
+  ZipfJoinData data(config);
+  PhysicalPlan plan = data.BuildHashPlan();
+  ExecContext ctx;
+  ctx.Reset(plan.num_nodes());
+  plan.root()->Open(&ctx);
+  Row out;
+  plan.root()->Next(&ctx, &out);
+  std::string explain = ExplainWithBounds(plan, ctx);
+  EXPECT_NE(explain.find("HashJoin"), std::string::npos);
+  EXPECT_NE(explain.find("bounds=["), std::string::npos);
+  EXPECT_NE(explain.find("(root, excluded from work)"), std::string::npos);
+  EXPECT_NE(explain.find("LB="), std::string::npos);
+  // One line per node plus the summary line.
+  size_t lines = 0;
+  for (char c : explain) lines += c == '\n';
+  EXPECT_EQ(lines, plan.num_nodes() + 1);
+}
+
+TEST(EtaTest, ProjectionFormula) {
+  EXPECT_DOUBLE_EQ(EstimateRemainingSeconds(0.5, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(EstimateRemainingSeconds(0.25, 30.0), 90.0);
+  EXPECT_DOUBLE_EQ(EstimateRemainingSeconds(1.0, 42.0), 0.0);
+  EXPECT_TRUE(std::isinf(EstimateRemainingSeconds(0.0, 5.0)));
+}
+
+// ---------------------------------------------------------------------------
+// Invariant sweep: every estimator stays in [0,1] and the sound estimators
+// keep their guarantees across skew x order x plan combinations.
+
+using SweepParam = std::tuple<double, R1Order, bool>;  // z, order, hash?
+
+class EstimatorSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(EstimatorSweepTest, GuaranteesHoldEverywhere) {
+  auto [z, order, hash] = GetParam();
+  ZipfJoinConfig config;
+  config.r1_rows = 2000;
+  config.r2_rows = 2000;
+  config.z = z;
+  config.order = order;
+  ZipfJoinData data(config);
+  PhysicalPlan plan = hash ? data.BuildHashPlan(nullptr, true)
+                           : data.BuildInlPlan(nullptr, true);
+  ProgressMonitor monitor =
+      ProgressMonitor::WithEstimators(&plan, AllEstimatorNames());
+  ProgressReport report = monitor.RunWithApproxCheckpoints(60);
+  int pmax = report.FindEstimator("pmax");
+  int safe = report.FindEstimator("safe");
+  for (const Checkpoint& c : report.checkpoints) {
+    for (size_t e = 0; e < c.estimates.size(); ++e) {
+      ASSERT_GE(c.estimates[e], 0.0) << report.names[e];
+      ASSERT_LE(c.estimates[e], 1.0) << report.names[e];
+    }
+    ASSERT_GE(c.estimates[pmax], c.true_progress - 1e-9);
+    if (c.true_progress > 0 && c.estimates[safe] > 0) {
+      double ratio = std::max(c.estimates[safe] / c.true_progress,
+                              c.true_progress / c.estimates[safe]);
+      ASSERT_LE(ratio,
+                std::sqrt(c.work_ub / std::max(1.0, c.work_lb)) * (1 + 1e-9));
+    }
+    ASSERT_LE(c.work_lb, c.work_ub);
+    ASSERT_GE(c.work_lb, static_cast<double>(c.work));
+  }
+  // Completion: bounds met the truth.
+  const Checkpoint& last = report.checkpoints.back();
+  ASSERT_LE(last.work_lb, static_cast<double>(report.total_work) + 1e-6);
+  ASSERT_GE(last.work_ub, static_cast<double>(last.work) - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewOrderPlan, EstimatorSweepTest,
+    ::testing::Combine(::testing::Values(0.0, 1.0, 2.0),
+                       ::testing::Values(R1Order::kSkewFirst,
+                                         R1Order::kSkewLast,
+                                         R1Order::kRandom),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace qprog

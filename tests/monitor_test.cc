@@ -1,0 +1,128 @@
+// End-to-end ProgressMonitor tests.
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "exec/aggregate.h"
+#include "exec/filter_project.h"
+#include "exec/scan.h"
+#include "tests/test_util.h"
+#include "workload/zipf_join.h"
+
+namespace qprog {
+namespace {
+
+using testutil::I;
+
+PhysicalPlan ScanFilterAggPlan(const Table* t) {
+  auto scan = std::make_unique<SeqScan>(t);
+  auto filter = std::make_unique<Filter>(std::move(scan),
+                                         eb::Lt(eb::Col(0), eb::Int(500)));
+  std::vector<AggregateDesc> aggs;
+  aggs.emplace_back(AggFunc::kCount, nullptr, "cnt");
+  return PhysicalPlan(std::make_unique<HashAggregate>(
+      std::move(filter), std::vector<ExprPtr>{}, std::vector<std::string>{},
+      std::move(aggs)));
+}
+
+Table Numbers(int64_t n) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < n; ++i) rows.push_back({I(i)});
+  return testutil::MakeTable("t", {"v"}, std::move(rows));
+}
+
+TEST(MonitorTest, ReportBasics) {
+  Table t = Numbers(1000);
+  PhysicalPlan plan = ScanFilterAggPlan(&t);
+  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"dne", "pmax"});
+  ProgressReport r = m.Run(100);
+  EXPECT_EQ(r.names.size(), 2u);
+  EXPECT_EQ(r.total_work, 1500u);  // 1000 scan + 500 filter
+  EXPECT_EQ(r.root_rows, 1u);
+  EXPECT_DOUBLE_EQ(r.scanned_leaf_cardinality, 1000.0);
+  EXPECT_DOUBLE_EQ(r.mu, 1.5);
+  ASSERT_FALSE(r.checkpoints.empty());
+  EXPECT_EQ(r.checkpoints.size(), 15u);
+}
+
+TEST(MonitorTest, CheckpointsMonotoneAndTrueProgressCorrect) {
+  Table t = Numbers(2000);
+  PhysicalPlan plan = ScanFilterAggPlan(&t);
+  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"safe"});
+  ProgressReport r = m.Run(57);
+  uint64_t prev = 0;
+  for (const Checkpoint& c : r.checkpoints) {
+    EXPECT_GT(c.work, prev);
+    prev = c.work;
+    EXPECT_NEAR(c.true_progress,
+                static_cast<double>(c.work) /
+                    static_cast<double>(r.total_work),
+                1e-12);
+    EXPECT_GE(c.work_ub, c.work_lb);
+    ASSERT_EQ(c.estimates.size(), 1u);
+    EXPECT_GE(c.estimates[0], 0.0);
+    EXPECT_LE(c.estimates[0], 1.0);
+  }
+}
+
+TEST(MonitorTest, MetricsForPerfectEstimatorAreZero) {
+  // dne on a constant-work-per-tuple single pipeline is essentially exact.
+  Table t = Numbers(5000);
+  auto scan = std::make_unique<SeqScan>(&t);
+  auto filter = std::make_unique<Filter>(std::move(scan),
+                                         eb::Ge(eb::Col(0), eb::Int(0)));
+  PhysicalPlan plan(std::move(filter));
+  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"dne"});
+  ProgressReport r = m.Run(100);
+  auto metrics = r.Metrics(0);
+  EXPECT_LT(metrics.max_abs_err, 0.001);
+  EXPECT_LT(metrics.max_ratio_err, 1.001);
+}
+
+TEST(MonitorTest, RunWithApproxCheckpointsHitsTargetCount) {
+  Table t = Numbers(3000);
+  PhysicalPlan plan = ScanFilterAggPlan(&t);
+  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"pmax"});
+  ProgressReport r = m.RunWithApproxCheckpoints(100);
+  EXPECT_NEAR(static_cast<double>(r.checkpoints.size()), 100.0, 15.0);
+}
+
+TEST(MonitorTest, FindEstimator) {
+  Table t = Numbers(100);
+  PhysicalPlan plan = ScanFilterAggPlan(&t);
+  ProgressMonitor m =
+      ProgressMonitor::WithEstimators(&plan, {"dne", "safe", "pmax"});
+  ProgressReport r = m.Run(50);
+  EXPECT_EQ(r.FindEstimator("safe"), 1);
+  EXPECT_EQ(r.FindEstimator("nope"), -1);
+}
+
+TEST(MonitorTest, TsvDumpShape) {
+  Table t = Numbers(500);
+  PhysicalPlan plan = ScanFilterAggPlan(&t);
+  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"dne"});
+  ProgressReport r = m.Run(100);
+  std::string tsv = r.ToTsv();
+  EXPECT_EQ(tsv.substr(0, 14), "work\ttrue\tdne\n");
+  size_t lines = 0;
+  for (char ch : tsv) lines += (ch == '\n');
+  EXPECT_EQ(lines, r.checkpoints.size() + 1);
+}
+
+TEST(MonitorTest, MetricsCaptureKnownSkewError) {
+  ZipfJoinConfig cfg;
+  cfg.r1_rows = 2000;
+  cfg.r2_rows = 2000;
+  cfg.order = R1Order::kSkewLast;
+  ZipfJoinData data(cfg);
+  PhysicalPlan plan = data.BuildInlPlan();
+  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"dne"});
+  ProgressReport r = m.RunWithApproxCheckpoints(100);
+  auto metrics = r.Metrics(0);
+  EXPECT_GT(metrics.max_abs_err, 0.2);
+  EXPECT_GT(metrics.max_ratio_err, 1.2);
+  EXPECT_GE(metrics.max_abs_err, metrics.avg_abs_err);
+}
+
+}  // namespace
+}  // namespace qprog

@@ -1,0 +1,196 @@
+// Pipeline decomposition and driver-node tests (Section 4 machinery).
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "exec/aggregate.h"
+#include "exec/filter_project.h"
+#include "exec/join.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "tests/test_util.h"
+
+namespace qprog {
+namespace {
+
+using testutil::I;
+
+Table Numbers(const char* name, int64_t n) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < n; ++i) rows.push_back({I(i)});
+  return testutil::MakeTable(name, {"v"}, std::move(rows));
+}
+
+const Pipeline* PipelineWithDriver(const std::vector<Pipeline>& ps,
+                                   const PhysicalOperator* driver) {
+  for (const Pipeline& p : ps) {
+    for (const PhysicalOperator* d : p.drivers) {
+      if (d == driver) return &p;
+    }
+  }
+  return nullptr;
+}
+
+TEST(PipelineTest, SingleScanFilterIsOnePipeline) {
+  Table t = Numbers("t", 10);
+  auto scan = std::make_unique<SeqScan>(&t);
+  auto filter = std::make_unique<Filter>(std::move(scan),
+                                         eb::Ge(eb::Col(0), eb::Int(0)));
+  PhysicalPlan plan(std::move(filter));
+  auto ps = DecomposePipelines(plan);
+  ASSERT_EQ(ps.size(), 1u);
+  ASSERT_EQ(ps[0].drivers.size(), 1u);
+  EXPECT_EQ(ps[0].drivers[0]->kind(), OpKind::kSeqScan);
+  EXPECT_EQ(ps[0].members.size(), 2u);
+}
+
+TEST(PipelineTest, SortSplitsPipelines) {
+  Table t = Numbers("t", 10);
+  auto scan = std::make_unique<SeqScan>(&t);
+  std::vector<SortKey> keys;
+  keys.emplace_back(eb::Col(0), false);
+  auto sort = std::make_unique<Sort>(std::move(scan), std::move(keys));
+  auto proj = std::make_unique<Project>(std::move(sort),
+                                        [] {
+                                          std::vector<ExprPtr> e;
+                                          e.push_back(eb::Col(0));
+                                          return e;
+                                        }(),
+                                        std::vector<std::string>{"v"});
+  PhysicalPlan plan(std::move(proj));
+  auto ps = DecomposePipelines(plan);
+  ASSERT_EQ(ps.size(), 2u);
+  // Pipeline 0: project driven by the sort node; pipeline 1: the scan.
+  EXPECT_EQ(ps[0].drivers.size(), 1u);
+  EXPECT_EQ(ps[0].drivers[0]->kind(), OpKind::kSort);
+  EXPECT_EQ(ps[1].drivers[0]->kind(), OpKind::kSeqScan);
+}
+
+TEST(PipelineTest, HashJoinBuildSideIsSeparatePipeline) {
+  Table probe = Numbers("p", 10);
+  Table build = Numbers("b", 10);
+  std::vector<ExprPtr> pk, bk;
+  pk.push_back(eb::Col(0));
+  bk.push_back(eb::Col(0));
+  auto join = std::make_unique<HashJoin>(std::make_unique<SeqScan>(&probe),
+                                         std::make_unique<SeqScan>(&build),
+                                         std::move(pk), std::move(bk));
+  PhysicalPlan plan(std::move(join));
+  auto ps = DecomposePipelines(plan);
+  ASSERT_EQ(ps.size(), 2u);
+  const PhysicalOperator* probe_scan = plan.nodes()[1];
+  const PhysicalOperator* build_scan = plan.nodes()[2];
+  ASSERT_EQ(probe_scan->kind(), OpKind::kSeqScan);
+  const Pipeline* probe_p = PipelineWithDriver(ps, probe_scan);
+  const Pipeline* build_p = PipelineWithDriver(ps, build_scan);
+  ASSERT_NE(probe_p, nullptr);
+  ASSERT_NE(build_p, nullptr);
+  EXPECT_NE(probe_p, build_p);
+  // The join itself belongs to the probe pipeline.
+  bool join_in_probe = false;
+  for (const PhysicalOperator* m : probe_p->members) {
+    if (m->kind() == OpKind::kHashJoin) join_in_probe = true;
+  }
+  EXPECT_TRUE(join_in_probe);
+}
+
+TEST(PipelineTest, InlJoinInnerStaysInOuterPipelineWithoutDriver) {
+  Table outer = Numbers("o", 10);
+  Table inner = Numbers("i", 10);
+  OrderedIndex idx(&inner, 0);
+  auto join = std::make_unique<IndexNestedLoopsJoin>(
+      std::make_unique<SeqScan>(&outer), std::make_unique<IndexSeek>(&idx),
+      eb::Col(0));
+  PhysicalPlan plan(std::move(join));
+  auto ps = DecomposePipelines(plan);
+  ASSERT_EQ(ps.size(), 1u);
+  ASSERT_EQ(ps[0].drivers.size(), 1u);
+  EXPECT_EQ(ps[0].drivers[0]->kind(), OpKind::kSeqScan);
+  EXPECT_EQ(ps[0].members.size(), 3u);  // join + scan + seek
+}
+
+TEST(PipelineTest, MergeJoinHasTwoDrivers) {
+  Table l = Numbers("l", 5);
+  Table r = Numbers("r", 5);
+  std::vector<ExprPtr> lk, rk;
+  lk.push_back(eb::Col(0));
+  rk.push_back(eb::Col(0));
+  auto join = std::make_unique<MergeJoin>(std::make_unique<SeqScan>(&l),
+                                          std::make_unique<SeqScan>(&r),
+                                          std::move(lk), std::move(rk));
+  PhysicalPlan plan(std::move(join));
+  auto ps = DecomposePipelines(plan);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0].drivers.size(), 2u);
+}
+
+TEST(PipelineTest, HashAggregateActsAsDriverOfParentPipeline) {
+  Table t = Numbers("t", 10);
+  auto scan = std::make_unique<SeqScan>(&t);
+  std::vector<ExprPtr> groups;
+  groups.push_back(eb::Col(0));
+  std::vector<AggregateDesc> aggs;
+  aggs.emplace_back(AggFunc::kCount, nullptr, "c");
+  auto agg = std::make_unique<HashAggregate>(std::move(scan), std::move(groups),
+                                             std::vector<std::string>{"g"},
+                                             std::move(aggs));
+  auto filter = std::make_unique<Filter>(std::move(agg),
+                                         eb::Ge(eb::Col(1), eb::Int(0)));
+  PhysicalPlan plan(std::move(filter));
+  auto ps = DecomposePipelines(plan);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0].drivers[0]->kind(), OpKind::kHashAggregate);
+  EXPECT_EQ(ps[1].drivers[0]->kind(), OpKind::kSeqScan);
+}
+
+TEST(DriverStatusTest, ScanReportsExaminedOverBase) {
+  Table t = Numbers("t", 100);
+  auto scan_ptr = std::make_unique<SeqScan>(
+      &t, eb::Lt(eb::Col(0), eb::Int(10)));  // merged predicate
+  PhysicalPlan plan(std::move(scan_ptr));
+  const PhysicalOperator* scan = plan.nodes()[0];
+  ExecContext ctx;
+  ctx.Reset(plan.num_nodes());
+  plan.root()->Open(&ctx);
+  Row out;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(plan.root()->Next(&ctx, &out));
+  DriverStatus s = ComputeDriverStatus(scan, ctx);
+  // 5 rows passed => 5 rows examined here (values 0..4 pass immediately).
+  EXPECT_DOUBLE_EQ(s.rows_done, 5.0);
+  EXPECT_DOUBLE_EQ(s.rows_total, 100.0);
+  EXPECT_TRUE(s.total_exact);
+}
+
+TEST(DriverStatusTest, SortDriverRefinesToExactAfterBuild) {
+  Table t = Numbers("t", 50);
+  auto scan = std::make_unique<SeqScan>(&t, eb::Lt(eb::Col(0), eb::Int(20)));
+  std::vector<SortKey> keys;
+  keys.emplace_back(eb::Col(0), false);
+  auto sort = std::make_unique<Sort>(std::move(scan), std::move(keys));
+  sort->set_estimated_rows(5);  // deliberately wrong planner estimate
+  PhysicalPlan plan(std::move(sort));
+  const PhysicalOperator* sort_node = plan.nodes()[0];
+  ExecContext ctx;
+  ctx.Reset(plan.num_nodes());
+  plan.root()->Open(&ctx);
+  DriverStatus before = ComputeDriverStatus(sort_node, ctx);
+  EXPECT_FALSE(before.total_exact);
+  EXPECT_DOUBLE_EQ(before.rows_total, 5.0);  // planner estimate
+  Row out;
+  ASSERT_TRUE(plan.root()->Next(&ctx, &out));  // forces materialization
+  DriverStatus after = ComputeDriverStatus(sort_node, ctx);
+  EXPECT_TRUE(after.total_exact);
+  EXPECT_DOUBLE_EQ(after.rows_total, 20.0);  // actual row count
+}
+
+TEST(PipelineTest, ToStringSmoke) {
+  Table t = Numbers("t", 5);
+  PhysicalPlan plan(std::make_unique<SeqScan>(&t));
+  auto ps = DecomposePipelines(plan);
+  std::string s = PipelinesToString(ps);
+  EXPECT_NE(s.find("pipeline 0"), std::string::npos);
+  EXPECT_NE(s.find("SeqScan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qprog

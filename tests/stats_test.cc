@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "stats/histogram.h"
+#include "stats/selectivity.h"
+#include "stats/table_stats.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace qprog {
+namespace {
+
+using testutil::I;
+using testutil::N;
+using testutil::S;
+
+Table UniformTable(int64_t n, int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < n; ++i) rows.push_back({I(rng.UniformInt(0, domain - 1))});
+  return testutil::MakeTable("t", {"a"}, std::move(rows));
+}
+
+TEST(HistogramTest, CountsAndNulls) {
+  Table t = testutil::MakeTable("t", {"a"}, {{I(1)}, {I(2)}, {N()}, {I(2)}});
+  Histogram h = Histogram::Build(t, 0, 4);
+  EXPECT_EQ(h.total_rows(), 4u);
+  EXPECT_EQ(h.null_rows(), 1u);
+  uint64_t count = 0;
+  for (size_t b = 0; b < h.num_buckets(); ++b) count += h.bucket(b).count;
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(HistogramTest, EqualsEstimateOnUniformData) {
+  Table t = UniformTable(10000, 100, 42);
+  Histogram h = Histogram::Build(t, 0, 20);
+  // ~100 rows per value.
+  double est = h.EstimateEquals(I(50));
+  EXPECT_NEAR(est, 100.0, 60.0);
+  EXPECT_EQ(h.EstimateEquals(I(1000)), 0.0);
+}
+
+TEST(HistogramTest, RangeEstimateOnUniformData) {
+  Table t = UniformTable(10000, 100, 43);
+  Histogram h = Histogram::Build(t, 0, 20);
+  double est = h.EstimateRange(I(0), true, false, I(49), true, false);
+  EXPECT_NEAR(est / 10000.0, 0.5, 0.05);
+  est = h.EstimateRange(Value::Null(), false, true, Value::Null(), false, true);
+  EXPECT_NEAR(est, 10000.0, 1.0);  // unbounded both sides = all non-null rows
+}
+
+TEST(HistogramTest, EquiDepthBucketsBalanced) {
+  Table t = UniformTable(10000, 1000, 44);
+  Histogram h = Histogram::Build(t, 0, 10);
+  ASSERT_GE(h.num_buckets(), 8u);
+  for (size_t b = 0; b < h.num_buckets(); ++b) {
+    EXPECT_GT(h.bucket(b).count, 500u);
+    EXPECT_LT(h.bucket(b).count, 2000u);
+  }
+}
+
+TEST(HistogramTest, EqualValuesDoNotStraddleBuckets) {
+  // 1000 copies of one value must land in a single bucket.
+  std::vector<Row> rows;
+  for (int i = 0; i < 1000; ++i) rows.push_back({I(7)});
+  for (int i = 0; i < 1000; ++i) rows.push_back({I(i + 100)});
+  Table t = testutil::MakeTable("t", {"a"}, std::move(rows));
+  Histogram h = Histogram::Build(t, 0, 16);
+  EXPECT_NEAR(h.EstimateEquals(I(7)), 1000.0, 1.0);
+}
+
+TEST(HistogramTest, EmptyTable) {
+  Table t = testutil::MakeTable("t", {"a"}, {});
+  Histogram h = Histogram::Build(t, 0, 8);
+  EXPECT_EQ(h.num_buckets(), 0u);
+  EXPECT_EQ(h.EstimateEquals(I(1)), 0.0);
+  EXPECT_EQ(h.EstimateRange(I(0), true, false, I(10), true, false), 0.0);
+}
+
+TEST(HistogramTest, StringColumn) {
+  Table t = testutil::MakeTable("t", {"a"},
+                                {{S("apple")}, {S("banana")}, {S("cherry")}});
+  Histogram h = Histogram::Build(t, 0, 2);
+  EXPECT_GT(h.EstimateEquals(S("banana")), 0.0);
+  EXPECT_EQ(h.TotalDistinct(), 3u);
+}
+
+// The paper's lossiness requirement (Section 2.3): with a bounded bucket
+// budget, one tuple's value can change within a bucket without changing the
+// histogram's bucket boundaries/counts in a detectable way.
+TEST(HistogramTest, LossyUnderBucketBudget) {
+  Table t = UniformTable(10000, 10000, 45);
+  Histogram h1 = Histogram::Build(t, 0, 8);
+  // Change one row to another value inside the same bucket's range.
+  const auto& b0 = h1.bucket(0);
+  int64_t lo = b0.lower.int64_value();
+  int64_t hi = b0.upper.int64_value();
+  ASSERT_GT(hi, lo + 2);
+  // Find a row in bucket 0 and nudge it within range.
+  Table t2 = UniformTable(10000, 10000, 45);
+  for (uint64_t i = 0; i < t2.num_rows(); ++i) {
+    int64_t v = t2.at(i, 0).int64_value();
+    if (v > lo && v < hi) {
+      (*t2.mutable_row(i))[0] = I(v == lo + 1 ? lo + 2 : lo + 1);
+      break;
+    }
+  }
+  Histogram h2 = Histogram::Build(t2, 0, 8);
+  ASSERT_EQ(h1.num_buckets(), h2.num_buckets());
+  for (size_t b = 0; b < h1.num_buckets(); ++b) {
+    EXPECT_EQ(h1.bucket(b).count, h2.bucket(b).count);
+  }
+}
+
+TEST(StatsGeneratorTest, HistogramGeneratorBasics) {
+  Table t = testutil::MakeTable("t", {"a", "b"},
+                                {{I(1), S("x")}, {I(2), S("y")}, {N(), S("x")}});
+  HistogramStatisticsGenerator gen(8);
+  auto stats = gen.Generate(t);
+  EXPECT_EQ(stats->row_count(), 3u);
+  ASSERT_EQ(stats->num_columns(), 2u);
+  EXPECT_EQ(stats->column(0).null_count, 1u);
+  EXPECT_EQ(stats->column(0).distinct, 2u);
+  EXPECT_EQ(stats->column(0).min.int64_value(), 1);
+  EXPECT_EQ(stats->column(0).max.int64_value(), 2);
+  EXPECT_EQ(stats->column(1).distinct, 2u);
+  EXPECT_EQ(gen.name(), "histogram");
+}
+
+TEST(StatsGeneratorTest, SampleGeneratorReservoir) {
+  Table t = UniformTable(5000, 100, 46);
+  SampleStatisticsGenerator gen(100, /*seed=*/7);
+  auto stats = gen.Generate(t);
+  EXPECT_EQ(stats->row_count(), 5000u);
+  EXPECT_EQ(stats->sample().size(), 100u);
+  EXPECT_EQ(gen.name(), "sample");
+  // Randomized generators are seed-deterministic.
+  auto stats2 = SampleStatisticsGenerator(100, 7).Generate(t);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(RowEq()(stats->sample()[i], stats2->sample()[i]));
+  }
+}
+
+TEST(StatsGeneratorTest, SampleSmallerTableTakesAll) {
+  Table t = testutil::MakeTable("t", {"a"}, {{I(1)}, {I(2)}});
+  SampleStatisticsGenerator gen(10, 1);
+  auto stats = gen.Generate(t);
+  EXPECT_EQ(stats->sample().size(), 2u);
+}
+
+TEST(SelectivityTest, EqualityFromHistogram) {
+  Table t = UniformTable(10000, 100, 47);
+  HistogramStatisticsGenerator gen(32);
+  auto stats = gen.Generate(t);
+  PredicateDesc pred{0, CompareOp::kEq, I(42)};
+  double sel = EstimatePredicateSelectivity(*stats, pred);
+  EXPECT_NEAR(sel, 0.01, 0.006);
+}
+
+TEST(SelectivityTest, RangeFromHistogram) {
+  Table t = UniformTable(10000, 100, 48);
+  HistogramStatisticsGenerator gen(32);
+  auto stats = gen.Generate(t);
+  PredicateDesc pred{0, CompareOp::kLt, I(25)};
+  EXPECT_NEAR(EstimatePredicateSelectivity(*stats, pred), 0.25, 0.05);
+  pred.op = CompareOp::kGe;
+  EXPECT_NEAR(EstimatePredicateSelectivity(*stats, pred), 0.75, 0.05);
+  pred.op = CompareOp::kNe;
+  EXPECT_NEAR(EstimatePredicateSelectivity(*stats, pred), 0.99, 0.02);
+}
+
+TEST(SelectivityTest, ConjunctionIndependence) {
+  Table t = UniformTable(10000, 100, 49);
+  HistogramStatisticsGenerator gen(32);
+  auto stats = gen.Generate(t);
+  std::vector<PredicateDesc> preds = {{0, CompareOp::kLt, I(50)},
+                                      {0, CompareOp::kGe, I(0)}};
+  double sel = EstimateConjunctionSelectivity(*stats, preds);
+  EXPECT_NEAR(sel, 0.5, 0.08);
+}
+
+TEST(SelectivityTest, JoinCardinalityFormula) {
+  EXPECT_DOUBLE_EQ(EstimateJoinCardinality(1000, 100, 5000, 50), 50000.0);
+  EXPECT_DOUBLE_EQ(EstimateJoinCardinality(10, 0, 10, 0), 100.0);  // min 1
+}
+
+TEST(SelectivityTest, GroupCountCappedByRows) {
+  EXPECT_DOUBLE_EQ(EstimateGroupCount(100, {1000}), 100.0);
+  EXPECT_DOUBLE_EQ(EstimateGroupCount(1000, {10, 5}), 50.0);
+  EXPECT_DOUBLE_EQ(EstimateGroupCount(0, {10}), 1.0);
+}
+
+TEST(SelectivityTest, EmptyStatsZeroSelectivity) {
+  TableStats stats;
+  PredicateDesc pred{0, CompareOp::kEq, I(1)};
+  EXPECT_EQ(EstimatePredicateSelectivity(stats, pred), 0.0);
+}
+
+}  // namespace
+}  // namespace qprog

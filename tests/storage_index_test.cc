@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/hash_index.h"
+#include "index/ordered_index.h"
+#include "stats/table_stats.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace qprog {
+namespace {
+
+using testutil::I;
+using testutil::S;
+
+TEST(TableTest, AppendAndAccess) {
+  Table t = testutil::MakeTable("t", {"a", "b"}, {{I(1), S("x")}, {I(2), S("y")}});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(0, 0).int64_value(), 1);
+  EXPECT_EQ(t.at(1, 1).string_value(), "y");
+  EXPECT_EQ(t.name(), "t");
+}
+
+TEST(TableTest, ReorderPermutesRows) {
+  Table t = testutil::MakeTable("t", {"a"}, {{I(10)}, {I(20)}, {I(30)}});
+  t.Reorder({2, 0, 1});
+  EXPECT_EQ(t.at(0, 0).int64_value(), 30);
+  EXPECT_EQ(t.at(1, 0).int64_value(), 10);
+  EXPECT_EQ(t.at(2, 0).int64_value(), 20);
+}
+
+TEST(TableTest, SortByColumn) {
+  Table t = testutil::MakeTable(
+      "t", {"a"}, {{I(3)}, {I(1)}, {testutil::N()}, {I(2)}});
+  t.SortByColumn(0);
+  EXPECT_TRUE(t.at(0, 0).is_null());  // NULLs first
+  EXPECT_EQ(t.at(1, 0).int64_value(), 1);
+  EXPECT_EQ(t.at(3, 0).int64_value(), 3);
+}
+
+TEST(DatabaseTest, CreateGetDrop) {
+  Database db;
+  auto created = db.CreateTable("t", Schema({{"a", TypeId::kInt64}}));
+  ASSERT_TRUE(created.ok());
+  EXPECT_NE(db.GetTable("t"), nullptr);
+  EXPECT_EQ(db.GetTable("missing"), nullptr);
+  EXPECT_FALSE(db.CreateTable("t", Schema({})).ok());  // duplicate
+  EXPECT_TRUE(db.DropTable("t").ok());
+  EXPECT_EQ(db.GetTable("t"), nullptr);
+  EXPECT_FALSE(db.DropTable("t").ok());
+}
+
+TEST(DatabaseTest, AddTableMoves) {
+  Database db;
+  Table t = testutil::MakeTable("x", {"a"}, {{I(5)}});
+  auto added = db.AddTable(std::move(t));
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(db.GetTable("x")->num_rows(), 1u);
+  EXPECT_EQ(db.TableNames().size(), 1u);
+}
+
+TEST(DatabaseTest, BuildAndGetIndex) {
+  Database db;
+  Table t = testutil::MakeTable("t", {"a", "b"}, {{I(1), I(10)}, {I(2), I(20)}});
+  ASSERT_TRUE(db.AddTable(std::move(t)).ok());
+  auto idx = db.BuildOrderedIndex("t", "b");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(db.GetOrderedIndex("t", "b"), idx.value());
+  EXPECT_EQ(db.GetOrderedIndex("t", "a"), nullptr);
+  EXPECT_FALSE(db.BuildOrderedIndex("t", "zz").ok());
+  EXPECT_FALSE(db.BuildOrderedIndex("nope", "a").ok());
+}
+
+TEST(DatabaseTest, DropTableRemovesIndexesAndStats) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(testutil::MakeTable("t", {"a"}, {{I(1)}})).ok());
+  ASSERT_TRUE(db.BuildOrderedIndex("t", "a").ok());
+  HistogramStatisticsGenerator gen;
+  db.SetStats("t", gen.Generate(*db.GetTable("t")));
+  EXPECT_NE(db.GetStats("t"), nullptr);
+  ASSERT_TRUE(db.DropTable("t").ok());
+  EXPECT_EQ(db.GetOrderedIndex("t", "a"), nullptr);
+  EXPECT_EQ(db.GetStats("t"), nullptr);
+}
+
+TEST(OrderedIndexTest, EqualRange) {
+  Table t = testutil::MakeTable(
+      "t", {"k"}, {{I(5)}, {I(3)}, {I(5)}, {I(1)}, {I(5)}, {testutil::N()}});
+  OrderedIndex idx(&t, 0);
+  EXPECT_EQ(idx.num_entries(), 5u);  // NULL excluded
+  auto r = idx.EqualRange(I(5));
+  EXPECT_EQ(r.size(), 3u);
+  for (const uint64_t* p = r.begin; p != r.end; ++p) {
+    EXPECT_EQ(t.at(*p, 0).int64_value(), 5);
+  }
+  EXPECT_EQ(idx.EqualRange(I(2)).size(), 0u);
+  EXPECT_EQ(idx.EqualRange(testutil::N()).size(), 0u);
+  EXPECT_EQ(idx.max_key_multiplicity(), 3u);
+}
+
+TEST(OrderedIndexTest, RangeQueries) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 100; ++i) rows.push_back({I(i)});
+  Table t = testutil::MakeTable("t", {"k"}, std::move(rows));
+  OrderedIndex idx(&t, 0);
+
+  auto r = idx.Range(I(10), true, false, I(20), true, false);
+  EXPECT_EQ(r.size(), 11u);
+  r = idx.Range(I(10), false, false, I(20), false, false);
+  EXPECT_EQ(r.size(), 9u);
+  r = idx.Range(Value::Null(), false, true, I(5), true, false);
+  EXPECT_EQ(r.size(), 6u);
+  r = idx.Range(I(95), true, false, Value::Null(), false, true);
+  EXPECT_EQ(r.size(), 5u);
+  r = idx.Range(I(50), true, false, I(40), true, false);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(OrderedIndexTest, RandomizedAgainstNaive) {
+  Rng rng(77);
+  std::vector<Row> rows;
+  for (int i = 0; i < 500; ++i) rows.push_back({I(rng.UniformInt(0, 50))});
+  Table t = testutil::MakeTable("t", {"k"}, std::move(rows));
+  OrderedIndex idx(&t, 0);
+  for (int64_t key = -1; key <= 51; ++key) {
+    size_t naive = 0;
+    for (uint64_t i = 0; i < t.num_rows(); ++i) {
+      if (t.at(i, 0).int64_value() == key) ++naive;
+    }
+    EXPECT_EQ(idx.EqualRange(I(key)).size(), naive) << "key " << key;
+  }
+}
+
+TEST(HashIndexTest, LookupMatchesNaive) {
+  Rng rng(78);
+  std::vector<Row> rows;
+  for (int i = 0; i < 300; ++i) rows.push_back({I(rng.UniformInt(0, 30))});
+  Table t = testutil::MakeTable("t", {"k"}, std::move(rows));
+  HashIndex idx(&t, 0);
+  for (int64_t key = 0; key <= 30; ++key) {
+    size_t naive = 0;
+    for (uint64_t i = 0; i < t.num_rows(); ++i) {
+      if (t.at(i, 0).int64_value() == key) ++naive;
+    }
+    EXPECT_EQ(idx.Lookup(I(key)).size(), naive);
+  }
+  EXPECT_TRUE(idx.Lookup(testutil::N()).empty());
+  EXPECT_GE(idx.max_key_multiplicity(), 1u);
+  EXPECT_LE(idx.num_distinct_keys(), 31u);
+}
+
+TEST(HashIndexTest, StringKeys) {
+  Table t = testutil::MakeTable("t", {"k"}, {{S("a")}, {S("b")}, {S("a")}});
+  HashIndex idx(&t, 0);
+  EXPECT_EQ(idx.Lookup(S("a")).size(), 2u);
+  EXPECT_EQ(idx.Lookup(S("c")).size(), 0u);
+}
+
+}  // namespace
+}  // namespace qprog

@@ -1,0 +1,63 @@
+// Shared helpers for qprog tests: compact table/row construction and
+// result-set comparison.
+
+#ifndef QPROG_TESTS_TEST_UTIL_H_
+#define QPROG_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "types/date.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace qprog {
+namespace testutil {
+
+inline Value I(int64_t v) { return Value::Int64(v); }
+inline Value D(double v) { return Value::Double(v); }
+inline Value S(std::string v) { return Value::String(std::move(v)); }
+inline Value B(bool v) { return Value::Bool(v); }
+inline Value N() { return Value::Null(); }
+inline Value Dt(const char* ymd) { return Value::Date(ParseDate(ymd).value()); }
+
+/// Builds a table whose columns are all typed from the first row's values
+/// (NULL-typed when the name list is longer than the first row, which is fine
+/// for the dynamically typed engine).
+inline Table MakeTable(std::string name, std::vector<std::string> columns,
+                       std::vector<Row> rows) {
+  std::vector<Field> fields;
+  fields.reserve(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    TypeId type = TypeId::kNull;
+    if (!rows.empty() && i < rows[0].size()) type = rows[0][i].type();
+    fields.emplace_back(columns[i], type);
+  }
+  Table table(std::move(name), Schema(std::move(fields)));
+  for (Row& row : rows) table.AppendRow(std::move(row));
+  return table;
+}
+
+/// Sorts rows lexically by ToString for order-insensitive comparison.
+inline std::vector<Row> Sorted(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return RowToString(a) < RowToString(b);
+  });
+  return rows;
+}
+
+inline std::string RowsToString(const std::vector<Row>& rows) {
+  std::string out;
+  for (const Row& r : rows) {
+    out += RowToString(r);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace testutil
+}  // namespace qprog
+
+#endif  // QPROG_TESTS_TEST_UTIL_H_

@@ -1,0 +1,126 @@
+// Synthetic workload generators: zipf join data and the adversarial pair.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/adversarial.h"
+#include "workload/zipf_join.h"
+
+namespace qprog {
+namespace {
+
+TEST(ZipfJoinDataTest, R1HasUniqueValuesInRequestedOrder) {
+  ZipfJoinConfig config;
+  config.r1_rows = 1000;
+  config.r2_rows = 1000;
+  config.order = R1Order::kSkewFirst;
+  ZipfJoinData data(config);
+  EXPECT_EQ(data.r1().num_rows(), 1000u);
+  std::set<int64_t> seen;
+  for (uint64_t i = 0; i < data.r1().num_rows(); ++i) {
+    seen.insert(data.r1().at(i, 0).int64_value());
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  // Skew-first: value 0 (the most frequent join key) comes first.
+  EXPECT_EQ(data.r1().at(0, 0).int64_value(), 0);
+
+  config.order = R1Order::kSkewLast;
+  ZipfJoinData last(config);
+  EXPECT_EQ(last.r1().at(999, 0).int64_value(), 0);
+}
+
+TEST(ZipfJoinDataTest, MatchCountsFollowZipf) {
+  ZipfJoinConfig config;
+  config.r1_rows = 2000;
+  config.r2_rows = 4000;
+  config.z = 2.0;
+  ZipfJoinData data(config);
+  uint64_t m0 = data.MatchCount(0);
+  uint64_t m1 = data.MatchCount(1);
+  EXPECT_GT(m0, 4000u / 3);  // head value dominates at z=2
+  EXPECT_GT(m0, m1);
+  uint64_t total = 0;
+  for (int64_t v = 0; v < 2000; ++v) total += data.MatchCount(v);
+  EXPECT_EQ(total, 4000u);  // every R2 row joins exactly one R1 value
+}
+
+TEST(ZipfJoinDataTest, PlansComputeIdenticalCounts) {
+  ZipfJoinConfig config;
+  config.r1_rows = 500;
+  config.r2_rows = 700;
+  config.z = 1.0;
+  ZipfJoinData data(config);
+  PhysicalPlan inl = data.BuildInlPlan();
+  PhysicalPlan hash = data.BuildHashPlan();
+  auto r_inl = CollectRows(&inl);
+  auto r_hash = CollectRows(&hash);
+  ASSERT_EQ(r_inl.size(), 1u);
+  ASSERT_EQ(r_hash.size(), 1u);
+  EXPECT_EQ(r_inl[0][0].int64_value(), r_hash[0][0].int64_value());
+  EXPECT_EQ(r_inl[0][0].int64_value(), 700);  // all R2 rows match
+}
+
+TEST(ZipfJoinDataTest, FilterPlanRemovesSkewedMatches) {
+  ZipfJoinConfig config;
+  config.r1_rows = 1000;
+  config.r2_rows = 1000;
+  config.z = 2.0;
+  ZipfJoinData data(config);
+  PhysicalPlan plain = data.BuildInlPlan();
+  PhysicalPlan filtered =
+      data.BuildInlPlan(eb::Ge(eb::Col(0, "a"), eb::Int(100)));
+  auto all = CollectRows(&plain);
+  auto f = CollectRows(&filtered);
+  EXPECT_LT(f[0][0].int64_value(), all[0][0].int64_value() / 2);
+}
+
+TEST(ZipfJoinDataTest, TotalWorkAccounting) {
+  // INL: total = |R1| (scan) + matches (seek) + matches (join output).
+  ZipfJoinConfig config;
+  config.r1_rows = 300;
+  config.r2_rows = 500;
+  config.z = 1.0;
+  ZipfJoinData data(config);
+  PhysicalPlan inl = data.BuildInlPlan();
+  EXPECT_EQ(MeasureTotalWork(&inl), 300u + 500u + 500u);
+  // Hash: total = |R1| (build) + |R2| (probe) + matches (join output).
+  PhysicalPlan hash = data.BuildHashPlan();
+  EXPECT_EQ(MeasureTotalWork(&hash), 300u + 500u + 500u);
+}
+
+TEST(AdversarialPairTest, TotalsMatchExampleOne) {
+  AdversarialPair pair(500);
+  PhysicalPlan px = pair.BuildPlan(false);
+  PhysicalPlan py = pair.BuildPlan(true);
+  EXPECT_EQ(MeasureTotalWork(&px), 501u);        // |R1| + 1
+  EXPECT_EQ(MeasureTotalWork(&py), 5010u);       // 10|R1| + 10
+}
+
+TEST(AdversarialPairTest, InstancesDifferInExactlyOneTuple) {
+  AdversarialPair pair(200);
+  const Table& a = pair.r1_with_x();
+  const Table& b = pair.r1_with_y();
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  size_t diffs = 0;
+  for (uint64_t i = 0; i < a.num_rows(); ++i) {
+    if (!a.at(i, 0).EqualsForGrouping(b.at(i, 0))) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1u);
+  EXPECT_EQ(a.at(pair.special_position(), 0).int64_value(), pair.x());
+  EXPECT_EQ(b.at(pair.special_position(), 0).int64_value(), pair.y());
+}
+
+TEST(AdversarialPairTest, SpecialValuesAbsentFromBackground) {
+  AdversarialPair pair(300);
+  const Table& a = pair.r1_with_x();
+  for (uint64_t i = 0; i < a.num_rows(); ++i) {
+    if (i == pair.special_position()) continue;
+    int64_t v = a.at(i, 0).int64_value();
+    EXPECT_NE(v, pair.x());
+    EXPECT_NE(v, pair.y());
+  }
+}
+
+}  // namespace
+}  // namespace qprog
