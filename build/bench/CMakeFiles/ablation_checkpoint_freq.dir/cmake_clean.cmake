@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_checkpoint_freq.dir/ablation_checkpoint_freq.cpp.o"
+  "CMakeFiles/ablation_checkpoint_freq.dir/ablation_checkpoint_freq.cpp.o.d"
+  "ablation_checkpoint_freq"
+  "ablation_checkpoint_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_checkpoint_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

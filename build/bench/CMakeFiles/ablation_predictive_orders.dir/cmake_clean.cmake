@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_predictive_orders.dir/ablation_predictive_orders.cpp.o"
+  "CMakeFiles/ablation_predictive_orders.dir/ablation_predictive_orders.cpp.o.d"
+  "ablation_predictive_orders"
+  "ablation_predictive_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_predictive_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

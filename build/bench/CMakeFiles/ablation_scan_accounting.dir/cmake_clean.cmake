@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scan_accounting.dir/ablation_scan_accounting.cpp.o"
+  "CMakeFiles/ablation_scan_accounting.dir/ablation_scan_accounting.cpp.o.d"
+  "ablation_scan_accounting"
+  "ablation_scan_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scan_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dne_tpch_q1.dir/fig3_dne_tpch_q1.cpp.o"
+  "CMakeFiles/fig3_dne_tpch_q1.dir/fig3_dne_tpch_q1.cpp.o.d"
+  "fig3_dne_tpch_q1"
+  "fig3_dne_tpch_q1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dne_tpch_q1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pmax_vs_dne.dir/fig4_pmax_vs_dne.cpp.o"
+  "CMakeFiles/fig4_pmax_vs_dne.dir/fig4_pmax_vs_dne.cpp.o.d"
+  "fig4_pmax_vs_dne"
+  "fig4_pmax_vs_dne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pmax_vs_dne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

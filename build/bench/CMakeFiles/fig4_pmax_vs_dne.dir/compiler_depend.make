@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_pmax_vs_dne.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_safe_worst_case.cpp" "bench/CMakeFiles/fig5_safe_worst_case.dir/fig5_safe_worst_case.cpp.o" "gcc" "bench/CMakeFiles/fig5_safe_worst_case.dir/fig5_safe_worst_case.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qprog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/qprog_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/qprog_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/skyserver/CMakeFiles/qprog_skyserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/qprog_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qprog_database.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qprog_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/qprog_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/qprog_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qprog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/qprog_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qprog_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qprog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_safe_worst_case.dir/fig5_safe_worst_case.cpp.o"
+  "CMakeFiles/fig5_safe_worst_case.dir/fig5_safe_worst_case.cpp.o.d"
+  "fig5_safe_worst_case"
+  "fig5_safe_worst_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_safe_worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

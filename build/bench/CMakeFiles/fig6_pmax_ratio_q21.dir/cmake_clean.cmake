@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pmax_ratio_q21.dir/fig6_pmax_ratio_q21.cpp.o"
+  "CMakeFiles/fig6_pmax_ratio_q21.dir/fig6_pmax_ratio_q21.cpp.o.d"
+  "fig6_pmax_ratio_q21"
+  "fig6_pmax_ratio_q21.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pmax_ratio_q21.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_pmax_ratio_q21.
+# This may be replaced when dependencies are built.

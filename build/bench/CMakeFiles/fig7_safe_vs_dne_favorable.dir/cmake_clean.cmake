@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_safe_vs_dne_favorable.dir/fig7_safe_vs_dne_favorable.cpp.o"
+  "CMakeFiles/fig7_safe_vs_dne_favorable.dir/fig7_safe_vs_dne_favorable.cpp.o.d"
+  "fig7_safe_vs_dne_favorable"
+  "fig7_safe_vs_dne_favorable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_safe_vs_dne_favorable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

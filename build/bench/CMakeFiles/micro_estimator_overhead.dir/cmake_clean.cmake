@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_estimator_overhead.dir/micro_estimator_overhead.cpp.o"
+  "CMakeFiles/micro_estimator_overhead.dir/micro_estimator_overhead.cpp.o.d"
+  "micro_estimator_overhead"
+  "micro_estimator_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_estimator_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_scan_based.dir/table1_scan_based.cpp.o"
+  "CMakeFiles/table1_scan_based.dir/table1_scan_based.cpp.o.d"
+  "table1_scan_based"
+  "table1_scan_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_scan_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

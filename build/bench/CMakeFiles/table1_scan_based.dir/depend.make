@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_scan_based.
+# This may be replaced when dependencies are built.

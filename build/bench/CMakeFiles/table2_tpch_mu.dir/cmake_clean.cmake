@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_tpch_mu.dir/table2_tpch_mu.cpp.o"
+  "CMakeFiles/table2_tpch_mu.dir/table2_tpch_mu.cpp.o.d"
+  "table2_tpch_mu"
+  "table2_tpch_mu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tpch_mu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_skyserver_mu.dir/table3_skyserver_mu.cpp.o"
+  "CMakeFiles/table3_skyserver_mu.dir/table3_skyserver_mu.cpp.o.d"
+  "table3_skyserver_mu"
+  "table3_skyserver_mu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_skyserver_mu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

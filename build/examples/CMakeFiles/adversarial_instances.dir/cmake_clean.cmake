@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_instances.dir/adversarial_instances.cpp.o"
+  "CMakeFiles/adversarial_instances.dir/adversarial_instances.cpp.o.d"
+  "adversarial_instances"
+  "adversarial_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

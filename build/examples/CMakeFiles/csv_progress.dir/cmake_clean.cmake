@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_progress.dir/csv_progress.cpp.o"
+  "CMakeFiles/csv_progress.dir/csv_progress.cpp.o.d"
+  "csv_progress"
+  "csv_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

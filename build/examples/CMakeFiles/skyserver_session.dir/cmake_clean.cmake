@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyserver_session.dir/skyserver_session.cpp.o"
+  "CMakeFiles/skyserver_session.dir/skyserver_session.cpp.o.d"
+  "skyserver_session"
+  "skyserver_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyserver_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_progress.dir/tpch_progress.cpp.o"
+  "CMakeFiles/tpch_progress.dir/tpch_progress.cpp.o.d"
+  "tpch_progress"
+  "tpch_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

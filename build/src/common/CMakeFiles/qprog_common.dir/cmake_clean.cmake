@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_common.dir/random.cc.o"
+  "CMakeFiles/qprog_common.dir/random.cc.o.d"
+  "CMakeFiles/qprog_common.dir/status.cc.o"
+  "CMakeFiles/qprog_common.dir/status.cc.o.d"
+  "CMakeFiles/qprog_common.dir/strings.cc.o"
+  "CMakeFiles/qprog_common.dir/strings.cc.o.d"
+  "CMakeFiles/qprog_common.dir/zipf.cc.o"
+  "CMakeFiles/qprog_common.dir/zipf.cc.o.d"
+  "libqprog_common.a"
+  "libqprog_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/qprog_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/qprog_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/bounds.cc" "src/core/CMakeFiles/qprog_core.dir/bounds.cc.o" "gcc" "src/core/CMakeFiles/qprog_core.dir/bounds.cc.o.d"
+  "/root/repo/src/core/estimators.cc" "src/core/CMakeFiles/qprog_core.dir/estimators.cc.o" "gcc" "src/core/CMakeFiles/qprog_core.dir/estimators.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/qprog_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/qprog_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/qprog_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/qprog_core.dir/monitor.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/qprog_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/qprog_core.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/qprog_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/qprog_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/qprog_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qprog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qprog_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qprog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_core.dir/analysis.cc.o"
+  "CMakeFiles/qprog_core.dir/analysis.cc.o.d"
+  "CMakeFiles/qprog_core.dir/bounds.cc.o"
+  "CMakeFiles/qprog_core.dir/bounds.cc.o.d"
+  "CMakeFiles/qprog_core.dir/estimators.cc.o"
+  "CMakeFiles/qprog_core.dir/estimators.cc.o.d"
+  "CMakeFiles/qprog_core.dir/explain.cc.o"
+  "CMakeFiles/qprog_core.dir/explain.cc.o.d"
+  "CMakeFiles/qprog_core.dir/monitor.cc.o"
+  "CMakeFiles/qprog_core.dir/monitor.cc.o.d"
+  "CMakeFiles/qprog_core.dir/pipeline.cc.o"
+  "CMakeFiles/qprog_core.dir/pipeline.cc.o.d"
+  "libqprog_core.a"
+  "libqprog_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate.cc" "src/exec/CMakeFiles/qprog_exec.dir/aggregate.cc.o" "gcc" "src/exec/CMakeFiles/qprog_exec.dir/aggregate.cc.o.d"
+  "/root/repo/src/exec/filter_project.cc" "src/exec/CMakeFiles/qprog_exec.dir/filter_project.cc.o" "gcc" "src/exec/CMakeFiles/qprog_exec.dir/filter_project.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/exec/CMakeFiles/qprog_exec.dir/join.cc.o" "gcc" "src/exec/CMakeFiles/qprog_exec.dir/join.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/exec/CMakeFiles/qprog_exec.dir/operator.cc.o" "gcc" "src/exec/CMakeFiles/qprog_exec.dir/operator.cc.o.d"
+  "/root/repo/src/exec/plan.cc" "src/exec/CMakeFiles/qprog_exec.dir/plan.cc.o" "gcc" "src/exec/CMakeFiles/qprog_exec.dir/plan.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/exec/CMakeFiles/qprog_exec.dir/scan.cc.o" "gcc" "src/exec/CMakeFiles/qprog_exec.dir/scan.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/exec/CMakeFiles/qprog_exec.dir/sort.cc.o" "gcc" "src/exec/CMakeFiles/qprog_exec.dir/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/qprog_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/qprog_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/qprog_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/qprog_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qprog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

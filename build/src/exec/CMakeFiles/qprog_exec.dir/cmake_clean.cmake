@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_exec.dir/aggregate.cc.o"
+  "CMakeFiles/qprog_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/qprog_exec.dir/filter_project.cc.o"
+  "CMakeFiles/qprog_exec.dir/filter_project.cc.o.d"
+  "CMakeFiles/qprog_exec.dir/join.cc.o"
+  "CMakeFiles/qprog_exec.dir/join.cc.o.d"
+  "CMakeFiles/qprog_exec.dir/operator.cc.o"
+  "CMakeFiles/qprog_exec.dir/operator.cc.o.d"
+  "CMakeFiles/qprog_exec.dir/plan.cc.o"
+  "CMakeFiles/qprog_exec.dir/plan.cc.o.d"
+  "CMakeFiles/qprog_exec.dir/scan.cc.o"
+  "CMakeFiles/qprog_exec.dir/scan.cc.o.d"
+  "CMakeFiles/qprog_exec.dir/sort.cc.o"
+  "CMakeFiles/qprog_exec.dir/sort.cc.o.d"
+  "libqprog_exec.a"
+  "libqprog_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

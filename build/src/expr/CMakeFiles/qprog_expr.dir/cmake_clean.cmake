@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_expr.dir/expr.cc.o"
+  "CMakeFiles/qprog_expr.dir/expr.cc.o.d"
+  "libqprog_expr.a"
+  "libqprog_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_index.dir/hash_index.cc.o"
+  "CMakeFiles/qprog_index.dir/hash_index.cc.o.d"
+  "CMakeFiles/qprog_index.dir/ordered_index.cc.o"
+  "CMakeFiles/qprog_index.dir/ordered_index.cc.o.d"
+  "libqprog_index.a"
+  "libqprog_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

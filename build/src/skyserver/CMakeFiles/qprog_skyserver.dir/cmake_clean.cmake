@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_skyserver.dir/skyserver.cc.o"
+  "CMakeFiles/qprog_skyserver.dir/skyserver.cc.o.d"
+  "libqprog_skyserver.a"
+  "libqprog_skyserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_skyserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_sql.dir/lexer.cc.o"
+  "CMakeFiles/qprog_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/qprog_sql.dir/parser.cc.o"
+  "CMakeFiles/qprog_sql.dir/parser.cc.o.d"
+  "CMakeFiles/qprog_sql.dir/planner.cc.o"
+  "CMakeFiles/qprog_sql.dir/planner.cc.o.d"
+  "libqprog_sql.a"
+  "libqprog_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_stats.dir/histogram.cc.o"
+  "CMakeFiles/qprog_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/qprog_stats.dir/selectivity.cc.o"
+  "CMakeFiles/qprog_stats.dir/selectivity.cc.o.d"
+  "CMakeFiles/qprog_stats.dir/table_stats.cc.o"
+  "CMakeFiles/qprog_stats.dir/table_stats.cc.o.d"
+  "libqprog_stats.a"
+  "libqprog_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_database.dir/catalog.cc.o"
+  "CMakeFiles/qprog_database.dir/catalog.cc.o.d"
+  "libqprog_database.a"
+  "libqprog_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

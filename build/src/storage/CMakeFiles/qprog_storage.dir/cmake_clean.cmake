@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_storage.dir/csv.cc.o"
+  "CMakeFiles/qprog_storage.dir/csv.cc.o.d"
+  "CMakeFiles/qprog_storage.dir/table.cc.o"
+  "CMakeFiles/qprog_storage.dir/table.cc.o.d"
+  "libqprog_storage.a"
+  "libqprog_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

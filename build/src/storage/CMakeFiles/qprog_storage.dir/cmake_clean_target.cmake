@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqprog_storage.a"
+)

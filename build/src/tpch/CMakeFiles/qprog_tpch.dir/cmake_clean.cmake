@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/qprog_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/qprog_tpch.dir/queries.cc.o"
+  "CMakeFiles/qprog_tpch.dir/queries.cc.o.d"
+  "CMakeFiles/qprog_tpch.dir/queries2.cc.o"
+  "CMakeFiles/qprog_tpch.dir/queries2.cc.o.d"
+  "CMakeFiles/qprog_tpch.dir/schema.cc.o"
+  "CMakeFiles/qprog_tpch.dir/schema.cc.o.d"
+  "libqprog_tpch.a"
+  "libqprog_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

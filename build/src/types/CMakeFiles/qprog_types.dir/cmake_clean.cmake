@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_types.dir/compare_op.cc.o"
+  "CMakeFiles/qprog_types.dir/compare_op.cc.o.d"
+  "CMakeFiles/qprog_types.dir/date.cc.o"
+  "CMakeFiles/qprog_types.dir/date.cc.o.d"
+  "CMakeFiles/qprog_types.dir/schema.cc.o"
+  "CMakeFiles/qprog_types.dir/schema.cc.o.d"
+  "CMakeFiles/qprog_types.dir/value.cc.o"
+  "CMakeFiles/qprog_types.dir/value.cc.o.d"
+  "libqprog_types.a"
+  "libqprog_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

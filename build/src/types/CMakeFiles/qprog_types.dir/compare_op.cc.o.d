@@ -1,0 +1,3 @@
+src/types/CMakeFiles/qprog_types.dir/compare_op.cc.o: \
+ /root/repo/src/types/compare_op.cc /usr/include/stdc-predef.h \
+ /root/repo/src/types/compare_op.h

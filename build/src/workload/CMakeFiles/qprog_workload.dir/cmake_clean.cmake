@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qprog_workload.dir/adversarial.cc.o"
+  "CMakeFiles/qprog_workload.dir/adversarial.cc.o.d"
+  "CMakeFiles/qprog_workload.dir/zipf_join.cc.o"
+  "CMakeFiles/qprog_workload.dir/zipf_join.cc.o.d"
+  "libqprog_workload.a"
+  "libqprog_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qprog_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

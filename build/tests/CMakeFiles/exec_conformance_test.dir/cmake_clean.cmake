@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_conformance_test.dir/exec_conformance_test.cc.o"
+  "CMakeFiles/exec_conformance_test.dir/exec_conformance_test.cc.o.d"
+  "exec_conformance_test"
+  "exec_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

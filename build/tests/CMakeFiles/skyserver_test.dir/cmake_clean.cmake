@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyserver_test.dir/skyserver_test.cc.o"
+  "CMakeFiles/skyserver_test.dir/skyserver_test.cc.o.d"
+  "skyserver_test"
+  "skyserver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

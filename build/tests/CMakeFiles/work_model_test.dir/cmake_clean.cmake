@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_model_test.dir/work_model_test.cc.o"
+  "CMakeFiles/work_model_test.dir/work_model_test.cc.o.d"
+  "work_model_test"
+  "work_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
