@@ -20,6 +20,11 @@ enum class StatusCode {
   kOutOfRange = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  // Execution-guardrail terminations (see exec/query_guard.h): a query was
+  // stopped before completion, by request or because it exhausted a budget.
+  kCancelled = 7,
+  kDeadlineExceeded = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a human-readable name for a status code ("OK", "NotFound", ...).
@@ -68,6 +73,9 @@ Status AlreadyExists(std::string message);
 Status OutOfRange(std::string message);
 Status Unimplemented(std::string message);
 Status Internal(std::string message);
+Status Cancelled(std::string message);
+Status DeadlineExceeded(std::string message);
+Status ResourceExhausted(std::string message);
 
 }  // namespace qprog
 

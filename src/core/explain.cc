@@ -50,4 +50,19 @@ double EstimateRemainingSeconds(double estimate, double elapsed_seconds) {
   return elapsed_seconds * (1.0 - estimate) / estimate;
 }
 
+std::string SummarizeReport(const ProgressReport& report) {
+  std::string out = StringPrintf(
+      "%s: work=%llu root_rows=%llu checkpoints=%zu",
+      TerminationReasonToString(report.termination),
+      static_cast<unsigned long long>(report.total_work),
+      static_cast<unsigned long long>(report.root_rows),
+      report.checkpoints.size());
+  if (report.completed()) {
+    out += StringPrintf(" mu=%.2f", report.mu);
+  } else {
+    out += StringPrintf(" (%s)", report.status.ToString().c_str());
+  }
+  return out;
+}
+
 }  // namespace qprog

@@ -22,6 +22,12 @@ std::string ExplainWithBounds(const PhysicalPlan& plan, const ExecContext& ctx);
 /// motivation: deciding whether to kill a long-running query).
 double EstimateRemainingSeconds(double estimate, double elapsed_seconds);
 
+/// One-line outcome summary of a monitored run, e.g.
+///   "completed: work=110001 root_rows=10 checkpoints=11 mu=1.10"
+///   "cancelled: work=300 root_rows=0 checkpoints=3 (Cancelled: ...)"
+/// — the line a server log or CLI prints per query, aborted or not.
+std::string SummarizeReport(const ProgressReport& report);
+
 }  // namespace qprog
 
 #endif  // QPROG_CORE_EXPLAIN_H_

@@ -8,6 +8,50 @@
 
 namespace qprog {
 
+const char* TerminationReasonToString(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kCompleted:
+      return "completed";
+    case TerminationReason::kCancelled:
+      return "cancelled";
+    case TerminationReason::kDeadlineExceeded:
+      return "deadline";
+    case TerminationReason::kBudgetExhausted:
+      return "budget";
+    case TerminationReason::kFault:
+      return "fault";
+  }
+  return "?";
+}
+
+TerminationReason TerminationFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return TerminationReason::kCompleted;
+    case StatusCode::kCancelled:
+      return TerminationReason::kCancelled;
+    case StatusCode::kDeadlineExceeded:
+      return TerminationReason::kDeadlineExceeded;
+    case StatusCode::kResourceExhausted:
+      return TerminationReason::kBudgetExhausted;
+    default:
+      return TerminationReason::kFault;
+  }
+}
+
+namespace {
+
+/// Clamps an estimator's output into the only legal range: a finite fraction
+/// in [0, 1]. NaN maps to 0 (no defensible progress claim).
+double SanitizeEstimate(double estimate) {
+  if (std::isnan(estimate)) return 0.0;
+  if (estimate < 0.0) return 0.0;
+  if (estimate > 1.0) return 1.0;  // also catches +inf
+  return estimate;
+}
+
+}  // namespace
+
 EstimatorMetrics ProgressReport::Metrics(size_t i) const {
   EstimatorMetrics m;
   if (checkpoints.empty()) return m;
@@ -78,6 +122,9 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   report.scanned_leaf_cardinality = ScannedLeafCardinality(*plan_);
 
   ExecContext ctx;
+  ctx.set_guard(guard_);
+  ctx.set_fault_injector(injector_);
+  if (injector_ != nullptr) injector_->Reset();  // deterministic replay
   BoundsTracker tracker(plan_);
   std::vector<Pipeline> pipelines = DecomposePipelines(*plan_);
 
@@ -95,15 +142,26 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
     cp.work_lb = bounds.work_lb;
     cp.work_ub = bounds.work_ub;
     cp.estimates.reserve(estimators_.size());
-    for (const auto& e : estimators_) cp.estimates.push_back(e->Estimate(pc));
+    for (const auto& e : estimators_) {
+      cp.estimates.push_back(SanitizeEstimate(e->Estimate(pc)));
+    }
     report.checkpoints.push_back(std::move(cp));
     pc.bounds = nullptr;
+    if (listener_) listener_(report.checkpoints.back());
   });
 
   report.root_rows = ExecutePlan(plan_, &ctx);
   ctx.ClearWorkObserver();
 
+  report.status = ctx.status();
+  report.termination = TerminationFromStatus(report.status);
   report.total_work = ctx.work();
+  if (!report.completed()) {
+    // The true total is unknowable for an unfinished query: keep the partial
+    // checkpoints (work counters, bounds, estimates) but make no
+    // true-progress or mu claims.
+    return report;
+  }
   double denom = std::max(1.0, report.scanned_leaf_cardinality);
   report.mu = static_cast<double>(report.total_work) / denom;
   for (Checkpoint& c : report.checkpoints) {
@@ -115,10 +173,38 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   return report;
 }
 
+ProgressReport ProgressMonitor::MakeAbortedReport(const ExecContext& ctx) const {
+  ProgressReport report;
+  for (const auto& e : estimators_) report.names.push_back(e->name());
+  report.status = ctx.status();
+  report.termination = TerminationFromStatus(report.status);
+  report.total_work = ctx.work();
+  return report;
+}
+
 ProgressReport ProgressMonitor::RunWithApproxCheckpoints(
     size_t approx_checkpoints) {
   QPROG_CHECK(approx_checkpoints > 0);
-  uint64_t total = MeasureTotalWork(plan_);
+  if (!PlanSupportsRewind(*plan_)) {
+    ProgressReport report;
+    for (const auto& e : estimators_) report.names.push_back(e->name());
+    report.status = InvalidArgument(
+        "RunWithApproxCheckpoints requires a rewindable plan: its throwaway "
+        "learning run re-opens every operator, and this plan contains an "
+        "operator with SupportsRewind() == false; use Run(interval) instead");
+    report.termination = TerminationReason::kFault;
+    return report;
+  }
+  // Throwaway learning run to measure total(Q). Guardrails stay active (a
+  // cancel or deadline must be honored even while learning); the fault
+  // injector is reset first so the monitored run replays the same schedule.
+  ExecContext ctx;
+  ctx.set_guard(guard_);
+  ctx.set_fault_injector(injector_);
+  if (injector_ != nullptr) injector_->Reset();
+  ExecutePlan(plan_, &ctx);
+  if (!ctx.ok()) return MakeAbortedReport(ctx);
+  uint64_t total = ctx.work();
   uint64_t interval =
       std::max<uint64_t>(1, total / static_cast<uint64_t>(approx_checkpoints));
   return Run(interval);

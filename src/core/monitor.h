@@ -6,11 +6,14 @@
 #ifndef QPROG_CORE_MONITOR_H_
 #define QPROG_CORE_MONITOR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/estimators.h"
+#include "exec/fault_injector.h"
+#include "exec/query_guard.h"
 
 namespace qprog {
 
@@ -22,6 +25,22 @@ struct Checkpoint {
   double work_ub = 0;
   std::vector<double> estimates;  // parallel to ProgressReport::names
 };
+
+/// Why a monitored run stopped. Everything except kCompleted describes an
+/// execution-guardrail abort; the report then carries the checkpoints
+/// collected up to the stop plus the aborting Status.
+enum class TerminationReason {
+  kCompleted,
+  kCancelled,
+  kDeadlineExceeded,
+  kBudgetExhausted,  // work or buffered-row budget (kResourceExhausted)
+  kFault,            // injected or real operator failure
+};
+
+const char* TerminationReasonToString(TerminationReason reason);
+
+/// Maps an execution Status to the termination it represents.
+TerminationReason TerminationFromStatus(const Status& status);
 
 /// Error summary for one estimator over a run. Absolute errors are fractions
 /// of total progress (the paper's tables report them as percentages); ratio
@@ -36,10 +55,20 @@ struct EstimatorMetrics {
 struct ProgressReport {
   std::vector<std::string> names;       // estimator names
   std::vector<Checkpoint> checkpoints;  // in work order
-  uint64_t total_work = 0;              // total(Q)
+  uint64_t total_work = 0;              // total(Q); for an aborted run, the
+                                        // work performed up to the stop
   uint64_t root_rows = 0;               // rows the query returned
   double mu = 0;                        // total(Q) / sum of scanned leaves
+                                        // (0 when the run did not complete)
   double scanned_leaf_cardinality = 0;
+
+  /// How the run ended. On an abort, `checkpoints` holds everything sampled
+  /// before the stop and `true_progress` stays 0 (the true total is
+  /// unknowable for an unfinished query).
+  TerminationReason termination = TerminationReason::kCompleted;
+  Status status;  // OK iff termination == kCompleted
+
+  bool completed() const { return termination == TerminationReason::kCompleted; }
 
   /// Metrics for estimator `i` (index into `names`).
   EstimatorMetrics Metrics(size_t i) const;
@@ -61,17 +90,43 @@ class ProgressMonitor {
   static ProgressMonitor WithEstimators(PhysicalPlan* plan,
                                         const std::vector<std::string>& names);
 
-  /// Executes the plan to completion, checkpointing every
-  /// `checkpoint_interval` units of work (getnext calls).
+  /// Installs a resource guard (borrowed) enforced during monitored runs:
+  /// cancellation is honored within one checkpoint interval, and budget /
+  /// deadline violations end the run with a partial report.
+  void set_guard(QueryGuard* guard) { guard_ = guard; }
+
+  /// Installs a fault injector (borrowed). It is Reset() at the start of
+  /// every run, so a given seed replays the same fault schedule — two runs
+  /// of the same plan produce byte-identical reports.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Called after each checkpoint is recorded — the hook a kill-or-wait
+  /// policy uses to watch estimates and, e.g., RequestCancel() on the guard.
+  void set_checkpoint_listener(std::function<void(const Checkpoint&)> listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Executes the plan to completion (or until a guardrail stops it),
+  /// checkpointing every `checkpoint_interval` units of work (getnext
+  /// calls). Every estimate in the report is sanitized into [0, 1] — a
+  /// misbehaving estimator cannot leak NaN or out-of-range values.
   ProgressReport Run(uint64_t checkpoint_interval);
 
   /// Executes with roughly `approx_checkpoints` samples: performs a throwaway
-  /// full execution to learn total(Q), then the monitored run.
+  /// full execution to learn total(Q), then the monitored run. Requires a
+  /// rewindable plan (PlanSupportsRewind); otherwise returns an empty report
+  /// whose status is kInvalidArgument. If a guardrail stops the learning
+  /// run, its partial report (without checkpoints) is returned.
   ProgressReport RunWithApproxCheckpoints(size_t approx_checkpoints);
 
  private:
+  ProgressReport MakeAbortedReport(const ExecContext& ctx) const;
+
   PhysicalPlan* plan_;
   std::vector<std::unique_ptr<ProgressEstimator>> estimators_;
+  QueryGuard* guard_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  std::function<void(const Checkpoint&)> listener_;
 };
 
 }  // namespace qprog

@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "exec/fault_injector.h"
 
 namespace qprog {
 
@@ -136,6 +137,8 @@ void HashAggregate::Open(ExecContext* ctx) {
   group_index_.clear();
   group_keys_.clear();
   group_states_.clear();
+  ctx->ReleaseBufferedRows(charged_);
+  charged_ = 0;
   cursor_ = 0;
   child_->Open(ctx);
 }
@@ -143,7 +146,8 @@ void HashAggregate::Open(ExecContext* ctx) {
 void HashAggregate::Build(ExecContext* ctx) {
   Row row;
   bool any_input = false;
-  while (child_->Next(ctx, &row)) {
+  while (ctx->ok() && child_->Next(ctx, &row)) {
+    if (ctx->ConsultFault(faults::kHashAggregateBuild)) return;
     any_input = true;
     Row key;
     key.reserve(group_exprs_.size());
@@ -152,9 +156,12 @@ void HashAggregate::Build(ExecContext* ctx) {
     if (inserted) {
       group_keys_.push_back(std::move(key));
       group_states_.push_back(MakeStates(aggregates_));
+      ++charged_;
+      if (!ctx->ChargeBufferedRows(1)) return;
     }
     AccumulateRow(aggregates_, &group_states_[it->second], row);
   }
+  if (!ctx->ok()) return;  // partial aggregation: do not emit
   // A scalar aggregate produces one row even over empty input.
   if (group_exprs_.empty() && !any_input) {
     group_keys_.emplace_back();
@@ -164,7 +171,11 @@ void HashAggregate::Build(ExecContext* ctx) {
 }
 
 bool HashAggregate::Next(ExecContext* ctx, Row* out) {
-  if (!built_) Build(ctx);
+  if (!ctx->ok()) return false;
+  if (!built_) {
+    Build(ctx);
+    if (!ctx->ok()) return false;
+  }
   if (cursor_ >= group_keys_.size()) {
     finished_ = true;
     return false;
@@ -180,6 +191,8 @@ void HashAggregate::Close(ExecContext* ctx) {
   group_index_.clear();
   group_keys_.clear();
   group_states_.clear();
+  ctx->ReleaseBufferedRows(charged_);
+  charged_ = 0;
 }
 
 std::string HashAggregate::label() const {
@@ -232,6 +245,9 @@ Row StreamAggregate::EmitGroup() {
 }
 
 bool StreamAggregate::Next(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kStreamAggregateNext)) {
+    return false;
+  }
   if (input_done_ && !group_open_) {
     // Scalar aggregate over empty input still yields one row.
     if (group_exprs_.empty() && !any_input_ && groups_emitted_ == 0) {
@@ -256,6 +272,7 @@ bool StreamAggregate::Next(ExecContext* ctx, Row* out) {
       have_row = child_->Next(ctx, &row);
     }
     if (!have_row) {
+      if (!ctx->ok()) return false;  // child stopped on error: no final group
       input_done_ = true;
       if (group_open_) {
         *out = EmitGroup();

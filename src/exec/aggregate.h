@@ -97,6 +97,7 @@ class HashAggregate : public PhysicalOperator {
   std::vector<Row> group_keys_;  // first-seen order
   std::vector<std::vector<AggAccumulator>> group_states_;
   size_t cursor_ = 0;
+  uint64_t charged_ = 0;  // groups charged to the context's buffer budget
 };
 
 /// γ over an input already sorted by the grouping expressions; emits each

@@ -1,0 +1,50 @@
+#include "exec/exec_context.h"
+
+#include "common/strings.h"
+#include "exec/fault_injector.h"
+
+namespace qprog {
+
+void ExecContext::OnWorkEvent() {
+  // Fire the observer once per crossed interval, with the scheduled crossing
+  // point — a burst of counted rows cannot silently skip observations, and
+  // successive next_observation_ values never drift off the interval grid.
+  while (observer_ && !failed_ && work_ >= next_observation_) {
+    uint64_t scheduled = next_observation_;
+    next_observation_ += observation_interval_;
+    observer_(scheduled);
+  }
+  // Guard checks piggyback on every event (observation or scheduled check),
+  // so cancellation requested from an observer callback is honored before
+  // another unit of work is counted.
+  if (guard_ != nullptr) {
+    if (!failed_) {
+      Status violation = guard_->Check(work_);
+      if (!violation.ok()) RaiseError(std::move(violation));
+    }
+    next_guard_check_ = work_ + guard_->check_interval();
+  }
+  RecomputeNextEvent();
+}
+
+bool ExecContext::ConsultFaultSlow(const char* site) {
+  Status fault = fault_injector_->OnHit(site);
+  if (fault.ok()) return false;
+  RaiseError(std::move(fault));
+  return true;
+}
+
+bool ExecContext::ChargeBufferedRows(uint64_t n) {
+  buffered_rows_ += n;
+  if (failed_) return false;
+  if (guard_ != nullptr && buffered_rows_ > guard_->max_buffered_rows()) {
+    RaiseError(qprog::ResourceExhausted(StringPrintf(
+        "buffered-row budget exceeded (%llu buffered > %llu allowed)",
+        static_cast<unsigned long long>(buffered_rows_),
+        static_cast<unsigned long long>(guard_->max_buffered_rows()))));
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qprog

@@ -6,17 +6,35 @@
 // non-root operator. (The root's rows are returned to the consumer outside
 // the tree and do not count; this is the accounting that makes the paper's
 // Example 2 total come out to 100,000 + 1 + 10,000 = 110,001.)
+//
+// The context is also the execution's error channel and guardrail hook:
+//  * A sticky `Status` records the first failure (an injected fault, a guard
+//    violation, an operator error). Operators treat `!ctx->ok()` as an
+//    immediate stop signal: Next() returns false without doing end-of-stream
+//    work, so the error cascades cleanly to the plan driver.
+//  * An optional QueryGuard (borrowed) is checked on the CountRow hot path at
+//    an amortized interval — the fast path stays a single branch against
+//    `next_event_`, which folds together the next observation point, the
+//    next guard check and the work-budget trip point.
+//  * An optional FaultInjector (borrowed) is consulted by operators at named
+//    sites via ConsultFault().
 
 #ifndef QPROG_EXEC_EXEC_CONTEXT_H_
 #define QPROG_EXEC_EXEC_CONTEXT_H_
 
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
+#include "exec/query_guard.h"
 
 namespace qprog {
+
+class FaultInjector;
 
 class ExecContext {
  public:
@@ -24,24 +42,43 @@ class ExecContext {
   ExecContext(const ExecContext&) = delete;
   ExecContext& operator=(const ExecContext&) = delete;
 
-  /// Prepares counters for a plan with `num_nodes` operators.
+  /// Prepares counters for a plan with `num_nodes` operators and clears any
+  /// sticky error from a previous execution. Guard and fault-injector wiring
+  /// persists across Reset (they describe the query, not one run).
   void Reset(size_t num_nodes) {
     rows_produced_.assign(num_nodes, 0);
     work_ = 0;
-    next_observation_ = observation_interval_;
+    buffered_rows_ = 0;
+    failed_ = false;
+    status_ = OkStatus();
+    next_observation_ = observer_ ? observation_interval_ : kNever;
+    next_guard_check_ = guard_ ? guard_->check_interval() : kNever;
+    RecomputeNextEvent();
   }
 
-  /// Called by an operator each time it returns a row.
+  /// Called by an operator each time it returns a row. Fast path: one
+  /// increment and one branch; observation and guard checks run out of line
+  /// when `work_` crosses the next scheduled event.
   void CountRow(int node_id, bool is_root) {
     QPROG_DCHECK(node_id >= 0 &&
                  static_cast<size_t>(node_id) < rows_produced_.size());
     ++rows_produced_[static_cast<size_t>(node_id)];
     if (!is_root) {
       ++work_;
-      if (observer_ && work_ >= next_observation_) {
-        next_observation_ = work_ + observation_interval_;
-        observer_(work_);
-      }
+      if (work_ >= next_event_) OnWorkEvent();
+    }
+  }
+
+  /// Batched CountRow: counts `n` rows at once (future vectorized operators).
+  /// A burst that crosses several observation intervals fires the observer
+  /// once per crossed interval, each time with the scheduled crossing point.
+  void CountRows(int node_id, uint64_t n, bool is_root) {
+    QPROG_DCHECK(node_id >= 0 &&
+                 static_cast<size_t>(node_id) < rows_produced_.size());
+    rows_produced_[static_cast<size_t>(node_id)] += n;
+    if (!is_root) {
+      work_ += n;
+      if (work_ >= next_event_) OnWorkEvent();
     }
   }
 
@@ -53,27 +90,117 @@ class ExecContext {
   /// Total counted getnext calls so far (Curr in the paper's notation).
   uint64_t work() const { return work_; }
 
-  /// Installs a callback fired (approximately) every `interval` units of
-  /// work. Used by the ProgressMonitor to take estimator checkpoints.
+  // -- error channel --------------------------------------------------------
+
+  /// True while no execution error has been recorded.
+  bool ok() const { return !failed_; }
+
+  /// The sticky execution status; OK until the first RaiseError.
+  const Status& status() const { return status_; }
+
+  /// Records an execution error. The first error wins; later ones (usually
+  /// cascade noise from operators shutting down) are dropped.
+  void RaiseError(Status status) {
+    QPROG_DCHECK(!status.ok());
+    if (!failed_) {
+      failed_ = true;
+      status_ = std::move(status);
+    }
+  }
+
+  // -- guardrails -----------------------------------------------------------
+
+  /// Installs a resource guard (borrowed; may be null to remove). Checked at
+  /// an amortized interval on the CountRow path and at every observation.
+  void set_guard(QueryGuard* guard) {
+    guard_ = guard;
+    next_guard_check_ = guard_ ? guard_->check_interval() : kNever;
+    RecomputeNextEvent();
+  }
+  QueryGuard* guard() const { return guard_; }
+
+  /// Installs a fault injector (borrowed; may be null to remove).
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
+  /// Consults the fault injector (if any) at a named site. Returns true when
+  /// a fault fired — the fault's Status has been recorded as the execution
+  /// error and the calling operator must stop producing.
+  bool ConsultFault(const char* site) {
+    if (fault_injector_ == nullptr) return false;
+    return ConsultFaultSlow(site);
+  }
+
+  /// Charges `n` rows against the blocking-operator buffer budget. Returns
+  /// false (with kResourceExhausted recorded) when the guard's buffered-row
+  /// budget is exceeded, or when the execution has already failed.
+  bool ChargeBufferedRows(uint64_t n);
+
+  /// Returns rows to the buffer budget (operator Close/rescan).
+  void ReleaseBufferedRows(uint64_t n) {
+    buffered_rows_ -= n < buffered_rows_ ? n : buffered_rows_;
+  }
+
+  /// Rows currently buffered by blocking operators, plan-wide.
+  uint64_t buffered_rows() const { return buffered_rows_; }
+
+  // -- work observation -----------------------------------------------------
+
+  /// Installs a callback fired once per `interval` units of work, with the
+  /// scheduled crossing point (interval, 2*interval, ...) as argument. If a
+  /// single counting burst crosses several intervals, the observer fires
+  /// once per crossed interval. Used by the ProgressMonitor to take
+  /// estimator checkpoints.
   void SetWorkObserver(uint64_t interval,
                        std::function<void(uint64_t)> observer) {
     QPROG_CHECK(interval > 0);
     observation_interval_ = interval;
     next_observation_ = interval;
     observer_ = std::move(observer);
+    RecomputeNextEvent();
   }
 
   void ClearWorkObserver() {
     observer_ = nullptr;
     observation_interval_ = 0;
+    next_observation_ = kNever;
+    RecomputeNextEvent();
   }
 
  private:
+  static constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+  // Slow paths, out of line (exec_context.cc).
+  void OnWorkEvent();
+  bool ConsultFaultSlow(const char* site);
+
+  /// Folds the next observation, next guard check and work-budget trip point
+  /// into the single `next_event_` the fast path branches on.
+  void RecomputeNextEvent() {
+    uint64_t next = next_observation_;
+    if (next_guard_check_ < next) next = next_guard_check_;
+    if (guard_ != nullptr && guard_->max_work() < next) {
+      next = guard_->max_work();
+    }
+    next_event_ = next;
+  }
+
   std::vector<uint64_t> rows_produced_;
   uint64_t work_ = 0;
+  uint64_t buffered_rows_ = 0;
+
   uint64_t observation_interval_ = 0;
-  uint64_t next_observation_ = 0;
+  uint64_t next_observation_ = kNever;
+  uint64_t next_guard_check_ = kNever;
+  uint64_t next_event_ = kNever;
   std::function<void(uint64_t)> observer_;
+
+  bool failed_ = false;
+  Status status_;
+  QueryGuard* guard_ = nullptr;
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace qprog

@@ -1,0 +1,71 @@
+#include "exec/fault_injector.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace qprog {
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+void FaultInjector::Arm(FaultSpec spec) {
+  SiteState& state = sites_[spec.site];
+  state.spec = std::move(spec);
+  state.armed = true;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.armed = false;
+}
+
+Status FaultInjector::OnHit(const char* site) {
+  SiteState& state = sites_[site];
+  ++state.hits;
+  if (!state.armed) return OkStatus();
+  const FaultSpec& spec = state.spec;
+  if (spec.latency_spins > 0) {
+    // Deterministic latency: a fixed busy-wait that slows the site down
+    // without reading a clock (results and reports stay byte-identical).
+    volatile uint64_t sink = 0;
+    for (uint64_t i = 0; i < spec.latency_spins; ++i) sink += i;
+  }
+  bool fire = spec.fail_on_hit != 0 && state.hits == spec.fail_on_hit;
+  if (!fire && spec.fail_probability > 0) {
+    fire = rng_.Bernoulli(spec.fail_probability);
+  }
+  if (!fire) return OkStatus();
+  std::string message =
+      spec.message.empty()
+          ? StringPrintf("injected fault at %s (hit %llu)", site,
+                         static_cast<unsigned long long>(state.hits))
+          : spec.message;
+  return Status(spec.code, std::move(message));
+}
+
+uint64_t FaultInjector::hit_count(const std::string& site) const {
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+void FaultInjector::Reset() {
+  rng_ = Rng(seed_);
+  for (auto& [site, state] : sites_) state.hits = 0;
+}
+
+const std::vector<std::string>& FaultInjector::KnownSites() {
+  static const std::vector<std::string>* kSites = new std::vector<std::string>{
+      faults::kSeqScanOpen,       faults::kSeqScanNext,
+      faults::kIndexSeekNext,     faults::kFilterNext,
+      faults::kProjectNext,       faults::kLimitNext,
+      faults::kNestedLoopsJoinNext,
+      faults::kIndexNestedLoopsJoinNext,
+      faults::kHashJoinOpen,      faults::kHashJoinBuild,
+      faults::kHashJoinProbe,     faults::kMergeJoinNext,
+      faults::kSortOpen,          faults::kSortBuild,
+      faults::kHashAggregateBuild, faults::kStreamAggregateNext,
+  };
+  return *kSites;
+}
+
+}  // namespace qprog

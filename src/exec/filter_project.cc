@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "exec/fault_injector.h"
 
 namespace qprog {
 
@@ -21,6 +22,7 @@ void Filter::Open(ExecContext* ctx) {
 }
 
 bool Filter::Next(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kFilterNext)) return false;
   Row row;
   while (child_->Next(ctx, &row)) {
     Value keep = predicate_->Eval(row);
@@ -30,6 +32,7 @@ bool Filter::Next(ExecContext* ctx, Row* out) {
       return true;
     }
   }
+  if (!ctx->ok()) return false;  // child stopped on error, not end-of-stream
   finished_ = true;
   return false;
 }
@@ -63,9 +66,10 @@ void Project::Open(ExecContext* ctx) {
 }
 
 bool Project::Next(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kProjectNext)) return false;
   Row row;
   if (!child_->Next(ctx, &row)) {
-    finished_ = true;
+    if (ctx->ok()) finished_ = true;
     return false;
   }
   out->clear();
@@ -100,12 +104,13 @@ void Limit::Open(ExecContext* ctx) {
 }
 
 bool Limit::Next(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kLimitNext)) return false;
   if (produced_ >= limit_) {
     finished_ = true;
     return false;
   }
   if (!child_->Next(ctx, out)) {
-    finished_ = true;
+    if (ctx->ok()) finished_ = true;
     return false;
   }
   ++produced_;

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "exec/fault_injector.h"
 
 namespace qprog {
 
@@ -78,10 +79,14 @@ bool NestedLoopsJoin::AdvanceOuter(ExecContext* ctx) {
 }
 
 bool NestedLoopsJoin::Next(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kNestedLoopsJoinNext)) {
+    return false;
+  }
   for (;;) {
+    if (!ctx->ok()) return false;
     if (!outer_valid_) {
       if (!AdvanceOuter(ctx)) {
-        finished_ = true;
+        if (ctx->ok()) finished_ = true;
         return false;
       }
     }
@@ -104,6 +109,7 @@ bool NestedLoopsJoin::Next(ExecContext* ctx, Row* out) {
       break;  // kLeftAnti: a match disqualifies the outer row
     }
     // Inner exhausted for the current outer row (or anti-match found).
+    if (!ctx->ok()) return false;  // inner stopped on error, not exhaustion
     if (!outer_matched_) {
       if (join_type_ == JoinType::kLeftOuter) {
         *out = ConcatRows(outer_row_,
@@ -170,10 +176,14 @@ bool IndexNestedLoopsJoin::AdvanceOuter(ExecContext* ctx) {
 }
 
 bool IndexNestedLoopsJoin::Next(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kIndexNestedLoopsJoinNext)) {
+    return false;
+  }
   for (;;) {
+    if (!ctx->ok()) return false;
     if (!outer_valid_) {
       if (!AdvanceOuter(ctx)) {
-        finished_ = true;
+        if (ctx->ok()) finished_ = true;
         return false;
       }
     }
@@ -195,6 +205,7 @@ bool IndexNestedLoopsJoin::Next(ExecContext* ctx, Row* out) {
       }
       break;  // kLeftAnti
     }
+    if (!ctx->ok()) return false;
     if (!outer_matched_) {
       if (join_type_ == JoinType::kLeftOuter) {
         *out = ConcatRows(outer_row_,
@@ -254,13 +265,17 @@ void HashJoin::Open(ExecContext* ctx) {
   probe_matched_ = false;
   bucket_ = nullptr;
   bucket_pos_ = 0;
+  ctx->ReleaseBufferedRows(charged_);
+  charged_ = 0;
+  if (ctx->ConsultFault(faults::kHashJoinOpen)) return;
   build_->Open(ctx);
   probe_->Open(ctx);
 }
 
 void HashJoin::BuildTable(ExecContext* ctx) {
   Row row;
-  while (build_->Next(ctx, &row)) {
+  while (ctx->ok() && build_->Next(ctx, &row)) {
+    if (ctx->ConsultFault(faults::kHashJoinBuild)) return;
     Row key;
     key.reserve(build_keys_.size());
     bool has_null = false;
@@ -273,8 +288,11 @@ void HashJoin::BuildTable(ExecContext* ctx) {
     auto& bucket = table_[std::move(key)];
     bucket.push_back(std::move(row));
     ++build_rows_;
+    ++charged_;
     max_bucket_ = std::max<uint64_t>(max_bucket_, bucket.size());
+    if (!ctx->ChargeBufferedRows(1)) return;
   }
+  if (!ctx->ok()) return;  // partial build: not usable for probing
   build_done_ = true;
 }
 
@@ -305,11 +323,16 @@ bool HashJoin::AdvanceProbe(ExecContext* ctx) {
 }
 
 bool HashJoin::Next(ExecContext* ctx, Row* out) {
-  if (!build_done_) BuildTable(ctx);
+  if (!ctx->ok() || ctx->ConsultFault(faults::kHashJoinProbe)) return false;
+  if (!build_done_) {
+    BuildTable(ctx);
+    if (!ctx->ok()) return false;
+  }
   for (;;) {
+    if (!ctx->ok()) return false;
     if (!probe_valid_) {
       if (!AdvanceProbe(ctx)) {
-        finished_ = true;
+        if (ctx->ok()) finished_ = true;
         return false;
       }
     }
@@ -364,6 +387,8 @@ void HashJoin::Close(ExecContext* ctx) {
   probe_->Close(ctx);
   build_->Close(ctx);
   table_.clear();
+  ctx->ReleaseBufferedRows(charged_);
+  charged_ = 0;
 }
 
 std::string HashJoin::label() const {
@@ -449,6 +474,8 @@ void MergeJoin::Open(ExecContext* ctx) {
   finished_ = false;
   left_valid_ = right_valid_ = false;
   group_.clear();
+  ctx->ReleaseBufferedRows(charged_);
+  charged_ = 0;
   group_active_ = false;
   group_pos_ = 0;
   left_->Open(ctx);
@@ -458,7 +485,9 @@ void MergeJoin::Open(ExecContext* ctx) {
 }
 
 bool MergeJoin::Next(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kMergeJoinNext)) return false;
   for (;;) {
+    if (!ctx->ok()) return false;
     if (group_active_) {
       if (group_pos_ < group_.size()) {
         *out = ConcatRows(left_row_, group_[group_pos_++]);
@@ -467,7 +496,7 @@ bool MergeJoin::Next(ExecContext* ctx, Row* out) {
       }
       // Current left row exhausted this group; advance left.
       if (!PullLeft(ctx)) {
-        finished_ = true;
+        if (ctx->ok()) finished_ = true;
         return false;
       }
       if (CompareKeys(left_key_, group_key_) == 0) {
@@ -483,21 +512,27 @@ bool MergeJoin::Next(ExecContext* ctx, Row* out) {
     int cmp = CompareKeys(left_key_, right_key_);
     if (cmp < 0) {
       if (!PullLeft(ctx)) {
-        finished_ = true;
+        if (ctx->ok()) finished_ = true;
         return false;
       }
     } else if (cmp > 0) {
       if (!PullRight(ctx)) {
-        finished_ = true;
+        if (ctx->ok()) finished_ = true;
         return false;
       }
     } else {
-      // Collect the full right group with this key.
+      // Collect the full right group with this key. The buffer is bounded by
+      // the largest duplicate-key group; charge it against the budget.
       group_.clear();
+      ctx->ReleaseBufferedRows(charged_);
+      charged_ = 0;
       group_key_ = right_key_;
       do {
         group_.push_back(right_row_);
+        ++charged_;
+        if (!ctx->ChargeBufferedRows(1)) return false;
       } while (PullRight(ctx) && CompareKeys(right_key_, group_key_) == 0);
+      if (!ctx->ok()) return false;
       group_active_ = true;
       group_pos_ = 0;
     }
@@ -508,6 +543,8 @@ void MergeJoin::Close(ExecContext* ctx) {
   left_->Close(ctx);
   right_->Close(ctx);
   group_.clear();
+  ctx->ReleaseBufferedRows(charged_);
+  charged_ = 0;
 }
 
 std::string MergeJoin::label() const {

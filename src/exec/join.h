@@ -149,6 +149,7 @@ class HashJoin : public PhysicalOperator {
   std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> table_;
   uint64_t build_rows_ = 0;
   uint64_t max_bucket_ = 0;
+  uint64_t charged_ = 0;  // rows charged to the context's buffer budget
 
   Row probe_row_;
   bool probe_valid_ = false;
@@ -197,6 +198,7 @@ class MergeJoin : public PhysicalOperator {
   Row group_key_;
   bool group_active_ = false;
   size_t group_pos_ = 0;
+  uint64_t charged_ = 0;  // buffered group rows charged to the budget
 };
 
 }  // namespace qprog

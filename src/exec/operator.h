@@ -96,6 +96,13 @@ class PhysicalOperator {
   /// One-line label for plan printing, e.g. "HashJoin(inner, linear)".
   virtual std::string label() const;
 
+  /// True when Open() fully resets state so the operator can be re-executed
+  /// (all built-in operators). Sources that consume an external stream
+  /// return false; ProgressMonitor::RunWithApproxCheckpoints needs the whole
+  /// plan rewindable for its throwaway learning run and reports a clear
+  /// Status otherwise.
+  virtual bool SupportsRewind() const { return true; }
+
   /// Fills the bounds-tracker snapshot. Subclasses override to publish the
   /// fields relevant to their kind; `rows_produced`/`finished` are set here.
   virtual void FillProgressState(const ExecContext& ctx,

@@ -48,12 +48,21 @@ uint64_t ExecutePlan(PhysicalPlan* plan, ExecContext* ctx,
   root->Open(ctx);
   Row row;
   uint64_t produced = 0;
-  while (root->Next(ctx, &row)) {
+  // Stop on the first execution error; a row produced concurrently with a
+  // guard trip is dropped (the query is aborting). Close always runs so
+  // operators release buffered state even on an aborted run.
+  while (ctx->ok() && root->Next(ctx, &row)) {
     ++produced;
     if (sink) sink(row);
   }
   root->Close(ctx);
   return produced;
+}
+
+Status RunPlan(PhysicalPlan* plan, ExecContext* ctx,
+               const std::function<void(const Row&)>& sink) {
+  ExecutePlan(plan, ctx, sink);
+  return ctx->status();
 }
 
 std::vector<Row> CollectRows(PhysicalPlan* plan, ExecContext* ctx) {
@@ -67,10 +76,24 @@ std::vector<Row> CollectRows(PhysicalPlan* plan) {
   return CollectRows(plan, &ctx);
 }
 
+StatusOr<std::vector<Row>> TryCollectRows(PhysicalPlan* plan,
+                                          ExecContext* ctx) {
+  std::vector<Row> rows = CollectRows(plan, ctx);
+  if (!ctx->ok()) return ctx->status();
+  return rows;
+}
+
 uint64_t MeasureTotalWork(PhysicalPlan* plan) {
   ExecContext ctx;
   ExecutePlan(plan, &ctx);
   return ctx.work();
+}
+
+bool PlanSupportsRewind(const PhysicalPlan& plan) {
+  for (const PhysicalOperator* op : plan.nodes()) {
+    if (!op->SupportsRewind()) return false;
+  }
+  return true;
 }
 
 }  // namespace qprog

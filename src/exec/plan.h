@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/statusor.h"
 #include "exec/operator.h"
 
 namespace qprog {
@@ -40,20 +41,38 @@ class PhysicalPlan {
   std::vector<PhysicalOperator*> nodes_;
 };
 
-/// Runs the plan to completion. Returns the number of rows the root
-/// produced. `sink` (optional) receives each output row.
+/// Runs the plan until completion or the context's first execution error
+/// (guard violation, injected fault). Returns the number of rows the root
+/// produced; `ctx->status()` tells completion from abort. `sink` (optional)
+/// receives each output row.
 uint64_t ExecutePlan(PhysicalPlan* plan, ExecContext* ctx,
                      const std::function<void(const Row&)>& sink = nullptr);
 
-/// Runs the plan and collects the root's output.
+/// Status-propagating driver: like ExecutePlan, but returns the execution's
+/// final Status (OK on completion; kCancelled / kDeadlineExceeded /
+/// kResourceExhausted / the fault's status on an aborted run).
+Status RunPlan(PhysicalPlan* plan, ExecContext* ctx,
+               const std::function<void(const Row&)>& sink = nullptr);
+
+/// Runs the plan and collects the root's output. On an aborted run the
+/// returned rows are the prefix produced before the error (check
+/// `ctx->status()`); use TryCollectRows to get the Status instead.
 std::vector<Row> CollectRows(PhysicalPlan* plan, ExecContext* ctx);
 
 /// Convenience: run with a throwaway context, returning the output rows.
 std::vector<Row> CollectRows(PhysicalPlan* plan);
 
+/// Runs the plan and returns its full output, or the execution error (the
+/// partial prefix is discarded).
+StatusOr<std::vector<Row>> TryCollectRows(PhysicalPlan* plan, ExecContext* ctx);
+
 /// Total getnext calls of a complete execution of `plan` — total(Q) in the
 /// paper's notation. Runs the plan to completion on a fresh context.
 uint64_t MeasureTotalWork(PhysicalPlan* plan);
+
+/// True when every operator in the plan supports re-execution via Open()
+/// (see PhysicalOperator::SupportsRewind).
+bool PlanSupportsRewind(const PhysicalPlan& plan);
 
 }  // namespace qprog
 

@@ -1,0 +1,113 @@
+// QueryGuard: the resource envelope of one query execution — a cancellation
+// token, a wall-clock deadline, a work budget (getnext calls) and a
+// buffered-row budget for blocking operators. The guard itself is passive:
+// ExecContext consults it on the CountRow hot path at an amortized interval
+// (one integer compare on the fast path) and converts violations into sticky
+// execution errors (kCancelled / kDeadlineExceeded / kResourceExhausted).
+//
+// RequestCancel() is the only member safe to call concurrently with the
+// executing query (a monitoring thread flips the token; the executor observes
+// it within one guard-check interval). Budgets and the deadline must be
+// configured before execution starts.
+
+#ifndef QPROG_EXEC_QUERY_GUARD_H_
+#define QPROG_EXEC_QUERY_GUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace qprog {
+
+class QueryGuard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  static constexpr uint64_t kNoLimit = std::numeric_limits<uint64_t>::max();
+
+  /// Default spacing (in getnext calls) between guard checks. When a work
+  /// observer is also installed, checks additionally piggyback on every
+  /// observation, so cancellation is always honored within one observation
+  /// interval.
+  static constexpr uint64_t kDefaultCheckInterval = 256;
+
+  QueryGuard() = default;
+  QueryGuard(const QueryGuard&) = delete;
+  QueryGuard& operator=(const QueryGuard&) = delete;
+
+  // -- cancellation ---------------------------------------------------------
+  /// Requests cooperative cancellation. Thread-safe; idempotent.
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+  /// Re-arms the guard for another run (clears the cancel token only; budgets
+  /// and deadline are sticky configuration).
+  void ResetCancel() { cancel_.store(false, std::memory_order_relaxed); }
+
+  // -- budgets --------------------------------------------------------------
+  /// Aborts the query with kResourceExhausted once its work counter (total
+  /// getnext calls) reaches `max_work`. A query needing fewer calls than the
+  /// budget completes normally.
+  void set_max_work(uint64_t max_work) { max_work_ = max_work; }
+  uint64_t max_work() const { return max_work_; }
+
+  /// Bounds the rows buffered simultaneously by blocking operators (sort
+  /// runs, hash-join tables, aggregate groups, merge-join key groups) — the
+  /// engine's proxy for a memory budget. Exceeding it aborts the query with
+  /// kResourceExhausted.
+  void set_max_buffered_rows(uint64_t max_rows) {
+    max_buffered_rows_ = max_rows;
+  }
+  uint64_t max_buffered_rows() const { return max_buffered_rows_; }
+
+  // -- deadline -------------------------------------------------------------
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void set_timeout(Clock::duration timeout) {
+    set_deadline(Clock::now() + timeout);
+  }
+  void clear_deadline() { has_deadline_ = false; }
+  bool has_deadline() const { return has_deadline_; }
+
+  /// How many getnext calls may elapse between guard checks (amortizes the
+  /// clock read and atomic load off the hot path).
+  void set_check_interval(uint64_t interval) {
+    QPROG_CHECK(interval > 0);
+    check_interval_ = interval;
+  }
+  uint64_t check_interval() const { return check_interval_; }
+
+  /// Evaluates every constraint against the current work counter. Returns
+  /// the first violation (cancel, then work budget, then deadline), or OK.
+  Status Check(uint64_t work) const {
+    if (cancel_requested()) {
+      return qprog::Cancelled("query cancelled by request");
+    }
+    if (work >= max_work_) {
+      return qprog::ResourceExhausted("work budget exhausted");
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return qprog::DeadlineExceeded("query deadline exceeded");
+    }
+    return OkStatus();
+  }
+
+ private:
+  std::atomic<bool> cancel_{false};
+  uint64_t max_work_ = kNoLimit;
+  uint64_t max_buffered_rows_ = kNoLimit;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  uint64_t check_interval_ = kDefaultCheckInterval;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_EXEC_QUERY_GUARD_H_

@@ -1,6 +1,7 @@
 #include "exec/scan.h"
 
 #include "common/strings.h"
+#include "exec/fault_injector.h"
 
 namespace qprog {
 
@@ -10,13 +11,15 @@ namespace qprog {
 SeqScan::SeqScan(const Table* table, ExprPtr predicate)
     : table_(table), predicate_(std::move(predicate)) {}
 
-void SeqScan::Open(ExecContext*) {
+void SeqScan::Open(ExecContext* ctx) {
   cursor_ = 0;
   emitted_ = 0;
   finished_ = false;
+  ctx->ConsultFault(faults::kSeqScanOpen);
 }
 
 bool SeqScan::Next(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kSeqScanNext)) return false;
   while (cursor_ < table_->num_rows()) {
     const Row& row = table_->row(cursor_++);
     // Every examined row is one getnext at the leaf, merged predicate or
@@ -24,6 +27,7 @@ bool SeqScan::Next(ExecContext* ctx, Row* out) {
     // base tuple must be read once; Section 5.2's LB >= sum of leaf
     // cardinalities).
     ctx->CountRow(node_id(), is_root());
+    if (!ctx->ok()) return false;  // guard tripped while counting
     if (predicate_ != nullptr) {
       Value keep = predicate_->Eval(row);
       if (keep.is_null() || !keep.bool_value()) continue;
@@ -94,6 +98,7 @@ void IndexSeek::Open(ExecContext*) {
 }
 
 bool IndexSeek::Next(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kIndexSeekNext)) return false;
   if (pos_ >= current_.size()) {
     if (range_mode_) finished_ = true;
     return false;

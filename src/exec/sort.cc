@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "exec/fault_injector.h"
 
 namespace qprog {
 
@@ -18,13 +19,22 @@ void Sort::Open(ExecContext* ctx) {
   finished_ = false;
   materialized_ = false;
   rows_.clear();
+  ctx->ReleaseBufferedRows(charged_);
+  charged_ = 0;
   cursor_ = 0;
+  if (ctx->ConsultFault(faults::kSortOpen)) return;
   child_->Open(ctx);
 }
 
 void Sort::Materialize(ExecContext* ctx) {
   Row row;
-  while (child_->Next(ctx, &row)) rows_.push_back(std::move(row));
+  while (ctx->ok() && child_->Next(ctx, &row)) {
+    if (ctx->ConsultFault(faults::kSortBuild)) return;
+    rows_.push_back(std::move(row));
+    ++charged_;
+    if (!ctx->ChargeBufferedRows(1)) return;
+  }
+  if (!ctx->ok()) return;  // partial input: do not sort or emit
 
   // Precompute the key tuple per row, then sort indices.
   const size_t nkeys = keys_.size();
@@ -58,7 +68,11 @@ void Sort::Materialize(ExecContext* ctx) {
 }
 
 bool Sort::Next(ExecContext* ctx, Row* out) {
-  if (!materialized_) Materialize(ctx);
+  if (!ctx->ok()) return false;
+  if (!materialized_) {
+    Materialize(ctx);
+    if (!ctx->ok()) return false;
+  }
   if (cursor_ >= rows_.size()) {
     finished_ = true;
     return false;
@@ -71,6 +85,8 @@ bool Sort::Next(ExecContext* ctx, Row* out) {
 void Sort::Close(ExecContext* ctx) {
   child_->Close(ctx);
   rows_.clear();
+  ctx->ReleaseBufferedRows(charged_);
+  charged_ = 0;
 }
 
 std::string Sort::label() const {

@@ -50,6 +50,7 @@ class Sort : public PhysicalOperator {
   bool materialized_ = false;
   std::vector<Row> rows_;
   size_t cursor_ = 0;
+  uint64_t charged_ = 0;  // rows charged to the context's buffer budget
 };
 
 }  // namespace qprog

@@ -28,6 +28,10 @@ class EmptyTpchTest : public ::testing::Test {
     QPROG_CHECK(db_->AddTable(Table("orders", tpch::OrdersSchema())).ok());
     QPROG_CHECK(db_->AddTable(Table("lineitem", tpch::LineitemSchema())).ok());
   }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
   static Database* db_;
 };
 

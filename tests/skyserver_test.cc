@@ -19,6 +19,10 @@ class SkyServerTest : public ::testing::Test {
     Status s = GenerateSkyServer(config, db_);
     QPROG_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
   }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
   static Database* db_;
 };
 

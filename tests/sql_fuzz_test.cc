@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <string>
 
 #include "common/random.h"
@@ -20,8 +22,8 @@ namespace {
 using testutil::I;
 using testutil::S;
 
-Database* MakeDb() {
-  auto* db = new Database();
+std::unique_ptr<Database> MakeDb() {
+  auto db = std::make_unique<Database>();
   Table t = testutil::MakeTable(
       "t", {"a", "b", "c"},
       {{I(1), S("x"), I(10)}, {I(2), S("y"), I(20)}, {I(3), S("z"), I(30)}});
@@ -33,7 +35,7 @@ Database* MakeDb() {
 
 TEST(SqlFuzzTest, RandomByteSoupNeverCrashes) {
   Rng rng(0xF00D);
-  Database* db = MakeDb();
+  std::unique_ptr<Database> db = MakeDb();
   for (int trial = 0; trial < 2000; ++trial) {
     size_t len = rng.Uniform(80);
     std::string input;
@@ -48,7 +50,7 @@ TEST(SqlFuzzTest, RandomByteSoupNeverCrashes) {
 
 TEST(SqlFuzzTest, TokenSoupNeverCrashes) {
   Rng rng(0xBEEF);
-  Database* db = MakeDb();
+  std::unique_ptr<Database> db = MakeDb();
   const char* tokens[] = {"select", "from",  "where", "group", "by",
                           "order",  "limit", "join",  "on",    "and",
                           "or",     "not",   "like",  "in",    "between",
@@ -75,7 +77,7 @@ TEST(SqlFuzzTest, TokenSoupNeverCrashes) {
 
 TEST(SqlFuzzTest, MutatedValidQueriesNeverCrash) {
   Rng rng(0xCAFE);
-  Database* db = MakeDb();
+  std::unique_ptr<Database> db = MakeDb();
   const std::string base =
       "SELECT a, count(*) FROM t JOIN u ON t.a = u.a "
       "WHERE b LIKE 'x%' AND c BETWEEN 5 AND 25 "
@@ -117,7 +119,7 @@ TEST(SqlFuzzTest, LexerHandlesPathologicalInputs) {
   for (int i = 0; i < 200; ++i) deep += ")";
   // Deeply nested parens: the recursive-descent parser must return (either
   // result) without smashing the stack at this depth.
-  Database* db = MakeDb();
+  std::unique_ptr<Database> db = MakeDb();
   auto plan = PlanSql(deep, *db);
   (void)plan;
 }

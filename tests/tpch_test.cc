@@ -26,6 +26,10 @@ class TpchTest : public ::testing::Test {
     Status s = GenerateTpch(config, db_);
     QPROG_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
   }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
   static Database* db_;
 };
 
