@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/strings.h"
+#include "obs/run_summary.h"
 
 namespace qprog {
 
@@ -51,18 +52,9 @@ double EstimateRemainingSeconds(double estimate, double elapsed_seconds) {
 }
 
 std::string SummarizeReport(const ProgressReport& report) {
-  std::string out = StringPrintf(
-      "%s: work=%llu root_rows=%llu checkpoints=%zu",
-      TerminationReasonToString(report.termination),
-      static_cast<unsigned long long>(report.total_work),
-      static_cast<unsigned long long>(report.root_rows),
-      report.checkpoints.size());
-  if (report.completed()) {
-    out += StringPrintf(" mu=%.2f", report.mu);
-  } else {
-    out += StringPrintf(" (%s)", report.status.ToString().c_str());
-  }
-  return out;
+  // One formatting path for the per-run line: the observability layer's
+  // RunTelemetry prints the identical summary (obs/run_summary.h).
+  return FormatRunSummary(report);
 }
 
 }  // namespace qprog

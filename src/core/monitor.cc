@@ -124,9 +124,19 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   ExecContext ctx;
   ctx.set_guard(guard_);
   ctx.set_fault_injector(injector_);
+  ctx.set_telemetry(telemetry_);
   if (injector_ != nullptr) injector_->Reset();  // deterministic replay
   BoundsTracker tracker(plan_);
   std::vector<Pipeline> pipelines = DecomposePipelines(*plan_);
+
+  if (telemetry_ != nullptr) {
+    TraceEvent begin;
+    begin.kind = TraceEventKind::kRunBegin;
+    begin.name = JoinStrings(report.names, ",");
+    begin.a = report.scanned_leaf_cardinality;
+    begin.b = static_cast<double>(checkpoint_interval);
+    telemetry_->Emit(std::move(begin));
+  }
 
   ProgressContext pc;
   pc.plan = plan_;
@@ -135,6 +145,7 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   pc.scanned_leaf_cardinality = report.scanned_leaf_cardinality;
 
   ctx.SetWorkObserver(checkpoint_interval, [&](uint64_t work) {
+    uint64_t cp_start = registry_ != nullptr ? MonotonicNanos() : 0;
     PlanBounds bounds = tracker.Compute(ctx);
     pc.bounds = &bounds;
     Checkpoint cp;
@@ -143,10 +154,45 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
     cp.work_ub = bounds.work_ub;
     cp.estimates.reserve(estimators_.size());
     for (const auto& e : estimators_) {
-      cp.estimates.push_back(SanitizeEstimate(e->Estimate(pc)));
+      if (registry_ != nullptr) {
+        uint64_t eval_start = MonotonicNanos();
+        cp.estimates.push_back(SanitizeEstimate(e->Estimate(pc)));
+        registry_->histogram("estimator_eval_ns")
+            ->Record(static_cast<double>(MonotonicNanos() - eval_start));
+      } else {
+        cp.estimates.push_back(SanitizeEstimate(e->Estimate(pc)));
+      }
+    }
+    if (telemetry_ != nullptr) {
+      // Bounds history first (refinement events carry this checkpoint's
+      // work), then the checkpoint, then the estimates it was scored with.
+      for (size_t n = 0; n < bounds.node_bounds.size(); ++n) {
+        telemetry_->RecordNodeBounds(static_cast<int>(n),
+                                     bounds.node_bounds[n].lb,
+                                     bounds.node_bounds[n].ub, work);
+      }
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kCheckpoint;
+      ev.work = work;
+      ev.a = bounds.work_lb;
+      ev.b = bounds.work_ub;
+      telemetry_->Emit(std::move(ev));
+      for (size_t i = 0; i < estimators_.size(); ++i) {
+        TraceEvent est;
+        est.kind = TraceEventKind::kEstimatorEvaluated;
+        est.work = work;
+        est.name = estimators_[i]->name();
+        est.a = cp.estimates[i];
+        telemetry_->Emit(std::move(est));
+      }
     }
     report.checkpoints.push_back(std::move(cp));
     pc.bounds = nullptr;
+    if (registry_ != nullptr) {
+      registry_->IncrementCounter("checkpoints");
+      registry_->histogram("checkpoint_ns")
+          ->Record(static_cast<double>(MonotonicNanos() - cp_start));
+    }
     if (listener_) listener_(report.checkpoints.back());
   });
 
@@ -156,14 +202,17 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   report.status = ctx.status();
   report.termination = TerminationFromStatus(report.status);
   report.total_work = ctx.work();
+  if (registry_ != nullptr) registry_->IncrementCounter("runs");
   if (!report.completed()) {
     // The true total is unknowable for an unfinished query: keep the partial
     // checkpoints (work counters, bounds, estimates) but make no
     // true-progress or mu claims.
+    EmitRunEnd(report);
     return report;
   }
   double denom = std::max(1.0, report.scanned_leaf_cardinality);
   report.mu = static_cast<double>(report.total_work) / denom;
+  EmitRunEnd(report);
   for (Checkpoint& c : report.checkpoints) {
     c.true_progress = report.total_work > 0
                           ? static_cast<double>(c.work) /
@@ -171,6 +220,19 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
                           : 0;
   }
   return report;
+}
+
+void ProgressMonitor::EmitRunEnd(const ProgressReport& report) {
+  if (telemetry_ == nullptr) return;
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kRunEnd;
+  ev.work = report.total_work;
+  ev.name = TerminationReasonToString(report.termination);
+  if (!report.status.ok()) ev.detail = report.status.ToString();
+  ev.a = static_cast<double>(report.root_rows);
+  ev.b = report.mu;
+  telemetry_->Emit(std::move(ev));
+  if (TraceSink* sink = telemetry_->sink(); sink != nullptr) sink->Flush();
 }
 
 ProgressReport ProgressMonitor::MakeAbortedReport(const ExecContext& ctx) const {

@@ -14,6 +14,8 @@
 #include "core/estimators.h"
 #include "exec/fault_injector.h"
 #include "exec/query_guard.h"
+#include "obs/metrics_registry.h"
+#include "obs/telemetry.h"
 
 namespace qprog {
 
@@ -106,6 +108,19 @@ class ProgressMonitor {
     listener_ = std::move(listener);
   }
 
+  /// Attaches a telemetry collector (borrowed) to monitored runs: operator
+  /// stats are gathered, per-node bounds history is recorded at every
+  /// checkpoint, and — when the collector has a TraceSink — the full typed
+  /// event stream (run begin/end, checkpoints, estimator evaluations, bound
+  /// refinements) is emitted, replayable via obs/replay.h. The throwaway
+  /// learning run of RunWithApproxCheckpoints is never traced.
+  void set_telemetry(TelemetryCollector* telemetry) { telemetry_ = telemetry; }
+
+  /// Attaches a metrics registry (borrowed): monitored runs record
+  /// checkpoint latency and estimator evaluation cost histograms plus event
+  /// counters. Independent of the trace; costs nothing when absent.
+  void set_metrics_registry(MetricsRegistry* registry) { registry_ = registry; }
+
   /// Executes the plan to completion (or until a guardrail stops it),
   /// checkpointing every `checkpoint_interval` units of work (getnext
   /// calls). Every estimate in the report is sanitized into [0, 1] — a
@@ -122,10 +137,15 @@ class ProgressMonitor {
  private:
   ProgressReport MakeAbortedReport(const ExecContext& ctx) const;
 
+  /// Emits the kRunEnd trace event (no-op without telemetry).
+  void EmitRunEnd(const ProgressReport& report);
+
   PhysicalPlan* plan_;
   std::vector<std::unique_ptr<ProgressEstimator>> estimators_;
   QueryGuard* guard_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  TelemetryCollector* telemetry_ = nullptr;
+  MetricsRegistry* registry_ = nullptr;
   std::function<void(const Checkpoint&)> listener_;
 };
 

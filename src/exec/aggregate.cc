@@ -131,7 +131,7 @@ HashAggregate::HashAggregate(OperatorPtr child, std::vector<ExprPtr> group_exprs
   set_is_linear(true);
 }
 
-void HashAggregate::Open(ExecContext* ctx) {
+void HashAggregate::DoOpen(ExecContext* ctx) {
   finished_ = false;
   built_ = false;
   group_index_.clear();
@@ -147,7 +147,7 @@ void HashAggregate::Build(ExecContext* ctx) {
   Row row;
   bool any_input = false;
   while (ctx->ok() && child_->Next(ctx, &row)) {
-    if (ctx->ConsultFault(faults::kHashAggregateBuild)) return;
+    if (ctx->ConsultFault(faults::kHashAggregateBuild, node_id())) return;
     any_input = true;
     Row key;
     key.reserve(group_exprs_.size());
@@ -170,7 +170,7 @@ void HashAggregate::Build(ExecContext* ctx) {
   built_ = true;
 }
 
-bool HashAggregate::Next(ExecContext* ctx, Row* out) {
+bool HashAggregate::DoNext(ExecContext* ctx, Row* out) {
   if (!ctx->ok()) return false;
   if (!built_) {
     Build(ctx);
@@ -186,7 +186,7 @@ bool HashAggregate::Next(ExecContext* ctx, Row* out) {
   return true;
 }
 
-void HashAggregate::Close(ExecContext* ctx) {
+void HashAggregate::DoClose(ExecContext* ctx) {
   child_->Close(ctx);
   group_index_.clear();
   group_keys_.clear();
@@ -224,7 +224,7 @@ StreamAggregate::StreamAggregate(OperatorPtr child,
   set_is_linear(true);
 }
 
-void StreamAggregate::Open(ExecContext* ctx) {
+void StreamAggregate::DoOpen(ExecContext* ctx) {
   finished_ = false;
   group_open_ = false;
   input_done_ = false;
@@ -244,8 +244,9 @@ Row StreamAggregate::EmitGroup() {
   return ResultRow(current_key_, current_state_);
 }
 
-bool StreamAggregate::Next(ExecContext* ctx, Row* out) {
-  if (!ctx->ok() || ctx->ConsultFault(faults::kStreamAggregateNext)) {
+bool StreamAggregate::DoNext(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() ||
+      ctx->ConsultFault(faults::kStreamAggregateNext, node_id())) {
     return false;
   }
   if (input_done_ && !group_open_) {
@@ -307,7 +308,7 @@ bool StreamAggregate::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-void StreamAggregate::Close(ExecContext* ctx) { child_->Close(ctx); }
+void StreamAggregate::DoClose(ExecContext* ctx) { child_->Close(ctx); }
 
 std::string StreamAggregate::label() const {
   return StringPrintf("StreamAggregate(%zu group cols, %zu aggs)",

@@ -72,9 +72,9 @@ class HashAggregate : public PhysicalOperator {
                 std::vector<std::string> group_names,
                 std::vector<AggregateDesc> aggregates);
 
-  void Open(ExecContext* ctx) override;
-  bool Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  void DoOpen(ExecContext* ctx) override;
+  bool DoNext(ExecContext* ctx, Row* out) override;
+  void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kHashAggregate; }
   const Schema& output_schema() const override { return schema_; }
@@ -108,9 +108,9 @@ class StreamAggregate : public PhysicalOperator {
                   std::vector<std::string> group_names,
                   std::vector<AggregateDesc> aggregates);
 
-  void Open(ExecContext* ctx) override;
-  bool Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  void DoOpen(ExecContext* ctx) override;
+  bool DoNext(ExecContext* ctx, Row* out) override;
+  void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kStreamAggregate; }
   const Schema& output_schema() const override { return schema_; }

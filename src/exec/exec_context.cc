@@ -5,7 +5,7 @@
 
 namespace qprog {
 
-void ExecContext::OnWorkEvent() {
+void ExecContext::OnWorkEvent(int node_id) {
   // Fire the observer once per crossed interval, with the scheduled crossing
   // point — a burst of counted rows cannot silently skip observations, and
   // successive next_observation_ values never drift off the interval grid.
@@ -20,16 +20,28 @@ void ExecContext::OnWorkEvent() {
   if (guard_ != nullptr) {
     if (!failed_) {
       Status violation = guard_->Check(work_);
-      if (!violation.ok()) RaiseError(std::move(violation));
+      if (!violation.ok()) {
+        if (telemetry_ != nullptr) {
+          // Attributed to the node whose counted row crossed the threshold —
+          // the operator that was driving the work when the guard tripped.
+          telemetry_->RecordGuardTrip(node_id, work_,
+                                      StatusCodeToString(violation.code()),
+                                      violation.message());
+        }
+        RaiseError(std::move(violation));
+      }
     }
     next_guard_check_ = work_ + guard_->check_interval();
   }
   RecomputeNextEvent();
 }
 
-bool ExecContext::ConsultFaultSlow(const char* site) {
+bool ExecContext::ConsultFaultSlow(const char* site, int node_id) {
   Status fault = fault_injector_->OnHit(site);
   if (fault.ok()) return false;
+  if (telemetry_ != nullptr) {
+    telemetry_->RecordFault(node_id, work_, site, fault.message());
+  }
   RaiseError(std::move(fault));
   return true;
 }

@@ -31,6 +31,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "exec/query_guard.h"
+#include "obs/telemetry.h"
 
 namespace qprog {
 
@@ -54,6 +55,7 @@ class ExecContext {
     next_observation_ = observer_ ? observation_interval_ : kNever;
     next_guard_check_ = guard_ ? guard_->check_interval() : kNever;
     RecomputeNextEvent();
+    if (telemetry_ != nullptr) telemetry_->OnExecReset(num_nodes);
   }
 
   /// Called by an operator each time it returns a row. Fast path: one
@@ -65,7 +67,7 @@ class ExecContext {
     ++rows_produced_[static_cast<size_t>(node_id)];
     if (!is_root) {
       ++work_;
-      if (work_ >= next_event_) OnWorkEvent();
+      if (work_ >= next_event_) OnWorkEvent(node_id);
     }
   }
 
@@ -78,7 +80,7 @@ class ExecContext {
     rows_produced_[static_cast<size_t>(node_id)] += n;
     if (!is_root) {
       work_ += n;
-      if (work_ >= next_event_) OnWorkEvent();
+      if (work_ >= next_event_) OnWorkEvent(node_id);
     }
   }
 
@@ -127,10 +129,11 @@ class ExecContext {
 
   /// Consults the fault injector (if any) at a named site. Returns true when
   /// a fault fired — the fault's Status has been recorded as the execution
-  /// error and the calling operator must stop producing.
-  bool ConsultFault(const char* site) {
+  /// error and the calling operator must stop producing. `node_id` (when
+  /// >= 0) attributes a fired fault to that plan node in the telemetry.
+  bool ConsultFault(const char* site, int node_id = -1) {
     if (fault_injector_ == nullptr) return false;
-    return ConsultFaultSlow(site);
+    return ConsultFaultSlow(site, node_id);
   }
 
   /// Charges `n` rows against the blocking-operator buffer budget. Returns
@@ -169,12 +172,22 @@ class ExecContext {
     RecomputeNextEvent();
   }
 
+  // -- telemetry ------------------------------------------------------------
+
+  /// Attaches a telemetry collector (borrowed; may be null to remove). With
+  /// no collector attached, instrumentation costs one null-pointer branch per
+  /// operator call. The collector is re-armed by Reset().
+  void set_telemetry(TelemetryCollector* telemetry) { telemetry_ = telemetry; }
+  TelemetryCollector* telemetry() const { return telemetry_; }
+
  private:
   static constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
 
-  // Slow paths, out of line (exec_context.cc).
-  void OnWorkEvent();
-  bool ConsultFaultSlow(const char* site);
+  // Slow paths, out of line (exec_context.cc). `node_id` is the node whose
+  // counted row crossed the event threshold / hit the fault site — the node
+  // guard trips and faults are attributed to.
+  void OnWorkEvent(int node_id);
+  bool ConsultFaultSlow(const char* site, int node_id);
 
   /// Folds the next observation, next guard check and work-budget trip point
   /// into the single `next_event_` the fast path branches on.
@@ -195,6 +208,10 @@ class ExecContext {
   uint64_t next_observation_ = kNever;
   uint64_t next_guard_check_ = kNever;
   uint64_t next_event_ = kNever;
+  // Kept on the same cache line as the work counters above: the operator
+  // wrappers test this pointer on every getnext call, and the line is already
+  // resident from CountRow's work_/next_event_ accesses.
+  TelemetryCollector* telemetry_ = nullptr;
   std::function<void(uint64_t)> observer_;
 
   bool failed_ = false;

@@ -16,13 +16,15 @@ Filter::Filter(OperatorPtr child, ExprPtr predicate)
   set_is_linear(true);
 }
 
-void Filter::Open(ExecContext* ctx) {
+void Filter::DoOpen(ExecContext* ctx) {
   finished_ = false;
   child_->Open(ctx);
 }
 
-bool Filter::Next(ExecContext* ctx, Row* out) {
-  if (!ctx->ok() || ctx->ConsultFault(faults::kFilterNext)) return false;
+bool Filter::DoNext(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kFilterNext, node_id())) {
+    return false;
+  }
   Row row;
   while (child_->Next(ctx, &row)) {
     Value keep = predicate_->Eval(row);
@@ -37,7 +39,7 @@ bool Filter::Next(ExecContext* ctx, Row* out) {
   return false;
 }
 
-void Filter::Close(ExecContext* ctx) { child_->Close(ctx); }
+void Filter::DoClose(ExecContext* ctx) { child_->Close(ctx); }
 
 std::string Filter::label() const {
   return StringPrintf("Filter(%s)", predicate_->ToString().c_str());
@@ -60,13 +62,15 @@ Project::Project(OperatorPtr child, std::vector<ExprPtr> exprs,
   set_is_linear(true);
 }
 
-void Project::Open(ExecContext* ctx) {
+void Project::DoOpen(ExecContext* ctx) {
   finished_ = false;
   child_->Open(ctx);
 }
 
-bool Project::Next(ExecContext* ctx, Row* out) {
-  if (!ctx->ok() || ctx->ConsultFault(faults::kProjectNext)) return false;
+bool Project::DoNext(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kProjectNext, node_id())) {
+    return false;
+  }
   Row row;
   if (!child_->Next(ctx, &row)) {
     if (ctx->ok()) finished_ = true;
@@ -79,7 +83,7 @@ bool Project::Next(ExecContext* ctx, Row* out) {
   return true;
 }
 
-void Project::Close(ExecContext* ctx) { child_->Close(ctx); }
+void Project::DoClose(ExecContext* ctx) { child_->Close(ctx); }
 
 std::string Project::label() const {
   std::vector<std::string> parts;
@@ -97,14 +101,16 @@ Limit::Limit(OperatorPtr child, uint64_t limit)
   set_is_linear(true);
 }
 
-void Limit::Open(ExecContext* ctx) {
+void Limit::DoOpen(ExecContext* ctx) {
   finished_ = false;
   produced_ = 0;
   child_->Open(ctx);
 }
 
-bool Limit::Next(ExecContext* ctx, Row* out) {
-  if (!ctx->ok() || ctx->ConsultFault(faults::kLimitNext)) return false;
+bool Limit::DoNext(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kLimitNext, node_id())) {
+    return false;
+  }
   if (produced_ >= limit_) {
     finished_ = true;
     return false;
@@ -118,7 +124,7 @@ bool Limit::Next(ExecContext* ctx, Row* out) {
   return true;
 }
 
-void Limit::Close(ExecContext* ctx) { child_->Close(ctx); }
+void Limit::DoClose(ExecContext* ctx) { child_->Close(ctx); }
 
 std::string Limit::label() const {
   return StringPrintf("Limit(%llu)", static_cast<unsigned long long>(limit_));

@@ -17,9 +17,9 @@ class Filter : public PhysicalOperator {
  public:
   Filter(OperatorPtr child, ExprPtr predicate);
 
-  void Open(ExecContext* ctx) override;
-  bool Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  void DoOpen(ExecContext* ctx) override;
+  bool DoNext(ExecContext* ctx, Row* out) override;
+  void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kFilter; }
   const Schema& output_schema() const override {
@@ -43,9 +43,9 @@ class Project : public PhysicalOperator {
   Project(OperatorPtr child, std::vector<ExprPtr> exprs,
           std::vector<std::string> names);
 
-  void Open(ExecContext* ctx) override;
-  bool Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  void DoOpen(ExecContext* ctx) override;
+  bool DoNext(ExecContext* ctx, Row* out) override;
+  void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kProject; }
   const Schema& output_schema() const override { return schema_; }
@@ -64,9 +64,9 @@ class Limit : public PhysicalOperator {
  public:
   Limit(OperatorPtr child, uint64_t limit);
 
-  void Open(ExecContext* ctx) override;
-  bool Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  void DoOpen(ExecContext* ctx) override;
+  bool DoNext(ExecContext* ctx, Row* out) override;
+  void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kLimit; }
   const Schema& output_schema() const override {

@@ -60,7 +60,7 @@ NestedLoopsJoin::NestedLoopsJoin(OperatorPtr outer, OperatorPtr inner,
       schema_(JoinOutputSchema(outer_->output_schema(), inner_->output_schema(),
                                join_type)) {}
 
-void NestedLoopsJoin::Open(ExecContext* ctx) {
+void NestedLoopsJoin::DoOpen(ExecContext* ctx) {
   finished_ = false;
   outer_valid_ = false;
   outer_matched_ = false;
@@ -78,8 +78,9 @@ bool NestedLoopsJoin::AdvanceOuter(ExecContext* ctx) {
   return true;
 }
 
-bool NestedLoopsJoin::Next(ExecContext* ctx, Row* out) {
-  if (!ctx->ok() || ctx->ConsultFault(faults::kNestedLoopsJoinNext)) {
+bool NestedLoopsJoin::DoNext(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() ||
+      ctx->ConsultFault(faults::kNestedLoopsJoinNext, node_id())) {
     return false;
   }
   for (;;) {
@@ -129,7 +130,7 @@ bool NestedLoopsJoin::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-void NestedLoopsJoin::Close(ExecContext* ctx) {
+void NestedLoopsJoin::DoClose(ExecContext* ctx) {
   outer_->Close(ctx);
   inner_->Close(ctx);
 }
@@ -156,7 +157,7 @@ IndexNestedLoopsJoin::IndexNestedLoopsJoin(OperatorPtr outer,
       schema_(JoinOutputSchema(outer_->output_schema(), inner_->output_schema(),
                                join_type)) {}
 
-void IndexNestedLoopsJoin::Open(ExecContext* ctx) {
+void IndexNestedLoopsJoin::DoOpen(ExecContext* ctx) {
   finished_ = false;
   outer_valid_ = false;
   outer_matched_ = false;
@@ -175,8 +176,9 @@ bool IndexNestedLoopsJoin::AdvanceOuter(ExecContext* ctx) {
   return true;
 }
 
-bool IndexNestedLoopsJoin::Next(ExecContext* ctx, Row* out) {
-  if (!ctx->ok() || ctx->ConsultFault(faults::kIndexNestedLoopsJoinNext)) {
+bool IndexNestedLoopsJoin::DoNext(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() ||
+      ctx->ConsultFault(faults::kIndexNestedLoopsJoinNext, node_id())) {
     return false;
   }
   for (;;) {
@@ -225,7 +227,7 @@ bool IndexNestedLoopsJoin::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-void IndexNestedLoopsJoin::Close(ExecContext* ctx) {
+void IndexNestedLoopsJoin::DoClose(ExecContext* ctx) {
   outer_->Close(ctx);
   inner_->Close(ctx);
 }
@@ -255,7 +257,7 @@ HashJoin::HashJoin(OperatorPtr probe, OperatorPtr build,
   QPROG_CHECK(!probe_keys_.empty());
 }
 
-void HashJoin::Open(ExecContext* ctx) {
+void HashJoin::DoOpen(ExecContext* ctx) {
   finished_ = false;
   build_done_ = false;
   table_.clear();
@@ -267,7 +269,7 @@ void HashJoin::Open(ExecContext* ctx) {
   bucket_pos_ = 0;
   ctx->ReleaseBufferedRows(charged_);
   charged_ = 0;
-  if (ctx->ConsultFault(faults::kHashJoinOpen)) return;
+  if (ctx->ConsultFault(faults::kHashJoinOpen, node_id())) return;
   build_->Open(ctx);
   probe_->Open(ctx);
 }
@@ -275,7 +277,7 @@ void HashJoin::Open(ExecContext* ctx) {
 void HashJoin::BuildTable(ExecContext* ctx) {
   Row row;
   while (ctx->ok() && build_->Next(ctx, &row)) {
-    if (ctx->ConsultFault(faults::kHashJoinBuild)) return;
+    if (ctx->ConsultFault(faults::kHashJoinBuild, node_id())) return;
     Row key;
     key.reserve(build_keys_.size());
     bool has_null = false;
@@ -322,8 +324,10 @@ bool HashJoin::AdvanceProbe(ExecContext* ctx) {
   }
 }
 
-bool HashJoin::Next(ExecContext* ctx, Row* out) {
-  if (!ctx->ok() || ctx->ConsultFault(faults::kHashJoinProbe)) return false;
+bool HashJoin::DoNext(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kHashJoinProbe, node_id())) {
+    return false;
+  }
   if (!build_done_) {
     BuildTable(ctx);
     if (!ctx->ok()) return false;
@@ -383,7 +387,7 @@ bool HashJoin::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-void HashJoin::Close(ExecContext* ctx) {
+void HashJoin::DoClose(ExecContext* ctx) {
   probe_->Close(ctx);
   build_->Close(ctx);
   table_.clear();
@@ -470,7 +474,7 @@ bool MergeJoin::PullRight(ExecContext* ctx) {
   }
 }
 
-void MergeJoin::Open(ExecContext* ctx) {
+void MergeJoin::DoOpen(ExecContext* ctx) {
   finished_ = false;
   left_valid_ = right_valid_ = false;
   group_.clear();
@@ -484,8 +488,10 @@ void MergeJoin::Open(ExecContext* ctx) {
   PullRight(ctx);
 }
 
-bool MergeJoin::Next(ExecContext* ctx, Row* out) {
-  if (!ctx->ok() || ctx->ConsultFault(faults::kMergeJoinNext)) return false;
+bool MergeJoin::DoNext(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kMergeJoinNext, node_id())) {
+    return false;
+  }
   for (;;) {
     if (!ctx->ok()) return false;
     if (group_active_) {
@@ -539,7 +545,7 @@ bool MergeJoin::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-void MergeJoin::Close(ExecContext* ctx) {
+void MergeJoin::DoClose(ExecContext* ctx) {
   left_->Close(ctx);
   right_->Close(ctx);
   group_.clear();

@@ -40,9 +40,9 @@ class NestedLoopsJoin : public PhysicalOperator {
   NestedLoopsJoin(OperatorPtr outer, OperatorPtr inner, ExprPtr predicate,
                   JoinType join_type = JoinType::kInner);
 
-  void Open(ExecContext* ctx) override;
-  bool Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  void DoOpen(ExecContext* ctx) override;
+  bool DoNext(ExecContext* ctx, Row* out) override;
+  void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kNestedLoopsJoin; }
   const Schema& output_schema() const override { return schema_; }
@@ -79,9 +79,9 @@ class IndexNestedLoopsJoin : public PhysicalOperator {
                        ExprPtr outer_key, JoinType join_type = JoinType::kInner,
                        ExprPtr residual = nullptr);
 
-  void Open(ExecContext* ctx) override;
-  bool Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  void DoOpen(ExecContext* ctx) override;
+  bool DoNext(ExecContext* ctx, Row* out) override;
+  void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kIndexNestedLoopsJoin; }
   const Schema& output_schema() const override { return schema_; }
@@ -117,9 +117,9 @@ class HashJoin : public PhysicalOperator {
            std::vector<ExprPtr> probe_keys, std::vector<ExprPtr> build_keys,
            JoinType join_type = JoinType::kInner, ExprPtr residual = nullptr);
 
-  void Open(ExecContext* ctx) override;
-  bool Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  void DoOpen(ExecContext* ctx) override;
+  bool DoNext(ExecContext* ctx, Row* out) override;
+  void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kHashJoin; }
   const Schema& output_schema() const override { return schema_; }
@@ -165,9 +165,9 @@ class MergeJoin : public PhysicalOperator {
   MergeJoin(OperatorPtr left, OperatorPtr right, std::vector<ExprPtr> left_keys,
             std::vector<ExprPtr> right_keys);
 
-  void Open(ExecContext* ctx) override;
-  bool Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  void DoOpen(ExecContext* ctx) override;
+  bool DoNext(ExecContext* ctx, Row* out) override;
+  void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kMergeJoin; }
   const Schema& output_schema() const override { return schema_; }

@@ -39,6 +39,29 @@ bool IsNestedIterationKind(OpKind kind) {
 
 std::string PhysicalOperator::label() const { return OpKindToString(kind()); }
 
+void PhysicalOperator::OpenInstrumented(ExecContext* ctx) {
+  TelemetryCollector* t = ctx->telemetry();
+  uint64_t start = MonotonicNanos();
+  DoOpen(ctx);
+  t->RecordOpen(node_id_, label(), MonotonicNanos() - start, ctx->work());
+}
+
+bool PhysicalOperator::NextInstrumented(ExecContext* ctx, Row* out) {
+  TelemetryCollector* t = ctx->telemetry();
+  uint64_t start = MonotonicNanos();
+  bool produced = DoNext(ctx, out);
+  uint64_t end = MonotonicNanos();
+  t->RecordNext(node_id_, produced, end - start, end);
+  return produced;
+}
+
+void PhysicalOperator::CloseInstrumented(ExecContext* ctx) {
+  TelemetryCollector* t = ctx->telemetry();
+  uint64_t start = MonotonicNanos();
+  DoClose(ctx);
+  t->RecordClose(node_id_, label(), MonotonicNanos() - start, ctx->work());
+}
+
 void PhysicalOperator::FillProgressState(const ExecContext& ctx,
                                          ProgressState* state) const {
   state->rows_produced = ctx.rows_produced(node_id_);

@@ -75,14 +75,38 @@ class PhysicalOperator {
   PhysicalOperator(const PhysicalOperator&) = delete;
   PhysicalOperator& operator=(const PhysicalOperator&) = delete;
 
-  virtual void Open(ExecContext* ctx) = 0;
+  // The public iterator interface is a set of non-virtual wrappers around
+  // DoOpen/DoNext/DoClose: with no telemetry attached they add exactly one
+  // null-pointer branch (the zero-cost contract checked by
+  // bench/micro_trace_overhead.cpp); with a TelemetryCollector attached they
+  // time the call and record per-node stats. Parents call these wrappers on
+  // their children, so instrumentation covers the whole tree.
+
+  void Open(ExecContext* ctx) {
+    if (ctx->telemetry() == nullptr) [[likely]] {
+      DoOpen(ctx);
+    } else {
+      OpenInstrumented(ctx);
+    }
+  }
 
   /// Produces the next row into `*out`; false at end of stream. A row
   /// returned here is one getnext call in the paper's work model (counted
   /// via Emit()).
-  virtual bool Next(ExecContext* ctx, Row* out) = 0;
+  bool Next(ExecContext* ctx, Row* out) {
+    if (ctx->telemetry() == nullptr) [[likely]] {
+      return DoNext(ctx, out);
+    }
+    return NextInstrumented(ctx, out);
+  }
 
-  virtual void Close(ExecContext* ctx) = 0;
+  void Close(ExecContext* ctx) {
+    if (ctx->telemetry() == nullptr) [[likely]] {
+      DoClose(ctx);
+    } else {
+      CloseInstrumented(ctx);
+    }
+  }
 
   virtual OpKind kind() const = 0;
   virtual const Schema& output_schema() const = 0;
@@ -129,6 +153,13 @@ class PhysicalOperator {
  protected:
   PhysicalOperator() = default;
 
+  /// The iterator implementation, provided by each operator. Same contract
+  /// as the public wrappers; implementations call Open/Next/Close (the
+  /// wrappers) on their children, never Do* directly.
+  virtual void DoOpen(ExecContext* ctx) = 0;
+  virtual bool DoNext(ExecContext* ctx, Row* out) = 0;
+  virtual void DoClose(ExecContext* ctx) = 0;
+
   /// Counts the row this operator is about to return. Every Next
   /// implementation calls this exactly once per produced row.
   void Emit(ExecContext* ctx) const { ctx->CountRow(node_id_, is_root_); }
@@ -137,6 +168,11 @@ class PhysicalOperator {
   bool finished_ = false;
 
  private:
+  // Timed paths, out of line (operator.cc); only taken with telemetry.
+  void OpenInstrumented(ExecContext* ctx);
+  bool NextInstrumented(ExecContext* ctx, Row* out);
+  void CloseInstrumented(ExecContext* ctx);
+
   int node_id_ = -1;
   bool is_root_ = false;
   double estimated_rows_ = -1.0;

@@ -11,15 +11,17 @@ namespace qprog {
 SeqScan::SeqScan(const Table* table, ExprPtr predicate)
     : table_(table), predicate_(std::move(predicate)) {}
 
-void SeqScan::Open(ExecContext* ctx) {
+void SeqScan::DoOpen(ExecContext* ctx) {
   cursor_ = 0;
   emitted_ = 0;
   finished_ = false;
-  ctx->ConsultFault(faults::kSeqScanOpen);
+  ctx->ConsultFault(faults::kSeqScanOpen, node_id());
 }
 
-bool SeqScan::Next(ExecContext* ctx, Row* out) {
-  if (!ctx->ok() || ctx->ConsultFault(faults::kSeqScanNext)) return false;
+bool SeqScan::DoNext(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kSeqScanNext, node_id())) {
+    return false;
+  }
   while (cursor_ < table_->num_rows()) {
     const Row& row = table_->row(cursor_++);
     // Every examined row is one getnext at the leaf, merged predicate or
@@ -40,7 +42,7 @@ bool SeqScan::Next(ExecContext* ctx, Row* out) {
   return false;
 }
 
-void SeqScan::Close(ExecContext*) {}
+void SeqScan::DoClose(ExecContext*) {}
 
 std::string SeqScan::label() const {
   if (predicate_ != nullptr) {
@@ -85,7 +87,7 @@ void IndexSeek::Rebind(const Value& key) {
   pos_ = 0;
 }
 
-void IndexSeek::Open(ExecContext*) {
+void IndexSeek::DoOpen(ExecContext*) {
   finished_ = false;
   opened_ = true;
   if (range_mode_) {
@@ -97,8 +99,10 @@ void IndexSeek::Open(ExecContext*) {
   pos_ = 0;
 }
 
-bool IndexSeek::Next(ExecContext* ctx, Row* out) {
-  if (!ctx->ok() || ctx->ConsultFault(faults::kIndexSeekNext)) return false;
+bool IndexSeek::DoNext(ExecContext* ctx, Row* out) {
+  if (!ctx->ok() || ctx->ConsultFault(faults::kIndexSeekNext, node_id())) {
+    return false;
+  }
   if (pos_ >= current_.size()) {
     if (range_mode_) finished_ = true;
     return false;
@@ -109,7 +113,7 @@ bool IndexSeek::Next(ExecContext* ctx, Row* out) {
   return true;
 }
 
-void IndexSeek::Close(ExecContext*) {}
+void IndexSeek::DoClose(ExecContext*) {}
 
 std::string IndexSeek::label() const {
   return StringPrintf("IndexSeek(%s.%s%s)", index_->table()->name().c_str(),

@@ -22,9 +22,9 @@ class SeqScan : public PhysicalOperator {
   /// `table` must outlive the operator; `predicate` may be null.
   explicit SeqScan(const Table* table, ExprPtr predicate = nullptr);
 
-  void Open(ExecContext* ctx) override;
-  bool Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  void DoOpen(ExecContext* ctx) override;
+  bool DoNext(ExecContext* ctx, Row* out) override;
+  void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kSeqScan; }
   const Schema& output_schema() const override { return table_->schema(); }
@@ -62,9 +62,9 @@ class IndexSeek : public PhysicalOperator {
   /// Repositions an equality seek on a new key. Resets the cursor.
   void Rebind(const Value& key);
 
-  void Open(ExecContext* ctx) override;
-  bool Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  void DoOpen(ExecContext* ctx) override;
+  bool DoNext(ExecContext* ctx, Row* out) override;
+  void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kIndexSeek; }
   const Schema& output_schema() const override {

@@ -15,21 +15,21 @@ Sort::Sort(OperatorPtr child, std::vector<SortKey> keys)
   set_is_linear(true);
 }
 
-void Sort::Open(ExecContext* ctx) {
+void Sort::DoOpen(ExecContext* ctx) {
   finished_ = false;
   materialized_ = false;
   rows_.clear();
   ctx->ReleaseBufferedRows(charged_);
   charged_ = 0;
   cursor_ = 0;
-  if (ctx->ConsultFault(faults::kSortOpen)) return;
+  if (ctx->ConsultFault(faults::kSortOpen, node_id())) return;
   child_->Open(ctx);
 }
 
 void Sort::Materialize(ExecContext* ctx) {
   Row row;
   while (ctx->ok() && child_->Next(ctx, &row)) {
-    if (ctx->ConsultFault(faults::kSortBuild)) return;
+    if (ctx->ConsultFault(faults::kSortBuild, node_id())) return;
     rows_.push_back(std::move(row));
     ++charged_;
     if (!ctx->ChargeBufferedRows(1)) return;
@@ -67,7 +67,7 @@ void Sort::Materialize(ExecContext* ctx) {
   materialized_ = true;
 }
 
-bool Sort::Next(ExecContext* ctx, Row* out) {
+bool Sort::DoNext(ExecContext* ctx, Row* out) {
   if (!ctx->ok()) return false;
   if (!materialized_) {
     Materialize(ctx);
@@ -82,7 +82,7 @@ bool Sort::Next(ExecContext* ctx, Row* out) {
   return true;
 }
 
-void Sort::Close(ExecContext* ctx) {
+void Sort::DoClose(ExecContext* ctx) {
   child_->Close(ctx);
   rows_.clear();
   ctx->ReleaseBufferedRows(charged_);

@@ -27,9 +27,9 @@ class Sort : public PhysicalOperator {
  public:
   Sort(OperatorPtr child, std::vector<SortKey> keys);
 
-  void Open(ExecContext* ctx) override;
-  bool Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  void DoOpen(ExecContext* ctx) override;
+  bool DoNext(ExecContext* ctx, Row* out) override;
+  void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kSort; }
   const Schema& output_schema() const override {

@@ -1,0 +1,206 @@
+#include "obs/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "obs/run_summary.h"
+
+namespace qprog {
+
+namespace {
+
+/// JSON number at 6 significant digits (telemetry precision, not replay
+/// precision — the trace is the bit-exact record).
+std::string Num(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  return StringPrintf("%.6g", v);
+}
+
+}  // namespace
+
+double LogScaleError(double actual_rows, double estimated_rows) {
+  if (estimated_rows < 0) return -1;
+  double a = actual_rows < 1 ? 1 : actual_rows;
+  double e = estimated_rows < 1 ? 1 : estimated_rows;
+  return std::fabs(std::log(a / e));
+}
+
+RunTelemetry BuildRunTelemetry(const PhysicalPlan& plan, const ExecContext& ctx,
+                               const ProgressReport& report,
+                               const TelemetryCollector* collector) {
+  RunTelemetry t;
+  t.summary = FormatRunSummary(report);
+  t.termination = report.termination;
+  t.total_work = report.total_work;
+  t.root_rows = report.root_rows;
+  t.mu = report.mu;
+
+  // --- per-node cardinality accuracy ---------------------------------------
+  t.nodes.reserve(plan.num_nodes());
+  for (const PhysicalOperator* op : plan.nodes()) {
+    NodeAccuracy n;
+    n.node_id = op->node_id();
+    n.label = op->label();
+    // ProgressState::rows_produced is rows handed to the parent — for a
+    // merged-predicate scan the raw counter holds examined rows instead.
+    ProgressState state;
+    op->FillProgressState(ctx, &state);
+    n.actual_rows = state.rows_produced;
+    n.estimated_rows = op->estimated_rows();
+    n.log_error = LogScaleError(static_cast<double>(n.actual_rows),
+                                n.estimated_rows);
+    if (collector != nullptr &&
+        static_cast<size_t>(n.node_id) < plan.num_nodes()) {
+      const NodeBoundsRecord& b = collector->node_bounds(n.node_id);
+      if (b.seen) {
+        n.has_bounds = true;
+        n.first_lb = b.first_lb;
+        n.first_ub = b.first_ub;
+        n.bound_refinements = b.refinements;
+        double actual = static_cast<double>(n.actual_rows);
+        n.within_first_bounds = actual >= b.first_lb && actual <= b.first_ub;
+        double mid = std::sqrt(b.first_lb * b.first_ub);
+        n.bounds_log_error = mid > 0 || n.actual_rows > 0
+                                 ? LogScaleError(actual, mid)
+                                 : 0;
+      }
+      n.next_ns = collector->stats(n.node_id).next_ns;
+    }
+    t.nodes.push_back(std::move(n));
+  }
+
+  // pg_track_optimizer aggregates over the nodes with a known estimate.
+  double sum = 0, sum_sq = 0, weighted = 0, weight = 0;
+  size_t known = 0;
+  for (const NodeAccuracy& n : t.nodes) {
+    if (n.log_error < 0) continue;
+    ++known;
+    sum += n.log_error;
+    sum_sq += n.log_error * n.log_error;
+    weighted += n.log_error * static_cast<double>(n.next_ns);
+    weight += static_cast<double>(n.next_ns);
+  }
+  if (known > 0) {
+    t.avg_log_error = sum / static_cast<double>(known);
+    t.rms_log_error = std::sqrt(sum_sq / static_cast<double>(known));
+    t.twa_log_error = weight > 0 ? weighted / weight : 0;
+  }
+  for (const NodeAccuracy& n : t.nodes) {
+    if (n.log_error >= 0) t.worst_nodes.push_back(n.node_id);
+  }
+  std::stable_sort(t.worst_nodes.begin(), t.worst_nodes.end(),
+                   [&](int a, int b) {
+                     return t.nodes[static_cast<size_t>(a)].log_error >
+                            t.nodes[static_cast<size_t>(b)].log_error;
+                   });
+
+  // --- per-estimator accuracy ----------------------------------------------
+  // Residuals need true progress, which is knowable only for a completed run;
+  // for an aborted run the estimator entries carry names but no scores.
+  t.estimators.reserve(report.names.size());
+  for (size_t i = 0; i < report.names.size(); ++i) {
+    EstimatorAccuracy e;
+    e.name = report.names[i];
+    if (report.completed()) {
+      e.metrics = report.Metrics(i);
+      e.residuals.reserve(report.checkpoints.size());
+      double abs_sum = 0;
+      for (const Checkpoint& cp : report.checkpoints) {
+        double r = cp.estimates[i] - cp.true_progress;
+        e.residuals.push_back(r);
+        double a = std::fabs(r);
+        abs_sum += a;
+        if (a > e.max_abs_residual) e.max_abs_residual = a;
+      }
+      if (!e.residuals.empty()) {
+        e.avg_abs_residual =
+            abs_sum / static_cast<double>(e.residuals.size());
+      }
+    }
+    t.estimators.push_back(std::move(e));
+  }
+  for (const EstimatorAccuracy& e : t.estimators) {
+    t.worst_estimators.push_back(e.name);
+  }
+  std::stable_sort(
+      t.worst_estimators.begin(), t.worst_estimators.end(),
+      [&](const std::string& a, const std::string& b) {
+        auto score = [&](const std::string& name) {
+          for (const EstimatorAccuracy& e : t.estimators) {
+            if (e.name == name) return e.avg_abs_residual;
+          }
+          return 0.0;
+        };
+        return score(a) > score(b);
+      });
+  return t;
+}
+
+std::string RunTelemetry::ToJson() const {
+  std::string out = "{";
+  out += StringPrintf(
+      "\"termination\":\"%s\",\"total_work\":%llu,\"root_rows\":%llu,"
+      "\"mu\":%s",
+      TerminationReasonToString(termination),
+      static_cast<unsigned long long>(total_work),
+      static_cast<unsigned long long>(root_rows), Num(mu).c_str());
+  out += ",\"avg_log_error\":" + Num(avg_log_error);
+  out += ",\"rms_log_error\":" + Num(rms_log_error);
+  out += ",\"twa_log_error\":" + Num(twa_log_error);
+
+  out += ",\"nodes\":[";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeAccuracy& n = nodes[i];
+    if (i > 0) out += ',';
+    out += StringPrintf(
+        "{\"node\":%d,\"label\":\"%s\",\"actual_rows\":%llu,"
+        "\"estimated_rows\":%s,\"log_error\":%s",
+        n.node_id, n.label.c_str(),
+        static_cast<unsigned long long>(n.actual_rows),
+        n.estimated_rows < 0 ? "null" : Num(n.estimated_rows).c_str(),
+        n.log_error < 0 ? "null" : Num(n.log_error).c_str());
+    if (n.has_bounds) {
+      out += StringPrintf(
+          ",\"first_lb\":%s,\"first_ub\":%s,\"bounds_log_error\":%s,"
+          "\"within_first_bounds\":%s,\"bound_refinements\":%llu",
+          Num(n.first_lb).c_str(), Num(n.first_ub).c_str(),
+          n.bounds_log_error < 0 ? "null" : Num(n.bounds_log_error).c_str(),
+          n.within_first_bounds ? "true" : "false",
+          static_cast<unsigned long long>(n.bound_refinements));
+    }
+    if (n.next_ns > 0) {
+      out += StringPrintf(",\"next_ns\":%llu",
+                          static_cast<unsigned long long>(n.next_ns));
+    }
+    out += '}';
+  }
+  out += "],\"estimators\":[";
+  for (size_t i = 0; i < estimators.size(); ++i) {
+    const EstimatorAccuracy& e = estimators[i];
+    if (i > 0) out += ',';
+    out += StringPrintf(
+        "{\"name\":\"%s\",\"avg_abs_residual\":%s,\"max_abs_residual\":%s,"
+        "\"avg_abs_err\":%s,\"max_abs_err\":%s,\"avg_ratio_err\":%s,"
+        "\"max_ratio_err\":%s}",
+        e.name.c_str(), Num(e.avg_abs_residual).c_str(),
+        Num(e.max_abs_residual).c_str(), Num(e.metrics.avg_abs_err).c_str(),
+        Num(e.metrics.max_abs_err).c_str(),
+        Num(e.metrics.avg_ratio_err).c_str(),
+        Num(e.metrics.max_ratio_err).c_str());
+  }
+  out += "],\"worst_nodes\":[";
+  for (size_t i = 0; i < worst_nodes.size(); ++i) {
+    if (i > 0) out += ',';
+    out += StringPrintf("%d", worst_nodes[i]);
+  }
+  out += "],\"worst_estimators\":[";
+  for (size_t i = 0; i < worst_estimators.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + worst_estimators[i] + '"';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace qprog

@@ -1,0 +1,101 @@
+// Estimator- and cardinality-accuracy telemetry for one run.
+//
+// Two kinds of wrongness are tracked, following pg_track_optimizer (see
+// SNIPPETS.md) and the per-run feature logs of König et al.'s statistical
+// progress estimation (PAPERS.md):
+//
+//  * Per plan node: how wrong the planner's row estimate — and the bounds
+//    tracker's first-checkpoint prediction — turned out to be, as a
+//    log-scale error |ln(actual/estimated)| (a 10x under- and a 10x
+//    over-estimate score the same). Aggregated pg_track_optimizer-style:
+//    avg, RMS, and a time-weighted average that emphasises errors in
+//    expensive nodes when wall-time telemetry is available.
+//
+//  * Per checkpoint: each progress estimator's signed residual
+//    (estimate - true_progress), the raw series a learned weighting (à la
+//    König) would train on, plus the paper's error metrics per estimator.
+//
+// Both roll up into RunTelemetry with worst-offender rankings and a JSON
+// dump for fleet-level collection.
+
+#ifndef QPROG_OBS_ACCURACY_H_
+#define QPROG_OBS_ACCURACY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+#include "exec/plan.h"
+#include "obs/telemetry.h"
+
+namespace qprog {
+
+/// pg_track_optimizer's node error: |ln(actual/estimated)|, with both sides
+/// clamped to >= 1 row so empty results stay finite. Returns -1 when the
+/// estimate is unknown (negative).
+double LogScaleError(double actual_rows, double estimated_rows);
+
+/// Cardinality accuracy of one plan node over one run.
+struct NodeAccuracy {
+  int node_id = -1;
+  std::string label;
+  uint64_t actual_rows = 0;      // rows the node produced to its parent
+  double estimated_rows = -1;    // planner estimate; < 0 when unknown
+  double log_error = -1;         // |ln(actual/est)|; < 0 when unknown
+  // Bounds-tracker prediction at the first checkpoint (geometric midpoint
+  // sqrt(lb*ub) is the tracker's best single-number guess).
+  bool has_bounds = false;
+  double first_lb = 0, first_ub = 0;
+  double bounds_log_error = -1;  // |ln(actual/sqrt(lb*ub))|; < 0 when unknown
+  bool within_first_bounds = false;  // final actual inside the first [lb, ub]
+  uint64_t bound_refinements = 0;
+  uint64_t next_ns = 0;          // inclusive getnext time (0 if no telemetry)
+};
+
+/// Accuracy of one progress estimator over one run's checkpoints.
+struct EstimatorAccuracy {
+  std::string name;
+  std::vector<double> residuals;  // estimate - true_progress, per checkpoint
+  double avg_abs_residual = 0;
+  double max_abs_residual = 0;
+  EstimatorMetrics metrics;       // the paper's abs/ratio error summary
+};
+
+/// Everything the observability layer knows about one finished (or aborted)
+/// run, in one machine-consumable record.
+struct RunTelemetry {
+  std::string summary;  // FormatRunSummary line — the shared formatting path
+  TerminationReason termination = TerminationReason::kCompleted;
+  uint64_t total_work = 0;
+  uint64_t root_rows = 0;
+  double mu = 0;
+
+  std::vector<NodeAccuracy> nodes;           // indexed by node id
+  std::vector<EstimatorAccuracy> estimators; // parallel to report names
+
+  // pg_track_optimizer-style aggregates over nodes with known estimates.
+  double avg_log_error = 0;   // simple average
+  double rms_log_error = 0;   // RMS — emphasises large errors
+  double twa_log_error = 0;   // time-weighted — emphasises expensive nodes
+                              // (0 when no wall-time telemetry was attached)
+
+  /// Node ids sorted by log_error, worst first (unknown estimates excluded).
+  std::vector<int> worst_nodes;
+  /// Estimator names sorted by avg_abs_residual, worst first.
+  std::vector<std::string> worst_estimators;
+
+  /// Deterministic JSON dump (doubles at %.6g; not a replay format).
+  std::string ToJson() const;
+};
+
+/// Builds the accuracy record for a run. `ctx` must be the context the plan
+/// executed under (its counters feed actual row counts). `collector` is
+/// optional; when present, bounds history and per-node wall time enrich the
+/// node records and enable the time-weighted error.
+RunTelemetry BuildRunTelemetry(const PhysicalPlan& plan, const ExecContext& ctx,
+                               const ProgressReport& report,
+                               const TelemetryCollector* collector = nullptr);
+
+}  // namespace qprog
+
+#endif  // QPROG_OBS_ACCURACY_H_

@@ -1,0 +1,46 @@
+// EXPLAIN ANALYZE-style post-execution plan rendering: the plan tree
+// annotated per node with actual rows, getnext calls, share of the paper's
+// work measure, cardinality log-error, and (optionally) wall time from an
+// attached TelemetryCollector.
+//
+// Wall times are off by default so the output is deterministic — the golden
+// test in tests/obs_test.cc pins the timing-free rendering byte for byte.
+
+#ifndef QPROG_OBS_EXPLAIN_ANALYZE_H_
+#define QPROG_OBS_EXPLAIN_ANALYZE_H_
+
+#include <string>
+
+#include "exec/plan.h"
+#include "obs/telemetry.h"
+
+namespace qprog {
+
+struct ExplainAnalyzeOptions {
+  /// Per-node call counts, wall times and bounds history. Optional; without
+  /// it the rendering still shows rows, work share and estimate error.
+  const TelemetryCollector* telemetry = nullptr;
+
+  /// Include wall-clock columns (open/next/close time). Requires
+  /// `telemetry`; leave off for deterministic output.
+  bool include_timing = false;
+
+  /// When both are set (>= 0), the header adds the progress bar quantities:
+  /// the estimate, and remaining time projected via
+  /// EstimateRemainingSeconds (rendered "--" when not computable).
+  double progress_estimate = -1;
+  double elapsed_seconds = -1;
+};
+
+/// Renders "12.3s", "450ms" style durations; "--" for +/-inf and NaN (an
+/// unstarted query has no finite projection).
+std::string FormatRemainingSeconds(double seconds);
+
+/// Renders the executed plan as an annotated tree. `ctx` must be the context
+/// the plan ran under.
+std::string ExplainAnalyze(const PhysicalPlan& plan, const ExecContext& ctx,
+                           const ExplainAnalyzeOptions& opts = {});
+
+}  // namespace qprog
+
+#endif  // QPROG_OBS_EXPLAIN_ANALYZE_H_

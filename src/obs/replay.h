@@ -1,0 +1,59 @@
+// Offline trace replay: reconstructs a ProgressReport from a recorded trace
+// so estimators can be re-scored without re-executing the query.
+//
+// The replay invariant (pinned by tests/obs_test.cc): for a completed run,
+// estimator metrics computed from the replayed report are bit-identical to
+// the metrics of the live report — TraceEventToJson prints doubles with 17
+// significant digits, so every estimate, bound and work counter round-trips
+// exactly, and true progress is recomputed with the same work/total division
+// the monitor performs.
+//
+// Beyond re-scoring recorded estimates, the bounds-derived estimators (pmax,
+// safe) can be *re-evaluated* from the trace alone — their inputs (Curr, LB,
+// UB) are all in the checkpoint events. ReevaluateBoundEstimators does that,
+// which is how a new estimator variant can be scored against historical
+// traces without touching the engine.
+
+#ifndef QPROG_OBS_REPLAY_H_
+#define QPROG_OBS_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "core/monitor.h"
+#include "obs/trace.h"
+
+namespace qprog {
+
+/// A trace replayed into report form.
+struct ReplayResult {
+  ProgressReport report;      // names, checkpoints, totals, termination
+  double leaf_cardinality = 0;  // recorded denominator of mu
+  uint64_t checkpoint_interval = 0;
+  size_t num_events = 0;
+};
+
+/// Replays a recorded event stream. Requires exactly one kRunBegin and (for
+/// metric scoring) a kRunEnd; checkpoints and estimator evaluations are
+/// matched positionally, the way the monitor emitted them.
+StatusOr<ReplayResult> ReplayTrace(const std::vector<TraceEvent>& events);
+
+/// Convenience: read a JSONL trace file and replay it.
+StatusOr<ReplayResult> ReplayTraceFile(const std::string& path);
+
+/// Re-evaluates the bounds-derived estimators offline: recomputes
+/// pmax = Curr/LB and safe = Curr/sqrt(LB*UB) from each replayed
+/// checkpoint's recorded bounds, exactly as the live estimators do
+/// (including sanitization into [0, 1]). Returned columns are parallel to
+/// `names` = {"pmax", "safe"}.
+struct ReevaluatedEstimates {
+  std::vector<std::string> names;
+  // estimates[c][i]: estimator i at checkpoint c.
+  std::vector<std::vector<double>> estimates;
+};
+ReevaluatedEstimates ReevaluateBoundEstimators(const ReplayResult& replay);
+
+}  // namespace qprog
+
+#endif  // QPROG_OBS_REPLAY_H_

@@ -1,0 +1,38 @@
+// The one per-run summary line. Both core/explain's SummarizeReport and the
+// RunTelemetry summary (obs/accuracy.h) delegate here, so a server log, a
+// CLI and the telemetry JSON all print the identical line for the same run.
+//
+// Inline on purpose: core/explain.cc calls this without a link dependency on
+// the observability library.
+
+#ifndef QPROG_OBS_RUN_SUMMARY_H_
+#define QPROG_OBS_RUN_SUMMARY_H_
+
+#include <string>
+
+#include "common/strings.h"
+#include "core/monitor.h"
+
+namespace qprog {
+
+/// One-line outcome summary of a monitored run, e.g.
+///   "completed: work=110001 root_rows=10 checkpoints=11 mu=1.10"
+///   "cancelled: work=300 root_rows=0 checkpoints=3 (Cancelled: ...)"
+inline std::string FormatRunSummary(const ProgressReport& report) {
+  std::string out = StringPrintf(
+      "%s: work=%llu root_rows=%llu checkpoints=%zu",
+      TerminationReasonToString(report.termination),
+      static_cast<unsigned long long>(report.total_work),
+      static_cast<unsigned long long>(report.root_rows),
+      report.checkpoints.size());
+  if (report.completed()) {
+    out += StringPrintf(" mu=%.2f", report.mu);
+  } else {
+    out += StringPrintf(" (%s)", report.status.ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace qprog
+
+#endif  // QPROG_OBS_RUN_SUMMARY_H_
