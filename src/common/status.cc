@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -62,6 +64,9 @@ Status DeadlineExceeded(std::string message) {
 }
 Status ResourceExhausted(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace qprog

@@ -25,6 +25,10 @@ enum class StatusCode {
   kCancelled = 7,
   kDeadlineExceeded = 8,
   kResourceExhausted = 9,
+  // Transient failure: the operation may succeed if retried (the retryable
+  // fault class consumed by the spill layer's bounded-retry loop). Permanent
+  // failures use any of the other codes.
+  kUnavailable = 10,
 };
 
 /// Returns a human-readable name for a status code ("OK", "NotFound", ...).
@@ -76,6 +80,7 @@ Status Internal(std::string message);
 Status Cancelled(std::string message);
 Status DeadlineExceeded(std::string message);
 Status ResourceExhausted(std::string message);
+Status Unavailable(std::string message);
 
 }  // namespace qprog
 

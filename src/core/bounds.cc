@@ -334,9 +334,13 @@ class Walker {
         } else if (s.build_done && op->kind() == OpKind::kHashAggregate) {
           b.lb = b.ub = groups;
         } else {
+          // Each spilled-but-unread row may still open a fresh group, so it
+          // keeps the upper bound honest even after the child is drained.
+          double pending = static_cast<double>(s.spill_rows_pending);
           b.lb = std::max(produced, groups);
-          b.ub = std::min(groups + RemainingInput(op->child(0), c),
-                          std::max(c.ub, groups));
+          b.ub = std::min(
+              CapAdd(groups + RemainingInput(op->child(0), c), pending),
+              std::max(c.ub, groups));
         }
         break;
       }
@@ -402,6 +406,21 @@ PlanBounds BoundsTracker::Compute(const ExecContext& ctx) const {
     const CardBounds& b = bounds.node_bounds[static_cast<size_t>(op->node_id())];
     bounds.work_lb = CapAdd(bounds.work_lb, b.lb);
     bounds.work_ub = CapAdd(bounds.work_ub, b.ub);
+  }
+  // Spill passes revise total(Q) upward mid-query: work already spent on
+  // spill I/O plus the guaranteed re-read of every spilled-but-unread row.
+  // Unlike getnext work, spill work counts at every node including the root
+  // (a spilling root sort really performs extra passes), and it lands in
+  // both bounds — it is work that will happen, not work that might.
+  for (const PhysicalOperator* op : plan_->nodes()) {
+    ProgressState s;
+    op->FillProgressState(ctx, &s);
+    double spill =
+        static_cast<double>(s.spill_work_done + s.spill_rows_pending);
+    if (spill > 0) {
+      bounds.work_lb = CapAdd(bounds.work_lb, spill);
+      bounds.work_ub = CapAdd(bounds.work_ub, spill);
+    }
   }
   return bounds;
 }

@@ -124,6 +124,7 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   ExecContext ctx;
   ctx.set_guard(guard_);
   ctx.set_fault_injector(injector_);
+  ctx.set_spill_manager(spill_);
   ctx.set_telemetry(telemetry_);
   if (injector_ != nullptr) injector_->Reset();  // deterministic replay
   BoundsTracker tracker(plan_);
@@ -263,6 +264,7 @@ ProgressReport ProgressMonitor::RunWithApproxCheckpoints(
   ExecContext ctx;
   ctx.set_guard(guard_);
   ctx.set_fault_injector(injector_);
+  ctx.set_spill_manager(spill_);
   if (injector_ != nullptr) injector_->Reset();
   ExecutePlan(plan_, &ctx);
   if (!ctx.ok()) return MakeAbortedReport(ctx);

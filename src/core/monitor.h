@@ -19,6 +19,8 @@
 
 namespace qprog {
 
+class SpillManager;
+
 /// One sampling instant.
 struct Checkpoint {
   uint64_t work = 0;            // Curr
@@ -102,6 +104,12 @@ class ProgressMonitor {
   /// of the same plan produce byte-identical reports.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Installs a spill manager (borrowed): blocking operators that would
+  /// overflow the guard's soft buffered-row budget spill to disk and the
+  /// run's total(Q) grows mid-query instead of aborting with
+  /// kResourceExhausted.
+  void set_spill_manager(SpillManager* spill) { spill_ = spill; }
+
   /// Called after each checkpoint is recorded — the hook a kill-or-wait
   /// policy uses to watch estimates and, e.g., RequestCancel() on the guard.
   void set_checkpoint_listener(std::function<void(const Checkpoint&)> listener) {
@@ -144,6 +152,7 @@ class ProgressMonitor {
   std::vector<std::unique_ptr<ProgressEstimator>> estimators_;
   QueryGuard* guard_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  SpillManager* spill_ = nullptr;
   TelemetryCollector* telemetry_ = nullptr;
   MetricsRegistry* registry_ = nullptr;
   std::function<void(const Checkpoint&)> listener_;

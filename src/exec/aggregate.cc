@@ -140,7 +140,26 @@ void HashAggregate::DoOpen(ExecContext* ctx) {
   ctx->ReleaseBufferedRows(charged_);
   charged_ = 0;
   cursor_ = 0;
+  spilled_ = false;
+  parts_.clear();
+  part_next_ = 0;
+  prior_groups_ = 0;
   child_->Open(ctx);
+}
+
+bool HashAggregate::SpillRow(ExecContext* ctx, const Row& key,
+                             const Row& row) {
+  if (parts_.empty()) {
+    parts_.reserve(kSpillFanout);
+    for (int i = 0; i < kSpillFanout; ++i) {
+      SpillRunPtr run =
+          ctx->spill_manager()->CreateRun(ctx, node_id(), "hashagg.build");
+      if (run == nullptr) return false;
+      parts_.push_back(std::move(run));
+    }
+  }
+  size_t part = RowHash()(key) % static_cast<size_t>(kSpillFanout);
+  return parts_[part]->Append(ctx, node_id(), row);
 }
 
 void HashAggregate::Build(ExecContext* ctx) {
@@ -152,16 +171,43 @@ void HashAggregate::Build(ExecContext* ctx) {
     Row key;
     key.reserve(group_exprs_.size());
     for (const ExprPtr& e : group_exprs_) key.push_back(e->Eval(row));
-    auto [it, inserted] = group_index_.try_emplace(key, group_keys_.size());
-    if (inserted) {
-      group_keys_.push_back(std::move(key));
-      group_states_.push_back(MakeStates(aggregates_));
-      ++charged_;
-      if (!ctx->ChargeBufferedRows(1)) return;
+    auto it = group_index_.find(key);
+    if (it != group_index_.end()) {
+      // Known group: keep accumulating in memory, spilled or not.
+      AccumulateRow(aggregates_, &group_states_[it->second], row);
+      continue;
     }
-    AccumulateRow(aggregates_, &group_states_[it->second], row);
+    if (spilled_) {
+      // New key after the overflow: its raw rows go to a partition.
+      if (!SpillRow(ctx, key, row)) return;
+      continue;
+    }
+    ChargeVerdict verdict = ctx->ChargeBufferedRowsOrSpill(1);
+    if (verdict == ChargeVerdict::kFailed) return;
+    if (verdict == ChargeVerdict::kSpill && !group_exprs_.empty()) {
+      spilled_ = true;
+      if (!SpillRow(ctx, key, row)) return;
+      continue;
+    }
+    if (verdict == ChargeVerdict::kSpill) {
+      // Scalar aggregate: a single group is the minimum working set and
+      // there is nothing to spill, so charge it against the kill threshold
+      // like a reloaded partition rather than aborting on a soft budget
+      // that other operators may be holding.
+      if (!ctx->ChargeBufferedRowsPostSpill(1)) return;
+    }
+    ++charged_;
+    group_index_.emplace(key, group_keys_.size());
+    group_keys_.push_back(std::move(key));
+    group_states_.push_back(MakeStates(aggregates_));
+    AccumulateRow(aggregates_, &group_states_.back(), row);
   }
   if (!ctx->ok()) return;  // partial aggregation: do not emit
+  if (spilled_) {
+    for (auto& run : parts_) {
+      if (!run->FinishWrite(ctx, node_id())) return;
+    }
+  }
   // A scalar aggregate produces one row even over empty input.
   if (group_exprs_.empty() && !any_input) {
     group_keys_.emplace_back();
@@ -170,20 +216,57 @@ void HashAggregate::Build(ExecContext* ctx) {
   built_ = true;
 }
 
+bool HashAggregate::LoadNextPartition(ExecContext* ctx) {
+  prior_groups_ += group_keys_.size();
+  group_index_.clear();
+  group_keys_.clear();
+  group_states_.clear();
+  ctx->ReleaseBufferedRows(charged_);
+  charged_ = 0;
+  cursor_ = 0;
+  SpillRun* run = parts_[part_next_].get();
+  if (!run->OpenRead(ctx, node_id())) return false;
+  Row row;
+  while (run->ReadNext(ctx, node_id(), &row)) {
+    Row key;
+    key.reserve(group_exprs_.size());
+    for (const ExprPtr& e : group_exprs_) key.push_back(e->Eval(row));
+    auto [it, inserted] = group_index_.try_emplace(key, group_keys_.size());
+    if (inserted) {
+      // One partition's groups answer to the kill threshold only.
+      if (!ctx->ChargeBufferedRowsPostSpill(1)) return false;
+      ++charged_;
+      group_keys_.push_back(std::move(key));
+      group_states_.push_back(MakeStates(aggregates_));
+    }
+    AccumulateRow(aggregates_, &group_states_[it->second], row);
+  }
+  if (!ctx->ok()) return false;
+  parts_[part_next_].reset();  // delete this partition's temp file
+  ++part_next_;
+  return true;
+}
+
 bool HashAggregate::DoNext(ExecContext* ctx, Row* out) {
   if (!ctx->ok()) return false;
   if (!built_) {
     Build(ctx);
     if (!ctx->ok()) return false;
   }
-  if (cursor_ >= group_keys_.size()) {
-    finished_ = true;
-    return false;
+  for (;;) {
+    if (!ctx->ok()) return false;
+    if (cursor_ < group_keys_.size()) {
+      *out = ResultRow(group_keys_[cursor_], group_states_[cursor_]);
+      ++cursor_;
+      Emit(ctx);
+      return true;
+    }
+    if (!spilled_ || part_next_ >= parts_.size()) {
+      finished_ = true;
+      return false;
+    }
+    if (!LoadNextPartition(ctx)) return false;
   }
-  *out = ResultRow(group_keys_[cursor_], group_states_[cursor_]);
-  ++cursor_;
-  Emit(ctx);
-  return true;
 }
 
 void HashAggregate::DoClose(ExecContext* ctx) {
@@ -191,6 +274,7 @@ void HashAggregate::DoClose(ExecContext* ctx) {
   group_index_.clear();
   group_keys_.clear();
   group_states_.clear();
+  parts_.clear();  // deletes any remaining spill temp files
   ctx->ReleaseBufferedRows(charged_);
   charged_ = 0;
 }
@@ -203,9 +287,16 @@ std::string HashAggregate::label() const {
 void HashAggregate::FillProgressState(const ExecContext& ctx,
                                       ProgressState* state) const {
   PhysicalOperator::FillProgressState(ctx, state);
-  state->build_done = built_;
-  state->groups_so_far = group_keys_.size();
+  // Spilled runs keep the conservative !build_done path: group counts are
+  // not final until every partition has been re-aggregated.
+  state->build_done = built_ && !spilled_;
+  state->groups_so_far = prior_groups_ + group_keys_.size();
   state->scalar_aggregate = group_exprs_.empty();
+  uint64_t pending = 0;
+  for (const auto& run : parts_) {
+    if (run != nullptr) pending += run->rows_pending();
+  }
+  state->spill_rows_pending = pending;
 }
 
 // --------------------------------------------------------------------------

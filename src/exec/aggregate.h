@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/spill.h"
 #include "expr/expr.h"
 
 namespace qprog {
@@ -66,6 +67,13 @@ class AggAccumulator {
 /// then one column per aggregate. Groups are emitted in first-seen order
 /// (deterministic). A grouping-free ("scalar") aggregate emits exactly one
 /// row even over empty input.
+///
+/// Memory-adaptive: when the group table would exceed the guard's soft
+/// budget and a SpillManager is attached, rows for *unseen* keys are routed
+/// raw to kSpillFanout hash partitions on disk (groups already in memory
+/// keep accumulating there — no work is thrown away). After the in-memory
+/// groups are emitted, each partition is re-read and aggregated in turn.
+/// Keys never straddle memory and disk, so no group is double-counted.
 class HashAggregate : public PhysicalOperator {
  public:
   HashAggregate(OperatorPtr child, std::vector<ExprPtr> group_exprs,
@@ -84,8 +92,19 @@ class HashAggregate : public PhysicalOperator {
   void FillProgressState(const ExecContext& ctx,
                          ProgressState* state) const override;
 
+  /// True once this execution spilled unseen-key rows to partitions.
+  bool spilled() const { return spilled_; }
+
+  static constexpr int kSpillFanout = 8;
+
  private:
   void Build(ExecContext* ctx);
+  /// Routes one raw input row to its hash partition (creating the partition
+  /// runs on first use).
+  bool SpillRow(ExecContext* ctx, const Row& key, const Row& row);
+  /// Aggregates partition `part_next_` into a fresh group table and resets
+  /// the emit cursor over it.
+  bool LoadNextPartition(ExecContext* ctx);
 
   OperatorPtr child_;
   std::vector<ExprPtr> group_exprs_;
@@ -98,6 +117,12 @@ class HashAggregate : public PhysicalOperator {
   std::vector<std::vector<AggAccumulator>> group_states_;
   size_t cursor_ = 0;
   uint64_t charged_ = 0;  // groups charged to the context's buffer budget
+
+  // Partition-spill state (unused until the group table overflows).
+  bool spilled_ = false;
+  std::vector<SpillRunPtr> parts_;
+  size_t part_next_ = 0;
+  uint64_t prior_groups_ = 0;  // groups emitted before the current table
 };
 
 /// γ over an input already sorted by the grouping expressions; emits each

@@ -47,15 +47,52 @@ bool ExecContext::ConsultFaultSlow(const char* site, int node_id) {
 }
 
 bool ExecContext::ChargeBufferedRows(uint64_t n) {
-  buffered_rows_ += n;
+  // Check-first: a failed charge leaves the account untouched, so operators
+  // only ever release what they successfully charged.
   if (failed_) return false;
-  if (guard_ != nullptr && buffered_rows_ > guard_->max_buffered_rows()) {
+  if (guard_ != nullptr && buffered_rows_ + n > guard_->max_buffered_rows()) {
     RaiseError(qprog::ResourceExhausted(StringPrintf(
         "buffered-row budget exceeded (%llu buffered > %llu allowed)",
-        static_cast<unsigned long long>(buffered_rows_),
+        static_cast<unsigned long long>(buffered_rows_ + n),
         static_cast<unsigned long long>(guard_->max_buffered_rows()))));
     return false;
   }
+  buffered_rows_ += n;
+  return true;
+}
+
+ChargeVerdict ExecContext::ChargeBufferedRowsOrSpill(uint64_t n) {
+  if (failed_) return ChargeVerdict::kFailed;
+  if (guard_ != nullptr && spill_manager_ != nullptr) {
+    if (buffered_rows_ + n > guard_->max_buffered_rows_kill()) {
+      RaiseError(qprog::ResourceExhausted(StringPrintf(
+          "buffered-row kill threshold exceeded (%llu buffered > %llu "
+          "allowed even with spilling)",
+          static_cast<unsigned long long>(buffered_rows_ + n),
+          static_cast<unsigned long long>(guard_->max_buffered_rows_kill()))));
+      return ChargeVerdict::kFailed;
+    }
+    if (buffered_rows_ + n > guard_->max_buffered_rows()) {
+      // Not charged: the operator spills instead of buffering these rows.
+      return ChargeVerdict::kSpill;
+    }
+  }
+  return ChargeBufferedRows(n) ? ChargeVerdict::kCharged
+                               : ChargeVerdict::kFailed;
+}
+
+bool ExecContext::ChargeBufferedRowsPostSpill(uint64_t n) {
+  if (failed_) return false;
+  if (guard_ != nullptr &&
+      buffered_rows_ + n > guard_->max_buffered_rows_kill()) {
+    RaiseError(qprog::ResourceExhausted(StringPrintf(
+        "spilled partition does not fit (%llu buffered > %llu kill "
+        "threshold); input too skewed to process under this budget",
+        static_cast<unsigned long long>(buffered_rows_ + n),
+        static_cast<unsigned long long>(guard_->max_buffered_rows_kill()))));
+    return false;
+  }
+  buffered_rows_ += n;
   return true;
 }
 

@@ -36,6 +36,15 @@
 namespace qprog {
 
 class FaultInjector;
+class SpillManager;
+
+/// Outcome of a buffered-row charge against a context with an (optional)
+/// spill manager attached — see ChargeBufferedRowsOrSpill.
+enum class ChargeVerdict {
+  kCharged,  // rows charged; keep buffering in memory
+  kSpill,    // rows NOT charged; the soft budget is full — spill instead
+  kFailed,   // sticky error raised (kill threshold, hard budget, or cascade)
+};
 
 class ExecContext {
  public:
@@ -48,6 +57,7 @@ class ExecContext {
   /// persists across Reset (they describe the query, not one run).
   void Reset(size_t num_nodes) {
     rows_produced_.assign(num_nodes, 0);
+    spill_work_.assign(num_nodes, 0);
     work_ = 0;
     buffered_rows_ = 0;
     failed_ = false;
@@ -89,8 +99,34 @@ class ExecContext {
     return rows_produced_[static_cast<size_t>(node_id)];
   }
 
-  /// Total counted getnext calls so far (Curr in the paper's notation).
+  /// Total counted work so far (Curr in the paper's notation): getnext calls
+  /// plus spill I/O passes (each spilled row written or re-read is one unit —
+  /// the paper's dynamic-total(Q) semantics for operators that repartition).
   uint64_t work() const { return work_; }
+
+  /// Counts `n` units of spill I/O work at `node_id` (rows written to or
+  /// re-read from a spill run). Unlike CountRow, spill work counts at every
+  /// node including the root: a spilling root sort really does extra passes.
+  void AddSpillWork(int node_id, uint64_t n) {
+    QPROG_DCHECK(node_id >= 0 &&
+                 static_cast<size_t>(node_id) < spill_work_.size());
+    spill_work_[static_cast<size_t>(node_id)] += n;
+    work_ += n;
+    if (work_ >= next_event_) OnWorkEvent(node_id);
+  }
+
+  /// Spill work units counted at `node_id` so far.
+  uint64_t spill_work(int node_id) const {
+    return spill_work_[static_cast<size_t>(node_id)];
+  }
+
+  /// Plan-wide spill work (the amount by which total(Q) has been revised
+  /// upward so far by spill passes).
+  uint64_t total_spill_work() const {
+    uint64_t sum = 0;
+    for (uint64_t w : spill_work_) sum += w;
+    return sum;
+  }
 
   // -- error channel --------------------------------------------------------
 
@@ -136,10 +172,32 @@ class ExecContext {
     return ConsultFaultSlow(site, node_id);
   }
 
+  /// Attaches a spill manager (borrowed; may be null to remove). With one
+  /// attached, blocking operators degrade to spilling when the guard's soft
+  /// buffered-row budget fills (ChargeBufferedRowsOrSpill) instead of
+  /// aborting. Persists across Reset, like the guard and fault injector.
+  void set_spill_manager(SpillManager* manager) { spill_manager_ = manager; }
+  SpillManager* spill_manager() const { return spill_manager_; }
+
   /// Charges `n` rows against the blocking-operator buffer budget. Returns
   /// false (with kResourceExhausted recorded) when the guard's buffered-row
-  /// budget is exceeded, or when the execution has already failed.
+  /// budget is exceeded, or when the execution has already failed. A failed
+  /// charge leaves the account untouched: operators release exactly what
+  /// they successfully charged, so the account drains to zero on any path.
   bool ChargeBufferedRows(uint64_t n);
+
+  /// Memory-adaptive charge: like ChargeBufferedRows, but when a spill
+  /// manager is attached and the charge would exceed the guard's soft budget,
+  /// returns kSpill *without charging* — the operator must spill buffered
+  /// state and retry or reroute rows to disk. The guard's separate kill
+  /// threshold still aborts (kFailed) even with a spill manager attached.
+  ChargeVerdict ChargeBufferedRowsOrSpill(uint64_t n);
+
+  /// Post-spill charge for re-loading one spilled partition into memory:
+  /// checked against the guard's *kill* threshold only (the soft budget
+  /// already did its job by triggering the spill). Returns false with
+  /// kResourceExhausted recorded when even one partition cannot fit.
+  bool ChargeBufferedRowsPostSpill(uint64_t n);
 
   /// Returns rows to the buffer budget (operator Close/rescan).
   void ReleaseBufferedRows(uint64_t n) {
@@ -201,6 +259,7 @@ class ExecContext {
   }
 
   std::vector<uint64_t> rows_produced_;
+  std::vector<uint64_t> spill_work_;
   uint64_t work_ = 0;
   uint64_t buffered_rows_ = 0;
 
@@ -218,6 +277,7 @@ class ExecContext {
   Status status_;
   QueryGuard* guard_ = nullptr;
   FaultInjector* fault_injector_ = nullptr;
+  SpillManager* spill_manager_ = nullptr;
 };
 
 }  // namespace qprog

@@ -46,7 +46,23 @@ inline constexpr char kSortOpen[] = "sort.open";
 inline constexpr char kSortBuild[] = "sort.build";
 inline constexpr char kHashAggregateBuild[] = "hashagg.build";
 inline constexpr char kStreamAggregateNext[] = "streamagg.next";
+// Spill-layer I/O sites, consulted by the SpillManager (exec/spill.h) once
+// per temp-file open / record write / record read. Transient faults armed
+// here exercise the bounded-retry path; permanent ones the cleanup path.
+inline constexpr char kSpillOpen[] = "spill.open";
+inline constexpr char kSpillWrite[] = "spill.write";
+inline constexpr char kSpillRead[] = "spill.read";
 }  // namespace faults
+
+/// Failure taxonomy. A permanent fault latches: once fired, every later hit
+/// of the site fails too (until Disarm or Reset) — the model of a corrupted
+/// file or a dead disk. A transient fault fails for a bounded window of
+/// `transient_failures` consecutive hits and then recovers — the model of a
+/// full page cache or a flaky device that a bounded retry loop can ride out.
+enum class FaultClass {
+  kPermanent,
+  kTransient,
+};
 
 /// One armed fault. `fail_on_hit` and `fail_probability` may be combined;
 /// whichever condition is met first fires. A fired site stays armed (a
@@ -58,6 +74,11 @@ struct FaultSpec {
   StatusCode code = StatusCode::kInternal;
   std::string message;         // defaults to "injected fault at <site>"
   uint64_t latency_spins = 0;  // busy-wait iterations added to every hit
+  FaultClass fault_class = FaultClass::kPermanent;
+  // Transient faults only: consecutive failing hits (the trigger included)
+  // before the site recovers. Arm() defaults a transient fault's code to
+  // kUnavailable so retry loops recognize it as retryable.
+  uint64_t transient_failures = 1;
 };
 
 class FaultInjector {
@@ -94,6 +115,8 @@ class FaultInjector {
     FaultSpec spec;
     bool armed = false;
     uint64_t hits = 0;
+    bool latched = false;           // permanent fault has fired
+    uint64_t failing_remaining = 0; // transient failing window still open
   };
 
   uint64_t seed_;

@@ -269,38 +269,162 @@ void HashJoin::DoOpen(ExecContext* ctx) {
   bucket_pos_ = 0;
   ctx->ReleaseBufferedRows(charged_);
   charged_ = 0;
+  spilled_ = false;
+  probe_partitioned_ = false;
+  build_parts_.clear();
+  probe_parts_.clear();
+  part_idx_ = 0;
+  part_loaded_ = false;
   if (ctx->ConsultFault(faults::kHashJoinOpen, node_id())) return;
   build_->Open(ctx);
   probe_->Open(ctx);
+}
+
+Row HashJoin::KeyOf(const Row& row, const std::vector<ExprPtr>& keys,
+                    bool* has_null) const {
+  Row key;
+  key.reserve(keys.size());
+  *has_null = false;
+  for (const ExprPtr& e : keys) {
+    Value v = e->Eval(row);
+    *has_null = *has_null || v.is_null();
+    key.push_back(std::move(v));
+  }
+  return key;
+}
+
+bool HashJoin::AppendToPartition(ExecContext* ctx,
+                                 std::vector<SpillRunPtr>* parts,
+                                 const char* phase, const Row& key,
+                                 const Row& row) {
+  if (parts->empty()) {
+    parts->reserve(kSpillFanout);
+    for (int i = 0; i < kSpillFanout; ++i) {
+      SpillRunPtr run = ctx->spill_manager()->CreateRun(ctx, node_id(), phase);
+      if (run == nullptr) return false;
+      parts->push_back(std::move(run));
+    }
+  }
+  size_t part = RowHash()(key) % static_cast<size_t>(kSpillFanout);
+  return (*parts)[part]->Append(ctx, node_id(), row);
+}
+
+bool HashJoin::SpillBuildTable(ExecContext* ctx) {
+  for (const auto& [key, bucket] : table_) {
+    for (const Row& row : bucket) {
+      if (!AppendToPartition(ctx, &build_parts_, "hashjoin.build", key, row)) {
+        return false;
+      }
+    }
+  }
+  table_.clear();
+  ctx->ReleaseBufferedRows(charged_);
+  charged_ = 0;
+  max_bucket_ = 0;  // re-learned per partition during the probe phase
+  spilled_ = true;
+  return true;
 }
 
 void HashJoin::BuildTable(ExecContext* ctx) {
   Row row;
   while (ctx->ok() && build_->Next(ctx, &row)) {
     if (ctx->ConsultFault(faults::kHashJoinBuild, node_id())) return;
-    Row key;
-    key.reserve(build_keys_.size());
     bool has_null = false;
-    for (const ExprPtr& e : build_keys_) {
-      Value v = e->Eval(row);
-      has_null = has_null || v.is_null();
-      key.push_back(std::move(v));
-    }
+    Row key = KeyOf(row, build_keys_, &has_null);
     if (has_null) continue;  // NULL keys never match
+    if (spilled_) {
+      // Already in Grace mode: route straight to a partition run.
+      if (!AppendToPartition(ctx, &build_parts_, "hashjoin.build", key, row)) {
+        return;
+      }
+      ++build_rows_;
+      continue;
+    }
+    ChargeVerdict verdict = ctx->ChargeBufferedRowsOrSpill(1);
+    if (verdict == ChargeVerdict::kFailed) return;
+    if (verdict == ChargeVerdict::kSpill) {
+      if (!SpillBuildTable(ctx)) return;
+      if (!AppendToPartition(ctx, &build_parts_, "hashjoin.build", key, row)) {
+        return;
+      }
+      ++build_rows_;
+      continue;
+    }
     auto& bucket = table_[std::move(key)];
     bucket.push_back(std::move(row));
     ++build_rows_;
     ++charged_;
     max_bucket_ = std::max<uint64_t>(max_bucket_, bucket.size());
-    if (!ctx->ChargeBufferedRows(1)) return;
   }
   if (!ctx->ok()) return;  // partial build: not usable for probing
   build_done_ = true;
 }
 
+void HashJoin::PartitionProbe(ExecContext* ctx) {
+  // Route every probe row — including NULL-key rows — through the runs so
+  // outer/anti joins still see (and preserve) the unmatched rows when the
+  // partition is replayed.
+  Row row;
+  while (ctx->ok() && probe_->Next(ctx, &row)) {
+    bool has_null = false;
+    Row key = KeyOf(row, probe_keys_, &has_null);
+    if (!AppendToPartition(ctx, &probe_parts_, "hashjoin.probe", key, row)) {
+      return;
+    }
+  }
+  if (!ctx->ok()) return;
+  for (auto& run : build_parts_) {
+    if (!run->FinishWrite(ctx, node_id())) return;
+  }
+  for (auto& run : probe_parts_) {
+    if (!run->FinishWrite(ctx, node_id())) return;
+  }
+  probe_partitioned_ = true;
+}
+
+bool HashJoin::LoadPartition(ExecContext* ctx) {
+  SpillRun* build_run = build_parts_[static_cast<size_t>(part_idx_)].get();
+  if (!build_run->OpenRead(ctx, node_id())) return false;
+  Row row;
+  while (build_run->ReadNext(ctx, node_id(), &row)) {
+    bool has_null = false;
+    Row key = KeyOf(row, build_keys_, &has_null);
+    QPROG_DCHECK(!has_null);  // NULL build keys were never spilled
+    // A reloaded partition answers to the kill threshold only: the soft
+    // budget already traded memory for these extra I/O passes.
+    if (!ctx->ChargeBufferedRowsPostSpill(1)) return false;
+    auto& bucket = table_[std::move(key)];
+    bucket.push_back(std::move(row));
+    ++charged_;
+    max_bucket_ = std::max<uint64_t>(max_bucket_, bucket.size());
+  }
+  if (!ctx->ok()) return false;
+  if (!probe_parts_[static_cast<size_t>(part_idx_)]->OpenRead(ctx, node_id())) {
+    return false;
+  }
+  part_loaded_ = true;
+  return true;
+}
+
+void HashJoin::UnloadPartition(ExecContext* ctx) {
+  table_.clear();
+  ctx->ReleaseBufferedRows(charged_);
+  charged_ = 0;
+  build_parts_[static_cast<size_t>(part_idx_)].reset();  // delete temp files
+  probe_parts_[static_cast<size_t>(part_idx_)].reset();
+  ++part_idx_;
+  part_loaded_ = false;
+}
+
+bool HashJoin::PullProbe(ExecContext* ctx, Row* row) {
+  if (!spilled_) return probe_->Next(ctx, row);
+  return probe_parts_[static_cast<size_t>(part_idx_)]->ReadNext(ctx, node_id(),
+                                                                row);
+}
+
 bool HashJoin::AdvanceProbe(ExecContext* ctx) {
   for (;;) {
-    if (!probe_->Next(ctx, &probe_row_)) {
+    if (!PullProbe(ctx, &probe_row_)) {
       probe_valid_ = false;
       return false;
     }
@@ -308,14 +432,8 @@ bool HashJoin::AdvanceProbe(ExecContext* ctx) {
     probe_matched_ = false;
     bucket_ = nullptr;
     bucket_pos_ = 0;
-    Row key;
-    key.reserve(probe_keys_.size());
     bool has_null = false;
-    for (const ExprPtr& e : probe_keys_) {
-      Value v = e->Eval(probe_row_);
-      has_null = has_null || v.is_null();
-      key.push_back(std::move(v));
-    }
+    Row key = KeyOf(probe_row_, probe_keys_, &has_null);
     if (!has_null) {
       auto it = table_.find(key);
       if (it != table_.end()) bucket_ = &it->second;
@@ -332,11 +450,27 @@ bool HashJoin::DoNext(ExecContext* ctx, Row* out) {
     BuildTable(ctx);
     if (!ctx->ok()) return false;
   }
+  if (spilled_ && !probe_partitioned_) {
+    PartitionProbe(ctx);
+    if (!ctx->ok()) return false;
+  }
   for (;;) {
     if (!ctx->ok()) return false;
+    if (spilled_ && !part_loaded_) {
+      if (part_idx_ >= kSpillFanout) {
+        finished_ = true;
+        return false;
+      }
+      if (!LoadPartition(ctx)) return false;
+    }
     if (!probe_valid_) {
       if (!AdvanceProbe(ctx)) {
-        if (ctx->ok()) finished_ = true;
+        if (!ctx->ok()) return false;
+        if (spilled_) {
+          UnloadPartition(ctx);  // move on to the next partition
+          continue;
+        }
+        finished_ = true;
         return false;
       }
     }
@@ -391,6 +525,8 @@ void HashJoin::DoClose(ExecContext* ctx) {
   probe_->Close(ctx);
   build_->Close(ctx);
   table_.clear();
+  build_parts_.clear();  // deletes any remaining spill temp files
+  probe_parts_.clear();
   ctx->ReleaseBufferedRows(charged_);
   charged_ = 0;
 }
@@ -403,9 +539,20 @@ std::string HashJoin::label() const {
 void HashJoin::FillProgressState(const ExecContext& ctx,
                                  ProgressState* state) const {
   PhysicalOperator::FillProgressState(ctx, state);
-  state->build_done = build_done_;
+  // In Grace mode the build facts the bounds walker relies on (largest
+  // bucket, full table) are no longer global, so stay on the conservative
+  // !build_done path until every partition has been replayed.
+  state->build_done = build_done_ && !spilled_;
   state->build_rows = build_rows_;
   state->max_multiplicity = max_bucket_;
+  uint64_t pending = 0;
+  for (const auto& run : build_parts_) {
+    if (run != nullptr) pending += run->rows_pending();
+  }
+  for (const auto& run : probe_parts_) {
+    if (run != nullptr) pending += run->rows_pending();
+  }
+  state->spill_rows_pending = pending;
 }
 
 // --------------------------------------------------------------------------
@@ -535,8 +682,8 @@ bool MergeJoin::DoNext(ExecContext* ctx, Row* out) {
       group_key_ = right_key_;
       do {
         group_.push_back(right_row_);
-        ++charged_;
         if (!ctx->ChargeBufferedRows(1)) return false;
+        ++charged_;
       } while (PullRight(ctx) && CompareKeys(right_key_, group_key_) == 0);
       if (!ctx->ok()) return false;
       group_active_ = true;

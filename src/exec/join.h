@@ -19,6 +19,7 @@
 
 #include "exec/operator.h"
 #include "exec/scan.h"
+#include "exec/spill.h"
 #include "expr/expr.h"
 
 namespace qprog {
@@ -109,6 +110,13 @@ class IndexNestedLoopsJoin : public PhysicalOperator {
 };
 
 /// ⋈hash: blocking build over child(1), streaming probe over child(0).
+///
+/// Memory-adaptive (Grace hash join): when the build table would exceed the
+/// guard's soft budget and a SpillManager is attached, both inputs are hash-
+/// partitioned to spill runs by join key and the join runs partition by
+/// partition, rebuilding a table that is ~1/kSpillFanout the size. One level
+/// of partitioning only — a single partition that still cannot fit (extreme
+/// key skew) aborts via the guard's kill threshold.
 class HashJoin : public PhysicalOperator {
  public:
   /// Equi-join on `probe_keys` (over probe rows) == `build_keys` (over build
@@ -133,9 +141,31 @@ class HashJoin : public PhysicalOperator {
 
   JoinType join_type() const { return join_type_; }
 
+  /// True once this execution degraded to Grace partitioning.
+  bool spilled() const { return spilled_; }
+
+  static constexpr int kSpillFanout = 8;
+
  private:
   void BuildTable(ExecContext* ctx);
   bool AdvanceProbe(ExecContext* ctx);
+  /// Evaluates `keys` over `row`; sets *has_null when any key value is NULL.
+  Row KeyOf(const Row& row, const std::vector<ExprPtr>& keys,
+            bool* has_null) const;
+  /// Dumps the in-memory build table into kSpillFanout partition runs and
+  /// switches to Grace mode.
+  bool SpillBuildTable(ExecContext* ctx);
+  bool AppendToPartition(ExecContext* ctx, std::vector<SpillRunPtr>* parts,
+                         const char* phase, const Row& key, const Row& row);
+  /// Drains the probe child into probe partition runs (Grace mode only).
+  void PartitionProbe(ExecContext* ctx);
+  /// Rebuilds the hash table from build partition `part_idx_` and rewinds
+  /// the matching probe run.
+  bool LoadPartition(ExecContext* ctx);
+  void UnloadPartition(ExecContext* ctx);
+  /// Next probe row: the probe child in memory mode, the current probe
+  /// partition in Grace mode.
+  bool PullProbe(ExecContext* ctx, Row* row);
 
   OperatorPtr probe_;
   OperatorPtr build_;
@@ -156,6 +186,14 @@ class HashJoin : public PhysicalOperator {
   bool probe_matched_ = false;
   const std::vector<Row>* bucket_ = nullptr;
   size_t bucket_pos_ = 0;
+
+  // Grace-mode state (unused until the build overflows the soft budget).
+  bool spilled_ = false;
+  bool probe_partitioned_ = false;
+  std::vector<SpillRunPtr> build_parts_;
+  std::vector<SpillRunPtr> probe_parts_;
+  int part_idx_ = 0;
+  bool part_loaded_ = false;
 };
 
 /// ⋈merge: inner equi-join over inputs sorted ascending on the key

@@ -66,6 +66,7 @@ void PhysicalOperator::FillProgressState(const ExecContext& ctx,
                                          ProgressState* state) const {
   state->rows_produced = ctx.rows_produced(node_id_);
   state->finished = finished_;
+  state->spill_work_done = ctx.spill_work(node_id_);
 }
 
 }  // namespace qprog

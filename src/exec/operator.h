@@ -63,6 +63,12 @@ struct ProgressState {
   // Limit: remaining output budget.
   uint64_t limit_remaining = 0;
   bool has_limit = false;
+
+  // Spilling (any blocking operator): extra work units already spent on
+  // spill I/O at this node, and spilled rows not yet re-read. Both are
+  // counted into [LB, UB] — spill passes revise total(Q) upward mid-query.
+  uint64_t spill_work_done = 0;   // set by the base FillProgressState
+  uint64_t spill_rows_pending = 0;
 };
 
 /// Base class for all physical operators. Operators own their children.

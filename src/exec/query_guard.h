@@ -58,12 +58,24 @@ class QueryGuard {
 
   /// Bounds the rows buffered simultaneously by blocking operators (sort
   /// runs, hash-join tables, aggregate groups, merge-join key groups) — the
-  /// engine's proxy for a memory budget. Exceeding it aborts the query with
-  /// kResourceExhausted.
+  /// engine's proxy for a memory budget. Without a SpillManager attached to
+  /// the ExecContext, exceeding it aborts the query with kResourceExhausted;
+  /// with one attached it is the *soft* threshold that triggers a spill pass
+  /// instead (graceful degradation), and only the separate kill threshold
+  /// below aborts.
   void set_max_buffered_rows(uint64_t max_rows) {
     max_buffered_rows_ = max_rows;
   }
   uint64_t max_buffered_rows() const { return max_buffered_rows_; }
+
+  /// Hard ceiling on buffered rows once spilling is engaged: exceeding it
+  /// aborts with kResourceExhausted even though a SpillManager is attached
+  /// (e.g. a single Grace-join partition too skewed to fit). Defaults to
+  /// kNoLimit; meaningful only when >= max_buffered_rows.
+  void set_max_buffered_rows_kill(uint64_t max_rows) {
+    max_buffered_rows_kill_ = max_rows;
+  }
+  uint64_t max_buffered_rows_kill() const { return max_buffered_rows_kill_; }
 
   // -- deadline -------------------------------------------------------------
   void set_deadline(Clock::time_point deadline) {
@@ -103,6 +115,7 @@ class QueryGuard {
   std::atomic<bool> cancel_{false};
   uint64_t max_work_ = kNoLimit;
   uint64_t max_buffered_rows_ = kNoLimit;
+  uint64_t max_buffered_rows_kill_ = kNoLimit;
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
   uint64_t check_interval_ = kDefaultCheckInterval;

@@ -1,5 +1,11 @@
 // Sort: the blocking order-by operator (also used beneath merge joins and
 // stream aggregates). Consumes its whole input on first Next, then emits.
+//
+// Memory-adaptive: with a SpillManager attached, a buffer that would exceed
+// the guard's soft budget is sorted and flushed to a spill run, and once any
+// run exists the final emit phase becomes a k-way merge of sorted runs read
+// back from disk (classic external run-merge sort). Without a manager — or
+// without a guard — behavior is the original in-memory sort.
 
 #ifndef QPROG_EXEC_SORT_H_
 #define QPROG_EXEC_SORT_H_
@@ -9,6 +15,7 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/spill.h"
 #include "expr/expr.h"
 
 namespace qprog {
@@ -41,8 +48,28 @@ class Sort : public PhysicalOperator {
   void FillProgressState(const ExecContext& ctx,
                          ProgressState* state) const override;
 
+  /// True once this execution flushed at least one spill run.
+  bool spilled() const { return !runs_.empty(); }
+
  private:
+  /// One input of the k-way merge: the head row of one sorted run.
+  struct MergeSource {
+    Row row;
+    Row key;  // precomputed sort-key tuple for `row`
+    bool valid = false;
+  };
+
   void Materialize(ExecContext* ctx);
+  /// Sorts `*rows` in place by keys_ (stable).
+  void SortRows(std::vector<Row>* rows) const;
+  Row MakeKey(const Row& row) const;
+  /// Strict "a sorts before b" over precomputed key tuples.
+  bool KeyLess(const Row& a, const Row& b) const;
+  /// Sorts the in-memory buffer and flushes it as one spill run.
+  bool SpillBuffer(ExecContext* ctx);
+  /// Refills merge source `i` from its run (invalidates it at end of run).
+  bool FillSource(ExecContext* ctx, size_t i);
+  bool NextMerged(ExecContext* ctx, Row* out);
 
   OperatorPtr child_;
   std::vector<SortKey> keys_;
@@ -51,6 +78,13 @@ class Sort : public PhysicalOperator {
   std::vector<Row> rows_;
   size_t cursor_ = 0;
   uint64_t charged_ = 0;  // rows charged to the context's buffer budget
+
+  // External-sort state (empty/false when the input fit in memory).
+  std::vector<SpillRunPtr> runs_;
+  std::vector<MergeSource> merge_;
+  bool merging_ = false;
+  uint64_t spilled_rows_ = 0;  // rows written across all runs
+  uint64_t reread_rows_ = 0;   // rows read back by the merge so far
 };
 
 }  // namespace qprog

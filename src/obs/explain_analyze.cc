@@ -60,6 +60,18 @@ void RenderNode(const PhysicalOperator* op, const ExecContext& ctx,
       out->append(StringPrintf(
           " faults=%llu", static_cast<unsigned long long>(s.faults)));
     }
+    if (s.spills > 0) {
+      out->append(StringPrintf(
+          " spills=%llu spilled_rows=%llu reread_rows=%llu",
+          static_cast<unsigned long long>(s.spills),
+          static_cast<unsigned long long>(s.spill_rows_written),
+          static_cast<unsigned long long>(s.spill_rows_read)));
+      if (s.io_retries > 0) {
+        out->append(StringPrintf(
+            " io_retries=%llu",
+            static_cast<unsigned long long>(s.io_retries)));
+      }
+    }
   }
   if (op->is_root()) out->append("  (root, excluded from work)");
   out->push_back('\n');

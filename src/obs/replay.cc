@@ -94,6 +94,9 @@ StatusOr<ReplayResult> ReplayTrace(const std::vector<TraceEvent>& events) {
       case TraceEventKind::kBoundRefined:
       case TraceEventKind::kGuardTrip:
       case TraceEventKind::kFaultFired:
+      case TraceEventKind::kSpillBegin:
+      case TraceEventKind::kSpillEnd:
+      case TraceEventKind::kIoRetry:
         break;  // not needed to rebuild the report
     }
   }

@@ -47,6 +47,11 @@ struct OperatorStats {
   uint64_t last_row_ns = 0;
   uint64_t guard_trips = 0;    // guard violations attributed to this node
   uint64_t faults = 0;         // injected/operator faults at this node
+  uint64_t spills = 0;             // spill runs this node created
+  uint64_t spill_rows_written = 0; // rows written to spill runs
+  uint64_t spill_rows_read = 0;    // rows re-read from spill runs
+  uint64_t spill_bytes = 0;        // bytes written to spill runs
+  uint64_t io_retries = 0;         // transient spill I/O failures retried
 };
 
 /// Per-node production-bounds history the monitor feeds in at checkpoints —
@@ -164,6 +169,59 @@ class TelemetryCollector {
       ev.node = node;
       ev.name = site;
       ev.detail = message;
+      Emit(std::move(ev));
+    }
+  }
+
+  // -- spill hooks (called by the SpillManager) -----------------------------
+
+  void RecordSpillBegin(int node, uint64_t work, const std::string& phase) {
+    if (node >= 0) ++stats_[static_cast<size_t>(node)].spills;
+    if (sink_ != nullptr) {
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kSpillBegin;
+      ev.work = work;
+      ev.node = node;
+      ev.name = phase;
+      Emit(std::move(ev));
+    }
+  }
+
+  void RecordSpillEnd(int node, uint64_t work, const std::string& phase,
+                      uint64_t rows, uint64_t bytes) {
+    if (node >= 0) {
+      OperatorStats& s = stats_[static_cast<size_t>(node)];
+      s.spill_rows_written += rows;
+      s.spill_bytes += bytes;
+    }
+    if (sink_ != nullptr) {
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kSpillEnd;
+      ev.work = work;
+      ev.node = node;
+      ev.name = phase;
+      ev.a = static_cast<double>(rows);
+      ev.b = static_cast<double>(bytes);
+      Emit(std::move(ev));
+    }
+  }
+
+  /// Stats-only (no event): re-reads happen once per spilled row and would
+  /// drown the trace.
+  void RecordSpillRead(int node, uint64_t rows) {
+    if (node >= 0) stats_[static_cast<size_t>(node)].spill_rows_read += rows;
+  }
+
+  void RecordIoRetry(int node, uint64_t work, const std::string& site,
+                     uint64_t attempt) {
+    if (node >= 0) ++stats_[static_cast<size_t>(node)].io_retries;
+    if (sink_ != nullptr) {
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kIoRetry;
+      ev.work = work;
+      ev.node = node;
+      ev.name = site;
+      ev.a = static_cast<double>(attempt);
       Emit(std::move(ev));
     }
   }

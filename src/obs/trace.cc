@@ -200,6 +200,12 @@ const char* TraceEventKindToString(TraceEventKind kind) {
       return "fault";
     case TraceEventKind::kRunEnd:
       return "run_end";
+    case TraceEventKind::kSpillBegin:
+      return "spill_begin";
+    case TraceEventKind::kSpillEnd:
+      return "spill_end";
+    case TraceEventKind::kIoRetry:
+      return "io_retry";
   }
   return "?";
 }
@@ -249,6 +255,21 @@ std::string TraceEventToJson(const TraceEvent& event) {
       AppendField(&out, "root_rows", event.a);
       AppendField(&out, "mu", event.b);
       break;
+    case TraceEventKind::kSpillBegin:
+      AppendField(&out, "node", event.node);
+      AppendField(&out, "phase", event.name);
+      break;
+    case TraceEventKind::kSpillEnd:
+      AppendField(&out, "node", event.node);
+      AppendField(&out, "phase", event.name);
+      AppendField(&out, "rows", event.a);
+      AppendField(&out, "bytes", event.b);
+      break;
+    case TraceEventKind::kIoRetry:
+      AppendField(&out, "node", event.node);
+      AppendField(&out, "site", event.name);
+      AppendField(&out, "attempt", event.a);
+      break;
   }
   out += '}';
   return out;
@@ -262,10 +283,10 @@ StatusOr<TraceEvent> ParseTraceEvent(const std::string& line) {
     return InvalidArgument("trace line missing schema version \"v\"");
   }
   int version = static_cast<int>(json.num("v"));
-  if (version != kTraceSchemaVersion) {
+  if (version < kMinTraceSchemaVersion || version > kTraceSchemaVersion) {
     return InvalidArgument(StringPrintf(
-        "unsupported trace schema version %d (reader supports %d)", version,
-        kTraceSchemaVersion));
+        "unsupported trace schema version %d (reader supports %d..%d)",
+        version, kMinTraceSchemaVersion, kTraceSchemaVersion));
   }
   if (!json.has_string("event")) {
     return InvalidArgument("trace line missing \"event\"");
@@ -312,6 +333,18 @@ StatusOr<TraceEvent> ParseTraceEvent(const std::string& line) {
     event.detail = json.str("message");
     event.a = json.num("root_rows");
     event.b = json.num("mu");
+  } else if (kind_name == "spill_begin") {
+    event.kind = TraceEventKind::kSpillBegin;
+    event.name = json.str("phase");
+  } else if (kind_name == "spill_end") {
+    event.kind = TraceEventKind::kSpillEnd;
+    event.name = json.str("phase");
+    event.a = json.num("rows");
+    event.b = json.num("bytes");
+  } else if (kind_name == "io_retry") {
+    event.kind = TraceEventKind::kIoRetry;
+    event.name = json.str("site");
+    event.a = json.num("attempt");
   } else {
     return InvalidArgument(
         StringPrintf("unknown trace event \"%s\"", kind_name.c_str()));

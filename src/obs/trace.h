@@ -7,9 +7,10 @@
 // golden-trace tests and the replay-equals-live invariant possible. Wall-time
 // lives in OperatorStats (obs/telemetry.h), never in the trace.
 //
-// Schema versioning: every JSONL line carries `"v":1`. Additions to a schema
-// bump the version; TraceReader accepts any version it knows how to parse and
-// rejects the rest with a clear Status (see DESIGN.md section 8).
+// Schema versioning: every JSONL line carries `"v":2`. Additions to a schema
+// bump the version; TraceReader accepts any version it knows how to parse
+// (currently 1 and 2 — v2 added the spill/io-retry events) and rejects the
+// rest with a clear Status (see DESIGN.md section 8).
 
 #ifndef QPROG_OBS_TRACE_H_
 #define QPROG_OBS_TRACE_H_
@@ -24,7 +25,11 @@
 namespace qprog {
 
 /// Current trace schema version written by the serializer.
-inline constexpr int kTraceSchemaVersion = 1;
+inline constexpr int kTraceSchemaVersion = 2;
+
+/// Oldest schema version the reader still parses. Version 1 traces are a
+/// strict subset of version 2 (no spill events), so replay handles both.
+inline constexpr int kMinTraceSchemaVersion = 1;
 
 /// Every event type the engine can emit. One enumerator per row in the
 /// DESIGN.md section-8 event taxonomy; serialized under stable string names
@@ -39,6 +44,9 @@ enum class TraceEventKind : uint8_t {
   kGuardTrip,           // QueryGuard violation became the sticky error
   kFaultFired,          // FaultInjector fault became the sticky error
   kRunEnd,              // run finished: total work, termination, root rows, mu
+  kSpillBegin,          // v2: a node started spilling (phase in `name`)
+  kSpillEnd,            // v2: one spill run sealed: rows + bytes written
+  kIoRetry,             // v2: transient spill I/O failure, attempt retried
 };
 
 const char* TraceEventKindToString(TraceEventKind kind);
@@ -56,6 +64,9 @@ const char* TraceEventKindToString(TraceEventKind kind);
 ///   kGuardTrip          reason            status message  -           -
 ///   kFaultFired         fault site        status message  -           -
 ///   kRunEnd             termination       status message  root_rows   mu
+///   kSpillBegin         spill phase       -               -           -
+///   kSpillEnd           spill phase       -               rows        bytes
+///   kIoRetry            fault site        -               attempt     -
 struct TraceEvent {
   TraceEventKind kind = TraceEventKind::kRunBegin;
   uint64_t seq = 0;   // collector-assigned, strictly increasing

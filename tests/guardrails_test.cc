@@ -25,6 +25,7 @@
 #include "exec/query_guard.h"
 #include "exec/scan.h"
 #include "exec/sort.h"
+#include "exec/spill.h"
 #include "index/ordered_index.h"
 #include "core/explain.h"
 #include "tests/test_util.h"
@@ -230,19 +231,29 @@ TEST(GuardrailsTest, SufficientBufferBudgetPasses) {
 struct FaultCase {
   std::string site;
   std::function<PhysicalPlan()> make_plan;
+  // Spill-layer sites are only reached when the plan actually spills: run
+  // these cases under a tight soft budget with a SpillManager attached.
+  bool spilling = false;
 };
 
 /// Runs `plan` with a fault armed at `site` and asserts the error surfaces
 /// as the execution Status with the injected code and site name.
 void ExpectFaultStops(PhysicalPlan plan, const std::string& site,
-                      uint64_t fail_on_hit) {
+                      uint64_t fail_on_hit, bool spilling = false) {
   FaultInjector fi(7);
   FaultSpec spec;
   spec.site = site;
   spec.fail_on_hit = fail_on_hit;
   spec.code = StatusCode::kInternal;
   fi.Arm(std::move(spec));
+  QueryGuard guard;
+  SpillManager spill;
   ExecContext ctx;
+  if (spilling) {
+    guard.set_max_buffered_rows(32);
+    ctx.set_guard(&guard);
+    ctx.set_spill_manager(&spill);
+  }
   ctx.set_fault_injector(&fi);
   StatusOr<std::vector<Row>> result = TryCollectRows(&plan, &ctx);
   ASSERT_FALSE(result.ok()) << "fault at " << site << " did not surface";
@@ -258,6 +269,12 @@ void ExpectFaultStops(PhysicalPlan plan, const std::string& site,
   StatusOr<std::vector<Row>> retry = TryCollectRows(&plan, &ctx);
   EXPECT_TRUE(retry.ok()) << "plan not rerunnable after fault at " << site
                           << ": " << retry.status().ToString();
+  if (spilling) {
+    // Both the aborted and the clean rerun must leave zero live spill runs.
+    EXPECT_GT(spill.stats().runs_created, 0u)
+        << "spill case for " << site << " never spilled";
+    EXPECT_EQ(spill.live_runs(), 0u);
+  }
 }
 
 TEST(GuardrailsTest, EveryFaultSiteStopsItsOperator) {
@@ -348,6 +365,11 @@ TEST(GuardrailsTest, EveryFaultSiteStopsItsOperator) {
                          std::make_unique<SeqScan>(&big), std::move(groups),
                          std::vector<std::string>{"g"}, std::move(aggs)));
                    }});
+  // Spill-layer sites: the sort spills under the case's tight budget, so
+  // every temp-file open, record write, and record read consults its site.
+  cases.push_back({faults::kSpillOpen, sort_plan, /*spilling=*/true});
+  cases.push_back({faults::kSpillWrite, sort_plan, /*spilling=*/true});
+  cases.push_back({faults::kSpillRead, sort_plan, /*spilling=*/true});
 
   // The case table must cover every canonical site exactly once.
   std::set<std::string> covered;
@@ -358,11 +380,12 @@ TEST(GuardrailsTest, EveryFaultSiteStopsItsOperator) {
 
   for (const FaultCase& c : cases) {
     SCOPED_TRACE(c.site);
-    ExpectFaultStops(c.make_plan(), c.site, /*fail_on_hit=*/1);
+    ExpectFaultStops(c.make_plan(), c.site, /*fail_on_hit=*/1, c.spilling);
     // Open-phase sites are hit once per run; Nth-hit faults only make sense
-    // for the per-row sites.
-    if (c.site.find(".open") == std::string::npos) {
-      ExpectFaultStops(c.make_plan(), c.site, /*fail_on_hit=*/3);
+    // for the per-row sites (spill.open is per-run-file, so it qualifies).
+    if (c.site.find(".open") == std::string::npos ||
+        c.site == faults::kSpillOpen) {
+      ExpectFaultStops(c.make_plan(), c.site, /*fail_on_hit=*/3, c.spilling);
     }
   }
 }

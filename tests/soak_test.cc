@@ -1,0 +1,235 @@
+// Randomized guardrail soak: TPC-H-style plans run under a seed matrix of
+// disruption scenarios — cancellation, expired deadlines, work budgets,
+// forced spilling, and transient spill I/O faults — all with a tight
+// buffered-row budget and a SpillManager attached, so every disruption lands
+// in the middle of memory-adaptive execution. Whatever the outcome, the
+// structural invariants must hold: no leaked temp files, zero live spill
+// runs, the buffered-row account drained to zero, every estimate sanitized
+// into [0, 1], and completed runs result-identical to an unconstrained run.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <iterator>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/monitor.h"
+#include "exec/fault_injector.h"
+#include "exec/plan.h"
+#include "exec/query_guard.h"
+#include "exec/spill.h"
+#include "storage/spill_file.h"
+#include "tests/test_util.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace qprog {
+namespace {
+
+enum class Scenario {
+  kSpillOnly,     // tight budget, no disruption: must complete by spilling
+  kCancel,        // cancel requested mid-run
+  kDeadline,      // already-expired deadline
+  kWorkBudget,    // hard work cap
+  kTransientIo,   // transient faults at every spill site, ridden out
+};
+
+const char* ScenarioName(Scenario s) {
+  switch (s) {
+    case Scenario::kSpillOnly: return "spill";
+    case Scenario::kCancel: return "cancel";
+    case Scenario::kDeadline: return "deadline";
+    case Scenario::kWorkBudget: return "work-budget";
+    case Scenario::kTransientIo: return "transient-io";
+  }
+  return "?";
+}
+
+int CountSpillFiles(const std::string& dir) {
+  int n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind(SpillFile::kFilePrefix, 0) ==
+        0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+class SoakTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database();
+    tpch::TpchConfig config;
+    config.scale_factor = 0.002;
+    Status s = tpch::GenerateTpch(config, db_);
+    QPROG_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* SoakTest::db_ = nullptr;
+
+// Queries whose plans contain blocking operators (sort / hash join / hash
+// aggregate), so a tight buffered-row budget actually bites.
+const int kQueries[] = {1, 3, 6, 10};
+const uint64_t kSeeds[] = {17, 42, 271};
+
+TEST_F(SoakTest, DisruptionMatrixLeavesNoResidue) {
+  const Scenario kScenarios[] = {
+      Scenario::kSpillOnly, Scenario::kCancel, Scenario::kDeadline,
+      Scenario::kWorkBudget, Scenario::kTransientIo};
+
+  // Unconstrained baselines, once per query, for result equivalence.
+  std::vector<std::string> baselines;
+  for (int q : kQueries) {
+    StatusOr<PhysicalPlan> plan = tpch::BuildQuery(q, *db_);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    ExecContext ctx;
+    StatusOr<std::vector<Row>> rows = TryCollectRows(&plan.value(), &ctx);
+    ASSERT_TRUE(rows.ok()) << "Q" << q << ": " << rows.status();
+    baselines.push_back(testutil::RowsToString(rows.value()));
+  }
+
+  uint64_t total_spilled_runs = 0;
+  for (size_t qi = 0; qi < std::size(kQueries); ++qi) {
+    for (uint64_t seed : kSeeds) {
+      for (Scenario scenario : kScenarios) {
+        const int q = kQueries[qi];
+        SCOPED_TRACE(std::string("Q") + std::to_string(q) + " seed=" +
+                     std::to_string(seed) + " scenario=" +
+                     ScenarioName(scenario));
+        Rng rng(seed * 1000003 + static_cast<uint64_t>(q));
+
+        std::filesystem::path dir =
+            std::filesystem::temp_directory_path() /
+            ("qprog_soak_" + std::to_string(q) + "_" + std::to_string(seed) +
+             "_" + ScenarioName(scenario));
+        std::filesystem::remove_all(dir);
+        std::filesystem::create_directories(dir);
+
+        SpillManager spill(dir.string());
+        QueryGuard guard;
+        guard.set_check_interval(64);
+        // Tight enough that the bigger queries spill, loose enough that the
+        // clean scenarios still complete.
+        guard.set_max_buffered_rows(16 + rng.Uniform(64));
+        FaultInjector fi(seed);
+
+        std::set<StatusCode> allowed = {StatusCode::kOk};
+        uint64_t cancel_at = 0;
+        switch (scenario) {
+          case Scenario::kSpillOnly:
+            break;
+          case Scenario::kCancel:
+            cancel_at = 64 * (1 + rng.Uniform(40));
+            allowed.insert(StatusCode::kCancelled);
+            break;
+          case Scenario::kDeadline:
+            guard.set_deadline(QueryGuard::Clock::now() -
+                               std::chrono::seconds(1));
+            allowed = {StatusCode::kDeadlineExceeded};
+            break;
+          case Scenario::kWorkBudget:
+            guard.set_max_work(256 * (1 + rng.Uniform(32)));
+            allowed.insert(StatusCode::kResourceExhausted);
+            break;
+          case Scenario::kTransientIo:
+            for (const char* site : {faults::kSpillOpen, faults::kSpillWrite,
+                                     faults::kSpillRead}) {
+              FaultSpec spec;
+              spec.site = site;
+              spec.fail_on_hit = 1 + rng.Uniform(200);
+              spec.fault_class = FaultClass::kTransient;
+              spec.transient_failures = 1 + rng.Uniform(2);
+              fi.Arm(std::move(spec));
+            }
+            break;
+        }
+
+        // Direct run: exposes the ExecContext for the drained-account check.
+        {
+          StatusOr<PhysicalPlan> plan = tpch::BuildQuery(q, *db_);
+          ASSERT_TRUE(plan.ok()) << plan.status();
+          ExecContext ctx;
+          ctx.set_guard(&guard);
+          ctx.set_spill_manager(&spill);
+          ctx.set_fault_injector(&fi);
+          fi.Reset();
+          if (cancel_at > 0) {
+            ctx.SetWorkObserver(64, [&](uint64_t work) {
+              if (work >= cancel_at) guard.RequestCancel();
+            });
+          }
+          StatusOr<std::vector<Row>> rows =
+              TryCollectRows(&plan.value(), &ctx);
+          StatusCode code =
+              rows.ok() ? StatusCode::kOk : rows.status().code();
+          EXPECT_TRUE(allowed.count(code))
+              << "unexpected outcome: "
+              << (rows.ok() ? "OK" : rows.status().ToString());
+          if (rows.ok()) {
+            EXPECT_EQ(testutil::RowsToString(rows.value()), baselines[qi])
+                << "degraded run changed the result";
+          }
+          EXPECT_EQ(ctx.buffered_rows(), 0u)
+              << "buffered-row account not drained";
+          EXPECT_EQ(spill.live_runs(), 0u) << "live spill runs leaked";
+          EXPECT_EQ(CountSpillFiles(dir.string()), 0)
+              << "temp spill files leaked";
+          guard.ResetCancel();
+        }
+
+        // Monitored run: the same configuration sampled by the estimators.
+        {
+          StatusOr<PhysicalPlan> plan = tpch::BuildQuery(q, *db_);
+          ASSERT_TRUE(plan.ok()) << plan.status();
+          ProgressMonitor m = ProgressMonitor::WithEstimators(
+              &plan.value(), {"dne", "pmax", "safe"});
+          m.set_guard(&guard);
+          m.set_spill_manager(&spill);
+          m.set_fault_injector(&fi);
+          if (cancel_at > 0) {
+            m.set_checkpoint_listener([&](const Checkpoint& cp) {
+              if (cp.work >= cancel_at) guard.RequestCancel();
+            });
+          }
+          ProgressReport r = m.Run(64);
+          EXPECT_TRUE(allowed.count(r.completed() ? StatusCode::kOk
+                                                  : r.status.code()))
+              << "unexpected monitored outcome: " << r.status.ToString();
+          for (const Checkpoint& cp : r.checkpoints) {
+            EXPECT_LE(static_cast<double>(cp.work), cp.work_lb + 1e-9);
+            EXPECT_LE(cp.work_lb, cp.work_ub + 1e-9);
+            for (double e : cp.estimates) {
+              EXPECT_FALSE(std::isnan(e));
+              EXPECT_GE(e, 0.0);
+              EXPECT_LE(e, 1.0);
+            }
+          }
+          EXPECT_EQ(spill.live_runs(), 0u);
+          EXPECT_EQ(CountSpillFiles(dir.string()), 0);
+          guard.ResetCancel();
+        }
+
+        total_spilled_runs += spill.stats().runs_created;
+        std::filesystem::remove_all(dir);
+      }
+    }
+  }
+  // The matrix must actually exercise the memory-adaptive path: across all
+  // queries, seeds, and scenarios, plenty of spill runs were created.
+  EXPECT_GT(total_spilled_runs, 0u);
+}
+
+}  // namespace
+}  // namespace qprog
