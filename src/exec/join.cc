@@ -293,18 +293,23 @@ Row HashJoin::KeyOf(const Row& row, const std::vector<ExprPtr>& keys,
   return key;
 }
 
+bool HashJoin::EnsureRuns(ExecContext* ctx, std::vector<SpillRunPtr>* parts,
+                          const char* phase) {
+  if (!parts->empty()) return true;
+  parts->reserve(kSpillFanout);
+  for (int i = 0; i < kSpillFanout; ++i) {
+    SpillRunPtr run = ctx->spill_manager()->CreateRun(ctx, node_id(), phase);
+    if (run == nullptr) return false;
+    parts->push_back(std::move(run));
+  }
+  return true;
+}
+
 bool HashJoin::AppendToPartition(ExecContext* ctx,
                                  std::vector<SpillRunPtr>* parts,
                                  const char* phase, const Row& key,
                                  const Row& row) {
-  if (parts->empty()) {
-    parts->reserve(kSpillFanout);
-    for (int i = 0; i < kSpillFanout; ++i) {
-      SpillRunPtr run = ctx->spill_manager()->CreateRun(ctx, node_id(), phase);
-      if (run == nullptr) return false;
-      parts->push_back(std::move(run));
-    }
-  }
+  if (!EnsureRuns(ctx, parts, phase)) return false;
   size_t part = RowHash()(key) % static_cast<size_t>(kSpillFanout);
   return (*parts)[part]->Append(ctx, node_id(), row);
 }
@@ -361,6 +366,10 @@ void HashJoin::BuildTable(ExecContext* ctx) {
 }
 
 void HashJoin::PartitionProbe(ExecContext* ctx) {
+  // Create every probe run up front: a zero-row probe input must still leave
+  // probe_parts_ mirroring build_parts_, or the partition replay loop would
+  // index an empty vector.
+  if (!EnsureRuns(ctx, &probe_parts_, "hashjoin.probe")) return;
   // Route every probe row — including NULL-key rows — through the runs so
   // outer/anti joins still see (and preserve) the unmatched rows when the
   // partition is replayed.

@@ -155,6 +155,9 @@ class HashJoin : public PhysicalOperator {
   /// Dumps the in-memory build table into kSpillFanout partition runs and
   /// switches to Grace mode.
   bool SpillBuildTable(ExecContext* ctx);
+  /// Creates all kSpillFanout runs in `parts` if none exist yet.
+  bool EnsureRuns(ExecContext* ctx, std::vector<SpillRunPtr>* parts,
+                  const char* phase);
   bool AppendToPartition(ExecContext* ctx, std::vector<SpillRunPtr>* parts,
                          const char* phase, const Row& key, const Row& row);
   /// Drains the probe child into probe partition runs (Grace mode only).

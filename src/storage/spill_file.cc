@@ -216,6 +216,13 @@ StatusOr<bool> SpillFile::ReadRecord(std::string* out) {
     return Internal(
         StringPrintf("spill record header torn on \"%s\"", path_.c_str()));
   }
+  // A valid payload can never exceed the bytes this file was written with;
+  // reject corrupt lengths before resize() turns them into a ~4 GiB
+  // allocation (std::bad_alloc) instead of a clean corruption error.
+  if (header[0] > bytes_written_) {
+    return Internal(
+        StringPrintf("spill record length corrupt on \"%s\"", path_.c_str()));
+  }
   out->resize(header[0]);
   if (header[0] > 0 &&
       std::fread(out->data(), 1, out->size(), file_) != out->size()) {

@@ -234,6 +234,18 @@ TEST(SpillTest, NullKeysSurviveGracePartitioning) {
                         /*expect_same_order=*/false);
 }
 
+TEST(SpillTest, GraceHashJoinSurvivesEmptyProbeInput) {
+  // The build side spills into kSpillFanout runs before the probe child is
+  // ever pulled; a zero-row probe input must still populate probe_parts_ so
+  // the partition replay loop has something to index (regression: OOB read
+  // on an empty probe_parts_ vector).
+  Table probe = Keyed(0, 5);
+  Table build = Keyed(400, 50);
+  ExpectSpillEquivalent([&] { return JoinPlan(&probe, &build); },
+                        /*soft_budget=*/64, "emptyprobe",
+                        /*expect_same_order=*/false);
+}
+
 TEST(SpillTest, ScalarAggregateNeverSpills) {
   // A grouping-free aggregate holds O(1) state; there is nothing to spill
   // and the memory-adaptive path must leave it alone.
@@ -629,6 +641,36 @@ TEST(SpillTest, ChecksumMismatchIsPermanentCorruption) {
   ASSERT_FALSE(read.ok());
   EXPECT_EQ(read.status().code(), StatusCode::kInternal);
   EXPECT_NE(read.status().message().find("checksum"), std::string::npos)
+      << read.status();
+  file.value()->CloseAndDelete();
+  EXPECT_EQ(CountSpillFiles(dir), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SpillTest, CorruptRecordLengthIsCleanCorruptionError) {
+  // A torn/garbage length field must be rejected as kInternal corruption
+  // before resize() attempts a multi-GiB allocation (regression: bad_alloc
+  // on untrusted header length).
+  std::string dir = MakeSpillDir("badlen");
+  auto file = SpillFile::Create(dir);
+  ASSERT_TRUE(file.ok()) << file.status();
+  ASSERT_TRUE(file.value()->AppendRecord("hello", 5).ok());
+  ASSERT_TRUE(file.value()->SeekToStart().ok());
+  {
+    std::FILE* raw = std::fopen(file.value()->path().c_str(), "rb+");
+    ASSERT_NE(raw, nullptr);
+    uint32_t huge = 0xFFFFFFF0u;
+    std::fseek(raw, 0, SEEK_SET);  // clobber the [size] field
+    std::fwrite(&huge, sizeof(huge), 1, raw);
+    std::fflush(raw);
+    std::fclose(raw);
+  }
+  ASSERT_TRUE(file.value()->SeekToStart().ok());
+  std::string payload;
+  StatusOr<bool> read = file.value()->ReadRecord(&payload);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInternal);
+  EXPECT_NE(read.status().message().find("length corrupt"), std::string::npos)
       << read.status();
   file.value()->CloseAndDelete();
   EXPECT_EQ(CountSpillFiles(dir), 0);
