@@ -125,6 +125,7 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   ctx.set_guard(guard_);
   ctx.set_fault_injector(injector_);
   ctx.set_spill_manager(spill_);
+  ctx.set_worker_pool(pool_);
   ctx.set_telemetry(telemetry_);
   if (injector_ != nullptr) injector_->Reset();  // deterministic replay
   BoundsTracker tracker(plan_);
@@ -265,6 +266,7 @@ ProgressReport ProgressMonitor::RunWithApproxCheckpoints(
   ctx.set_guard(guard_);
   ctx.set_fault_injector(injector_);
   ctx.set_spill_manager(spill_);
+  ctx.set_worker_pool(pool_);
   if (injector_ != nullptr) injector_->Reset();
   ExecutePlan(plan_, &ctx);
   if (!ctx.ok()) return MakeAbortedReport(ctx);

@@ -20,6 +20,7 @@
 namespace qprog {
 
 class SpillManager;
+class WorkerPool;
 
 /// One sampling instant.
 struct Checkpoint {
@@ -110,6 +111,12 @@ class ProgressMonitor {
   /// kResourceExhausted.
   void set_spill_manager(SpillManager* spill) { spill_ = spill; }
 
+  /// Installs a worker pool (borrowed): spill-heavy operators parallelize
+  /// run formation, run merging and Grace partition joins across its
+  /// threads (DESIGN.md §10). Results and progress accounting are identical
+  /// to the single-threaded engine at every pool size.
+  void set_worker_pool(WorkerPool* pool) { pool_ = pool; }
+
   /// Called after each checkpoint is recorded — the hook a kill-or-wait
   /// policy uses to watch estimates and, e.g., RequestCancel() on the guard.
   void set_checkpoint_listener(std::function<void(const Checkpoint&)> listener) {
@@ -153,6 +160,7 @@ class ProgressMonitor {
   QueryGuard* guard_ = nullptr;
   FaultInjector* injector_ = nullptr;
   SpillManager* spill_ = nullptr;
+  WorkerPool* pool_ = nullptr;
   TelemetryCollector* telemetry_ = nullptr;
   MetricsRegistry* registry_ = nullptr;
   std::function<void(const Checkpoint&)> listener_;

@@ -18,10 +18,43 @@
 //    next guard check and the work-budget trip point.
 //  * An optional FaultInjector (borrowed) is consulted by operators at named
 //    sites via ConsultFault().
+//
+// ---------------------------------------------------------------------------
+// Threading and memory-ordering contract (intra-query parallelism)
+//
+// With a WorkerPool attached (set_worker_pool), spill-heavy operators run
+// tasks on pool threads. The counter model is *sharded-then-folded*, never
+// concurrent:
+//
+//  * `rows_produced_`, `spill_work_`, `work_`, `buffered_rows_`, `status_`,
+//    the observer and the guard-check schedule are owned by the query thread
+//    (the thread driving Open/Next/Close). Worker tasks NEVER touch them.
+//    A task accumulates its spill work, telemetry events and errors in its
+//    own TaskContext shard (exec/worker_pool.h); the query thread folds each
+//    shard into this context at the task barrier, in task submission order.
+//    Folding happens-after task completion via the pool's queue mutex, so no
+//    synchronization beyond that is needed — and because fold order is
+//    submission order, total(Q), every checkpoint and the whole trace are
+//    byte-identical at every thread count.
+//  * The ProgressMonitor's observer runs inside CountRow/AddSpillWork on the
+//    query thread, so it always sees a consistent (Curr, LB, UB) snapshot:
+//    there is no moment where a checkpoint can observe counters mid-update.
+//  * `failed_` is the one flag worker tasks read (via TaskContext::ok(), to
+//    stop early when the query dies under them); it is therefore an atomic.
+//    It is only ever *written* by the query thread; relaxed ordering
+//    suffices because tasks use it purely as a stop hint — correctness comes
+//    from the fold, not from when a task notices.
+//  * QueryGuard::RequestCancel / cancel_requested are atomic by design and
+//    are polled by tasks directly for cooperative cancellation.
+//
+// The upshot: the "is this racy?" question for any counter is answered by
+// who may call the method — everything except failed_ and the guard's cancel
+// token is query-thread-only, and the TSan CI job enforces it.
 
 #ifndef QPROG_EXEC_EXEC_CONTEXT_H_
 #define QPROG_EXEC_EXEC_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -31,12 +64,14 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "exec/query_guard.h"
+#include "exec/work_context.h"
 #include "obs/telemetry.h"
 
 namespace qprog {
 
 class FaultInjector;
 class SpillManager;
+class WorkerPool;
 
 /// Outcome of a buffered-row charge against a context with an (optional)
 /// spill manager attached — see ChargeBufferedRowsOrSpill.
@@ -46,7 +81,7 @@ enum class ChargeVerdict {
   kFailed,   // sticky error raised (kill threshold, hard budget, or cascade)
 };
 
-class ExecContext {
+class ExecContext final : public WorkContext {
  public:
   ExecContext() = default;
   ExecContext(const ExecContext&) = delete;
@@ -60,7 +95,7 @@ class ExecContext {
     spill_work_.assign(num_nodes, 0);
     work_ = 0;
     buffered_rows_ = 0;
-    failed_ = false;
+    failed_.store(false, std::memory_order_relaxed);
     status_ = OkStatus();
     next_observation_ = observer_ ? observation_interval_ : kNever;
     next_guard_check_ = guard_ ? guard_->check_interval() : kNever;
@@ -70,7 +105,7 @@ class ExecContext {
 
   /// Called by an operator each time it returns a row. Fast path: one
   /// increment and one branch; observation and guard checks run out of line
-  /// when `work_` crosses the next scheduled event.
+  /// when `work_` crosses the next scheduled event. Query thread only.
   void CountRow(int node_id, bool is_root) {
     QPROG_DCHECK(node_id >= 0 &&
                  static_cast<size_t>(node_id) < rows_produced_.size());
@@ -107,7 +142,9 @@ class ExecContext {
   /// Counts `n` units of spill I/O work at `node_id` (rows written to or
   /// re-read from a spill run). Unlike CountRow, spill work counts at every
   /// node including the root: a spilling root sort really does extra passes.
-  void AddSpillWork(int node_id, uint64_t n) {
+  /// Query thread only — worker tasks log spill work into their TaskContext
+  /// shard, which replays through here at the fold.
+  void AddSpillWork(int node_id, uint64_t n) override {
     QPROG_DCHECK(node_id >= 0 &&
                  static_cast<size_t>(node_id) < spill_work_.size());
     spill_work_[static_cast<size_t>(node_id)] += n;
@@ -121,32 +158,38 @@ class ExecContext {
   }
 
   /// Plan-wide spill work (the amount by which total(Q) has been revised
-  /// upward so far by spill passes).
+  /// upward so far by spill passes). Query thread only, like every counter
+  /// read: the monitor's observer — the only concurrent-looking reader —
+  /// actually runs synchronously inside CountRow/AddSpillWork.
   uint64_t total_spill_work() const {
     uint64_t sum = 0;
     for (uint64_t w : spill_work_) sum += w;
     return sum;
   }
 
-  // -- error channel --------------------------------------------------------
+  // -- error channel ----------------------------------------------------------
 
-  /// True while no execution error has been recorded.
-  bool ok() const { return !failed_; }
+  /// True while no execution error has been recorded. Safe to call from any
+  /// thread (worker tasks poll it as a stop hint); see the contract above.
+  bool ok() const override { return !failed_.load(std::memory_order_relaxed); }
 
-  /// The sticky execution status; OK until the first RaiseError.
+  /// The sticky execution status; OK until the first RaiseError. Query
+  /// thread only (the value a task sees mid-flight could be torn).
   const Status& status() const { return status_; }
 
   /// Records an execution error. The first error wins; later ones (usually
-  /// cascade noise from operators shutting down) are dropped.
-  void RaiseError(Status status) {
+  /// cascade noise from operators shutting down) are dropped. Query thread
+  /// only — a worker task raises on its TaskContext and the fold brings the
+  /// error here.
+  void RaiseError(Status status) override {
     QPROG_DCHECK(!status.ok());
-    if (!failed_) {
-      failed_ = true;
+    if (!failed_.load(std::memory_order_relaxed)) {
       status_ = std::move(status);
+      failed_.store(true, std::memory_order_release);
     }
   }
 
-  // -- guardrails -----------------------------------------------------------
+  // -- guardrails -------------------------------------------------------------
 
   /// Installs a resource guard (borrowed; may be null to remove). Checked at
   /// an amortized interval on the CountRow path and at every observation.
@@ -162,6 +205,7 @@ class ExecContext {
     fault_injector_ = injector;
   }
   FaultInjector* fault_injector() const { return fault_injector_; }
+  FaultInjector* io_fault_injector() const override { return fault_injector_; }
 
   /// Consults the fault injector (if any) at a named site. Returns true when
   /// a fault fired — the fault's Status has been recorded as the execution
@@ -178,6 +222,15 @@ class ExecContext {
   /// aborting. Persists across Reset, like the guard and fault injector.
   void set_spill_manager(SpillManager* manager) { spill_manager_ = manager; }
   SpillManager* spill_manager() const { return spill_manager_; }
+
+  /// Attaches a worker pool (borrowed; may be null to remove): spill-heavy
+  /// operators (external sort, Grace hash join) fan their merge and
+  /// partition-join phases out to pool tasks. Execution without a pool is
+  /// the reference serial engine; with one, results are bit-identical and
+  /// total(Q)/traces are identical at every pool size (see the contract
+  /// above). Persists across Reset.
+  void set_worker_pool(WorkerPool* pool) { worker_pool_ = pool; }
+  WorkerPool* worker_pool() const { return worker_pool_; }
 
   /// Charges `n` rows against the blocking-operator buffer budget. Returns
   /// false (with kResourceExhausted recorded) when the guard's buffered-row
@@ -207,7 +260,7 @@ class ExecContext {
   /// Rows currently buffered by blocking operators, plan-wide.
   uint64_t buffered_rows() const { return buffered_rows_; }
 
-  // -- work observation -----------------------------------------------------
+  // -- work observation -------------------------------------------------------
 
   /// Installs a callback fired once per `interval` units of work, with the
   /// scheduled crossing point (interval, 2*interval, ...) as argument. If a
@@ -230,13 +283,36 @@ class ExecContext {
     RecomputeNextEvent();
   }
 
-  // -- telemetry ------------------------------------------------------------
+  // -- telemetry ---------------------------------------------------------------
 
   /// Attaches a telemetry collector (borrowed; may be null to remove). With
   /// no collector attached, instrumentation costs one null-pointer branch per
   /// operator call. The collector is re-armed by Reset().
   void set_telemetry(TelemetryCollector* telemetry) { telemetry_ = telemetry; }
   TelemetryCollector* telemetry() const { return telemetry_; }
+
+  // -- WorkContext telemetry forwarding (spill layer; query thread only) ------
+
+  void OnSpillEnd(int node, const std::string& phase, uint64_t rows,
+                  uint64_t bytes) override {
+    if (telemetry_ != nullptr) {
+      telemetry_->RecordSpillEnd(node, work_, phase, rows, bytes);
+    }
+  }
+  void OnSpillRead(int node, uint64_t rows) override {
+    if (telemetry_ != nullptr) telemetry_->RecordSpillRead(node, rows);
+  }
+  void OnIoRetry(int node, const char* site, uint64_t attempt) override {
+    if (telemetry_ != nullptr) {
+      telemetry_->RecordIoRetry(node, work_, site, attempt);
+    }
+  }
+  void OnIoFault(int node, const char* site,
+                 const std::string& message) override {
+    if (telemetry_ != nullptr) {
+      telemetry_->RecordFault(node, work_, site, message);
+    }
+  }
 
  private:
   static constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
@@ -273,11 +349,14 @@ class ExecContext {
   TelemetryCollector* telemetry_ = nullptr;
   std::function<void(uint64_t)> observer_;
 
-  bool failed_ = false;
+  // Written by the query thread only; read by worker tasks as a stop hint
+  // (see the threading contract in the file comment).
+  std::atomic<bool> failed_{false};
   Status status_;
   QueryGuard* guard_ = nullptr;
   FaultInjector* fault_injector_ = nullptr;
   SpillManager* spill_manager_ = nullptr;
+  WorkerPool* worker_pool_ = nullptr;
 };
 
 }  // namespace qprog

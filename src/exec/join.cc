@@ -1,14 +1,32 @@
 #include "exec/join.h"
 
 #include <algorithm>
+#include <array>
+#include <memory>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/strings.h"
 #include "exec/fault_injector.h"
+#include "exec/worker_pool.h"
 
 namespace qprog {
 
 namespace {
+
+// Task-key layout for the parallel Grace join (DESIGN.md §10): partition
+// write batches are keyed by phase (bit 55: 0 = build, 1 = probe), partition
+// index, and a per-partition batch sequence number; partition joins by the
+// partition index alone. All data identity, never pool size.
+constexpr uint64_t kJoinWriteTaskTag = 0x52ULL << 56;
+constexpr uint64_t kJoinProbePhaseBit = 1ULL << 55;
+constexpr uint64_t kJoinPartitionTaskTag = 0x53ULL << 56;
+
+// Rows buffered per partition before a write batch is handed to a worker,
+// and batches in flight before the query thread folds their op-logs. Both
+// bound the uncharged write-side overcommit (see DESIGN.md §10).
+constexpr size_t kBatchRows = 256;
+constexpr size_t kMaxInflightBatches = 16;
 
 Row ConcatRows(const Row& left, const Row& right) {
   Row out;
@@ -241,6 +259,86 @@ std::string IndexNestedLoopsJoin::label() const {
 // --------------------------------------------------------------------------
 // HashJoin
 
+// Pool-backed Grace partition writes. Rows buffer per partition on the query
+// thread; every kBatchRows a batch task appends them to the partition's run
+// on a worker, submitted into that partition's lane so a run's appends stay
+// in input order without a lock. Every kMaxInflightBatches the query thread
+// barriers and folds batch op-logs in submission order — a data-derived
+// cadence, so spill-work checkpoints land identically at every pool size.
+// The operator's grace_rows_written_ advances only after a batch's log is
+// folded, keeping (Curr, LB, UB) consistent at mid-fold checkpoints.
+class HashJoin::PartitionWriter {
+ public:
+  PartitionWriter(HashJoin* join, ExecContext* ctx, WorkerPool* pool,
+                  std::vector<SpillRunPtr>* parts, uint64_t phase_tag)
+      : join_(join), ctx_(ctx), parts_(parts), phase_tag_(phase_tag),
+        group_(pool) {}
+
+  /// Buffers `row` for `part`, flushing a batch task when full.
+  bool Add(size_t part, const Row& row) {
+    buf_[part].push_back(row);
+    if (buf_[part].size() >= kBatchRows) return FlushPartition(part);
+    return ctx_->ok();
+  }
+
+  /// Flushes every residual buffer (partition order), barriers, folds.
+  bool Finish() {
+    for (size_t p = 0; p < buf_.size(); ++p) {
+      if (!buf_[p].empty() && !FlushPartition(p)) return false;
+    }
+    return FoldBatches();
+  }
+
+ private:
+  struct PendingBatch {
+    std::unique_ptr<TaskContext> tc;
+    uint64_t rows = 0;
+  };
+
+  bool FlushPartition(size_t part) {
+    auto tc = std::make_unique<TaskContext>(
+        ctx_, phase_tag_ | (static_cast<uint64_t>(part) << 20) |
+                  batch_seq_[part]++);
+    TaskContext* tcp = tc.get();
+    SpillRun* run = (*parts_)[part].get();
+    uint64_t n = buf_[part].size();
+    group_.SubmitToLane(
+        part, [join = join_, tcp, run, rows = std::move(buf_[part])] {
+          for (const Row& row : rows) {
+            if (!run->Append(tcp, join->node_id(), row)) return;
+          }
+        });
+    buf_[part] = std::vector<Row>();
+    pending_.push_back(PendingBatch{std::move(tc), n});
+    if (pending_.size() >= kMaxInflightBatches) return FoldBatches();
+    return ctx_->ok();
+  }
+
+  bool FoldBatches() {
+    Status escaped = group_.Wait();
+    for (PendingBatch& b : pending_) {
+      if (!ctx_->ok()) break;
+      b.tc->FoldInto(ctx_);
+      if (!ctx_->ok()) break;
+      join_->grace_rows_written_ += b.rows;
+    }
+    pending_.clear();
+    if (ctx_->ok() && !escaped.ok()) ctx_->RaiseError(std::move(escaped));
+    return ctx_->ok();
+  }
+
+  HashJoin* join_;
+  ExecContext* ctx_;
+  std::vector<SpillRunPtr>* parts_;
+  uint64_t phase_tag_;
+  std::array<std::vector<Row>, kSpillFanout> buf_;
+  std::array<uint64_t, kSpillFanout> batch_seq_{};
+  std::vector<PendingBatch> pending_;
+  // Declared last: destroyed first, so the destructor's implicit Wait()
+  // drains in-flight tasks while the TaskContexts in pending_ still live.
+  TaskGroup group_;
+};
+
 HashJoin::HashJoin(OperatorPtr probe, OperatorPtr build,
                    std::vector<ExprPtr> probe_keys,
                    std::vector<ExprPtr> build_keys, JoinType join_type,
@@ -275,6 +373,10 @@ void HashJoin::DoOpen(ExecContext* ctx) {
   probe_parts_.clear();
   part_idx_ = 0;
   part_loaded_ = false;
+  grace_rows_written_ = 0;
+  parallel_joined_ = false;
+  out_rows_.clear();
+  out_pos_ = 0;
   if (ctx->ConsultFault(faults::kHashJoinOpen, node_id())) return;
   build_->Open(ctx);
   probe_->Open(ctx);
@@ -308,16 +410,20 @@ bool HashJoin::EnsureRuns(ExecContext* ctx, std::vector<SpillRunPtr>* parts,
 bool HashJoin::AppendToPartition(ExecContext* ctx,
                                  std::vector<SpillRunPtr>* parts,
                                  const char* phase, const Row& key,
-                                 const Row& row) {
+                                 const Row& row, PartitionWriter* writer) {
   if (!EnsureRuns(ctx, parts, phase)) return false;
   size_t part = RowHash()(key) % static_cast<size_t>(kSpillFanout);
-  return (*parts)[part]->Append(ctx, node_id(), row);
+  if (writer != nullptr) return writer->Add(part, row);
+  if (!(*parts)[part]->Append(ctx, node_id(), row)) return false;
+  ++grace_rows_written_;
+  return true;
 }
 
-bool HashJoin::SpillBuildTable(ExecContext* ctx) {
+bool HashJoin::SpillBuildTable(ExecContext* ctx, PartitionWriter* writer) {
   for (const auto& [key, bucket] : table_) {
     for (const Row& row : bucket) {
-      if (!AppendToPartition(ctx, &build_parts_, "hashjoin.build", key, row)) {
+      if (!AppendToPartition(ctx, &build_parts_, "hashjoin.build", key, row,
+                             writer)) {
         return false;
       }
     }
@@ -331,6 +437,19 @@ bool HashJoin::SpillBuildTable(ExecContext* ctx) {
 }
 
 void HashJoin::BuildTable(ExecContext* ctx) {
+  // With a pool attached, Grace partition writes batch through a
+  // PartitionWriter (created lazily at the first spill). Charge verdicts are
+  // untouched — they fire per input row on the query thread either way — so
+  // the spill decision sequence is identical to the serial engine's.
+  std::unique_ptr<PartitionWriter> writer;
+  auto grace_writer = [&]() -> PartitionWriter* {
+    if (ctx->worker_pool() == nullptr) return nullptr;
+    if (writer == nullptr) {
+      writer = std::make_unique<PartitionWriter>(
+          this, ctx, ctx->worker_pool(), &build_parts_, kJoinWriteTaskTag);
+    }
+    return writer.get();
+  };
   Row row;
   while (ctx->ok() && build_->Next(ctx, &row)) {
     if (ctx->ConsultFault(faults::kHashJoinBuild, node_id())) return;
@@ -339,7 +458,8 @@ void HashJoin::BuildTable(ExecContext* ctx) {
     if (has_null) continue;  // NULL keys never match
     if (spilled_) {
       // Already in Grace mode: route straight to a partition run.
-      if (!AppendToPartition(ctx, &build_parts_, "hashjoin.build", key, row)) {
+      if (!AppendToPartition(ctx, &build_parts_, "hashjoin.build", key, row,
+                             grace_writer())) {
         return;
       }
       ++build_rows_;
@@ -348,8 +468,9 @@ void HashJoin::BuildTable(ExecContext* ctx) {
     ChargeVerdict verdict = ctx->ChargeBufferedRowsOrSpill(1);
     if (verdict == ChargeVerdict::kFailed) return;
     if (verdict == ChargeVerdict::kSpill) {
-      if (!SpillBuildTable(ctx)) return;
-      if (!AppendToPartition(ctx, &build_parts_, "hashjoin.build", key, row)) {
+      if (!SpillBuildTable(ctx, grace_writer())) return;
+      if (!AppendToPartition(ctx, &build_parts_, "hashjoin.build", key, row,
+                             grace_writer())) {
         return;
       }
       ++build_rows_;
@@ -362,6 +483,7 @@ void HashJoin::BuildTable(ExecContext* ctx) {
     max_bucket_ = std::max<uint64_t>(max_bucket_, bucket.size());
   }
   if (!ctx->ok()) return;  // partial build: not usable for probing
+  if (writer != nullptr && !writer->Finish()) return;
   build_done_ = true;
 }
 
@@ -370,6 +492,12 @@ void HashJoin::PartitionProbe(ExecContext* ctx) {
   // probe_parts_ mirroring build_parts_, or the partition replay loop would
   // index an empty vector.
   if (!EnsureRuns(ctx, &probe_parts_, "hashjoin.probe")) return;
+  std::unique_ptr<PartitionWriter> writer;
+  if (ctx->worker_pool() != nullptr) {
+    writer = std::make_unique<PartitionWriter>(
+        this, ctx, ctx->worker_pool(), &probe_parts_,
+        kJoinWriteTaskTag | kJoinProbePhaseBit);
+  }
   // Route every probe row — including NULL-key rows — through the runs so
   // outer/anti joins still see (and preserve) the unmatched rows when the
   // partition is replayed.
@@ -377,11 +505,13 @@ void HashJoin::PartitionProbe(ExecContext* ctx) {
   while (ctx->ok() && probe_->Next(ctx, &row)) {
     bool has_null = false;
     Row key = KeyOf(row, probe_keys_, &has_null);
-    if (!AppendToPartition(ctx, &probe_parts_, "hashjoin.probe", key, row)) {
+    if (!AppendToPartition(ctx, &probe_parts_, "hashjoin.probe", key, row,
+                           writer.get())) {
       return;
     }
   }
   if (!ctx->ok()) return;
+  if (writer != nullptr && !writer->Finish()) return;
   for (auto& run : build_parts_) {
     if (!run->FinishWrite(ctx, node_id())) return;
   }
@@ -427,8 +557,109 @@ void HashJoin::UnloadPartition(ExecContext* ctx) {
 
 bool HashJoin::PullProbe(ExecContext* ctx, Row* row) {
   if (!spilled_) return probe_->Next(ctx, row);
-  return probe_parts_[static_cast<size_t>(part_idx_)]->ReadNext(ctx, node_id(),
-                                                                row);
+  if (!probe_parts_[static_cast<size_t>(part_idx_)]->ReadNext(ctx, node_id(),
+                                                              row)) {
+    return false;
+  }
+  return true;
+}
+
+bool HashJoin::ParallelJoinPartitions(ExecContext* ctx, WorkerPool* pool) {
+  std::vector<PartitionJoinOut> outs(kSpillFanout);
+  std::vector<std::unique_ptr<TaskContext>> tcs;
+  tcs.reserve(kSpillFanout);
+  {
+    TaskGroup group(pool);
+    for (int p = 0; p < kSpillFanout; ++p) {
+      auto tc = std::make_unique<TaskContext>(
+          ctx, kJoinPartitionTaskTag | static_cast<uint64_t>(p));
+      TaskContext* tcp = tc.get();
+      SpillRun* build_run = build_parts_[static_cast<size_t>(p)].get();
+      SpillRun* probe_run = probe_parts_[static_cast<size_t>(p)].get();
+      PartitionJoinOut* out = &outs[static_cast<size_t>(p)];
+      group.Submit([this, tcp, build_run, probe_run, out] {
+        JoinPartitionTask(tcp, build_run, probe_run, out);
+      });
+      tcs.push_back(std::move(tc));
+    }
+    Status escaped = group.Wait();
+    for (int p = 0; p < kSpillFanout; ++p) {
+      if (!ctx->ok()) break;
+      tcs[static_cast<size_t>(p)]->FoldInto(ctx);
+      if (!ctx->ok()) break;
+      // Post-barrier run-counter reads are safe: the barrier handed the runs
+      // back to the query thread.
+      max_bucket_ =
+          std::max(max_bucket_, outs[static_cast<size_t>(p)].max_bucket);
+      for (Row& r : outs[static_cast<size_t>(p)].rows) {
+        out_rows_.push_back(std::move(r));
+      }
+      outs[static_cast<size_t>(p)].rows.clear();
+      build_parts_[static_cast<size_t>(p)].reset();  // delete temp files
+      probe_parts_[static_cast<size_t>(p)].reset();
+    }
+    if (ctx->ok() && !escaped.ok()) ctx->RaiseError(std::move(escaped));
+  }
+  part_idx_ = kSpillFanout;  // every partition consumed
+  return ctx->ok();
+}
+
+void HashJoin::JoinPartitionTask(TaskContext* tc, SpillRun* build_run,
+                                 SpillRun* probe_run,
+                                 PartitionJoinOut* out) const {
+  // The task owns its partition end to end: a private hash table, the
+  // partition's spill reads, and the output buffer. The per-task
+  // kill-threshold charge mirrors the serial LoadPartition charge — each
+  // reloaded partition answers to the same tripwire.
+  std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> table;
+  Row row;
+  if (!build_run->OpenRead(tc, node_id())) return;
+  while (build_run->ReadNext(tc, node_id(), &row)) {
+    bool has_null = false;
+    Row key = KeyOf(row, build_keys_, &has_null);
+    QPROG_DCHECK(!has_null);  // NULL build keys were never spilled
+    if (!tc->ChargeBufferedRowsPostSpill(1)) return;
+    auto& bucket = table[std::move(key)];
+    bucket.push_back(std::move(row));
+    out->max_bucket = std::max<uint64_t>(out->max_bucket, bucket.size());
+  }
+  if (!tc->ok()) return;
+  if (!probe_run->OpenRead(tc, node_id())) return;
+  while (probe_run->ReadNext(tc, node_id(), &row)) {
+    bool has_null = false;
+    Row key = KeyOf(row, probe_keys_, &has_null);
+    const std::vector<Row>* bucket = nullptr;
+    if (!has_null) {
+      auto it = table.find(key);
+      if (it != table.end()) bucket = &it->second;
+    }
+    // Match logic mirrors DoNext's serial loop row for row, so the folded
+    // output (partition order, probe order within each) is byte-identical
+    // to the serial partition replay.
+    bool matched = false;
+    if (bucket != nullptr) {
+      for (const Row& build_row : *bucket) {
+        Row joined = ConcatRows(row, build_row);
+        if (!PredicatePasses(residual_.get(), joined)) continue;
+        matched = true;
+        if (join_type_ == JoinType::kInner ||
+            join_type_ == JoinType::kLeftOuter) {
+          out->rows.push_back(std::move(joined));
+          continue;
+        }
+        if (join_type_ == JoinType::kLeftSemi) out->rows.push_back(row);
+        break;  // semi: one output per probe row; anti: match disqualifies
+      }
+    }
+    if (!matched) {
+      if (join_type_ == JoinType::kLeftOuter) {
+        out->rows.push_back(
+            ConcatRows(row, NullRow(build_->output_schema().num_fields())));
+      } else if (join_type_ == JoinType::kLeftAnti) {
+        out->rows.push_back(row);
+      }
+    }
+  }
 }
 
 bool HashJoin::AdvanceProbe(ExecContext* ctx) {
@@ -462,6 +693,20 @@ bool HashJoin::DoNext(ExecContext* ctx, Row* out) {
   if (spilled_ && !probe_partitioned_) {
     PartitionProbe(ctx);
     if (!ctx->ok()) return false;
+  }
+  if (spilled_ && !parallel_joined_ && ctx->worker_pool() != nullptr) {
+    if (!ParallelJoinPartitions(ctx, ctx->worker_pool())) return false;
+    parallel_joined_ = true;
+  }
+  if (parallel_joined_) {
+    if (out_pos_ < out_rows_.size()) {
+      *out = std::move(out_rows_[out_pos_++]);
+      Emit(ctx);
+      return true;
+    }
+    out_rows_.clear();
+    finished_ = true;
+    return false;
   }
   for (;;) {
     if (!ctx->ok()) return false;
@@ -536,6 +781,8 @@ void HashJoin::DoClose(ExecContext* ctx) {
   table_.clear();
   build_parts_.clear();  // deletes any remaining spill temp files
   probe_parts_.clear();
+  out_rows_.clear();
+  out_pos_ = 0;
   ctx->ReleaseBufferedRows(charged_);
   charged_ = 0;
 }
@@ -554,14 +801,15 @@ void HashJoin::FillProgressState(const ExecContext& ctx,
   state->build_done = build_done_ && !spilled_;
   state->build_rows = build_rows_;
   state->max_multiplicity = max_bucket_;
-  uint64_t pending = 0;
-  for (const auto& run : build_parts_) {
-    if (run != nullptr) pending += run->rows_pending();
-  }
-  for (const auto& run : probe_parts_) {
-    if (run != nullptr) pending += run->rows_pending();
-  }
-  state->spill_rows_pending = pending;
+  // A counter, not run-object sums: a worker task may own a run right now.
+  // Every partition row is written once and read back exactly once, so this
+  // node's total spill work is 2x the rows written so far; deriving pending
+  // from the same work counter the checkpoint just advanced keeps
+  // (done + pending) consistent at every sampling instant (see sort.cc).
+  uint64_t spill_total = 2 * grace_rows_written_;
+  state->spill_rows_pending = spill_total > state->spill_work_done
+                                  ? spill_total - state->spill_work_done
+                                  : 0;
 }
 
 // --------------------------------------------------------------------------

@@ -24,6 +24,9 @@
 
 namespace qprog {
 
+class TaskContext;
+class WorkerPool;
+
 enum class JoinType {
   kInner,
   kLeftOuter,  // left (streamed) side preserved
@@ -117,6 +120,15 @@ class IndexNestedLoopsJoin : public PhysicalOperator {
 /// partition, rebuilding a table that is ~1/kSpillFanout the size. One level
 /// of partitioning only — a single partition that still cannot fit (extreme
 /// key skew) aborts via the guard's kill threshold.
+///
+/// Parallel (DESIGN.md §10): with a WorkerPool attached, the Grace path
+/// fans out twice. Partition writes go through a PartitionWriter that
+/// batches rows per partition and appends each batch on a worker, one lane
+/// per partition so a run's writes stay ordered without locks. Then the
+/// kSpillFanout partition pairs are joined concurrently — each task owns
+/// its partition's build table and spill reads — and the query thread folds
+/// results in partition order, so output rows match the serial replay
+/// byte-for-byte at every pool size.
 class HashJoin : public PhysicalOperator {
  public:
   /// Equi-join on `probe_keys` (over probe rows) == `build_keys` (over build
@@ -147,6 +159,15 @@ class HashJoin : public PhysicalOperator {
   static constexpr int kSpillFanout = 8;
 
  private:
+  /// Batches Grace partition writes into worker tasks, one lane per
+  /// partition (defined in join.cc; pool-backed executions only).
+  class PartitionWriter;
+  /// One parallel partition join's results, filled by a worker task.
+  struct PartitionJoinOut {
+    std::vector<Row> rows;
+    uint64_t max_bucket = 0;
+  };
+
   void BuildTable(ExecContext* ctx);
   bool AdvanceProbe(ExecContext* ctx);
   /// Evaluates `keys` over `row`; sets *has_null when any key value is NULL.
@@ -154,14 +175,24 @@ class HashJoin : public PhysicalOperator {
             bool* has_null) const;
   /// Dumps the in-memory build table into kSpillFanout partition runs and
   /// switches to Grace mode.
-  bool SpillBuildTable(ExecContext* ctx);
+  bool SpillBuildTable(ExecContext* ctx, PartitionWriter* writer);
   /// Creates all kSpillFanout runs in `parts` if none exist yet.
   bool EnsureRuns(ExecContext* ctx, std::vector<SpillRunPtr>* parts,
                   const char* phase);
+  /// Routes `row` to its hash partition: directly into the run when `writer`
+  /// is null (serial path), else buffered through the writer.
   bool AppendToPartition(ExecContext* ctx, std::vector<SpillRunPtr>* parts,
-                         const char* phase, const Row& key, const Row& row);
+                         const char* phase, const Row& key, const Row& row,
+                         PartitionWriter* writer);
   /// Drains the probe child into probe partition runs (Grace mode only).
   void PartitionProbe(ExecContext* ctx);
+  /// Joins all kSpillFanout partition pairs on the pool, folding results
+  /// into out_rows_ in partition order. Returns ctx->ok().
+  bool ParallelJoinPartitions(ExecContext* ctx, WorkerPool* pool);
+  /// Worker-side body of one partition join: rebuilds the partition's table
+  /// from `build_run`, probes it with `probe_run`, collects output in `out`.
+  void JoinPartitionTask(TaskContext* tc, SpillRun* build_run,
+                         SpillRun* probe_run, PartitionJoinOut* out) const;
   /// Rebuilds the hash table from build partition `part_idx_` and rewinds
   /// the matching probe run.
   bool LoadPartition(ExecContext* ctx);
@@ -191,12 +222,22 @@ class HashJoin : public PhysicalOperator {
   size_t bucket_pos_ = 0;
 
   // Grace-mode state (unused until the build overflows the soft budget).
+  // The row counters are query-thread-only: worker tasks report theirs
+  // through the fold, so FillProgressState never reads a SpillRun that a
+  // task may own (see exec_context.h's threading contract).
   bool spilled_ = false;
   bool probe_partitioned_ = false;
   std::vector<SpillRunPtr> build_parts_;
   std::vector<SpillRunPtr> probe_parts_;
   int part_idx_ = 0;
   bool part_loaded_ = false;
+  uint64_t grace_rows_written_ = 0;  // rows appended to partition runs
+
+  // Parallel-join state: the folded output of ParallelJoinPartitions,
+  // drained by DoNext in partition order (matches the serial replay order).
+  bool parallel_joined_ = false;
+  std::vector<Row> out_rows_;
+  size_t out_pos_ = 0;
 };
 
 /// ⋈merge: inner equi-join over inputs sorted ascending on the key

@@ -6,6 +6,15 @@
 // run exists the final emit phase becomes a k-way merge of sorted runs read
 // back from disk (classic external run-merge sort). Without a manager — or
 // without a guard — behavior is the original in-memory sort.
+//
+// Parallel (DESIGN.md §10): with a WorkerPool attached, run formation is
+// handed off — the query thread creates the run, moves the buffer into a
+// task that sorts, writes and seals it — and when more than kMergeFanIn runs
+// exist, a two-level merge first has workers merge contiguous groups of runs
+// into intermediate runs ("sort.merge"), leaving at most kMergeFanIn inputs
+// for the final query-thread merge. Contiguous grouping keeps ties resolving
+// to the earliest run at both levels, so output is byte-identical to the
+// serial engine's stable one-level merge at every pool size.
 
 #ifndef QPROG_EXEC_SORT_H_
 #define QPROG_EXEC_SORT_H_
@@ -19,6 +28,9 @@
 #include "expr/expr.h"
 
 namespace qprog {
+
+class TaskContext;
+class WorkerPool;
 
 /// One sort key. NULLs order lowest (first under ascending).
 struct SortKey {
@@ -51,6 +63,10 @@ class Sort : public PhysicalOperator {
   /// True once this execution flushed at least one spill run.
   bool spilled() const { return !runs_.empty(); }
 
+  /// Maximum runs the query-thread merge will read directly; above this, a
+  /// pool-backed execution interposes a parallel intermediate merge level.
+  static constexpr int kMergeFanIn = 8;
+
  private:
   /// One input of the k-way merge: the head row of one sorted run.
   struct MergeSource {
@@ -60,6 +76,17 @@ class Sort : public PhysicalOperator {
   };
 
   void Materialize(ExecContext* ctx);
+  /// Pool-backed materialization: parallel run formation plus the two-level
+  /// merge. Reached only when both a WorkerPool and a SpillManager are
+  /// attached; byte-identical output to the serial path at every pool size.
+  void MaterializeParallel(ExecContext* ctx, WorkerPool* pool);
+  /// Reduces runs_ to at most kMergeFanIn by having workers merge contiguous
+  /// run groups into "sort.merge" intermediate runs, repeating if needed.
+  bool MergeRunsParallel(ExecContext* ctx, WorkerPool* pool);
+  /// Worker-side body of one intermediate merge: a stable k-way merge of
+  /// `sources` into `dest` against the task's context.
+  void MergeRunsTask(TaskContext* tc, const std::vector<SpillRun*>& sources,
+                     SpillRun* dest) const;
   /// Sorts `*rows` in place by keys_ (stable).
   void SortRows(std::vector<Row>* rows) const;
   Row MakeKey(const Row& row) const;
@@ -79,12 +106,14 @@ class Sort : public PhysicalOperator {
   size_t cursor_ = 0;
   uint64_t charged_ = 0;  // rows charged to the context's buffer budget
 
-  // External-sort state (empty/false when the input fit in memory).
+  // External-sort state (empty/false when the input fit in memory). The row
+  // counters are query-thread-only: worker tasks report theirs through the
+  // fold, so FillProgressState never reads a SpillRun a task may be writing.
   std::vector<SpillRunPtr> runs_;
   std::vector<MergeSource> merge_;
   bool merging_ = false;
-  uint64_t spilled_rows_ = 0;  // rows written across all runs
-  uint64_t reread_rows_ = 0;   // rows read back by the merge so far
+  uint64_t spilled_rows_ = 0;  // rows written across all runs (intermediates too)
+  uint64_t input_spilled_rows_ = 0;  // input rows in level-0 runs (exact count)
 };
 
 }  // namespace qprog

@@ -24,16 +24,27 @@
 // operators own their runs, so DoClose — which the plan driver invokes even
 // on an aborted run — is all it takes to guarantee zero leaked temp files on
 // cancel, deadline, guard trip or injected fault.
+//
+// Threading: runs perform their I/O against a WorkContext — the ExecContext
+// itself on the serial path, a per-task TaskContext (exec/worker_pool.h) on
+// a pool thread. One run is owned by exactly one context at a time; the
+// manager-wide SpillStats counters are atomics because runs on different
+// worker threads bump them concurrently (they are monitoring data, not part
+// of the deterministic work model). CreateRun stays query-thread-only: run
+// *identity* (and the spill_begin trace event) is part of the deterministic
+// trace, so operators create runs up front and hand them to tasks.
 
 #ifndef QPROG_EXEC_SPILL_H_
 #define QPROG_EXEC_SPILL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 
 #include "exec/exec_context.h"
+#include "exec/work_context.h"
 #include "storage/spill_file.h"
 #include "types/value.h"
 
@@ -51,23 +62,45 @@ struct SpillRetryPolicy {
   uint64_t backoff_spins = 512;
 };
 
-/// Manager-wide counters, aggregated across all runs.
+/// Simulated spill-device bandwidth, for benchmarking I/O overlap: each byte
+/// moved to/from a spill file accrues sleep debt at these rates, paid in
+/// >= 100us sleeps. Debt is per-run, so concurrent runs on worker threads
+/// overlap their "device time" exactly like real bandwidth-bound I/O — this
+/// is what lets bench/micro_parallel measure parallel speedup even on a
+/// single-core host. Default zero = off (all tests run with it off; the
+/// model adds latency, never changes results or traces).
+struct SpillDeviceModel {
+  uint64_t write_ns_per_byte = 0;
+  uint64_t read_ns_per_byte = 0;
+  bool enabled() const { return (write_ns_per_byte | read_ns_per_byte) != 0; }
+};
+
+/// Manager-wide counters, aggregated across all runs. Atomics: worker-thread
+/// runs update them concurrently. Monitoring data only — nothing in the
+/// deterministic work model reads them.
 struct SpillStats {
-  uint64_t runs_created = 0;
-  uint64_t runs_deleted = 0;
-  uint64_t rows_written = 0;
-  uint64_t rows_read = 0;
-  uint64_t bytes_written = 0;
-  uint64_t io_retries = 0;
+  std::atomic<uint64_t> runs_created{0};
+  std::atomic<uint64_t> runs_deleted{0};
+  std::atomic<uint64_t> rows_written{0};
+  std::atomic<uint64_t> rows_read{0};
+  /// Raw serialized row bytes appended to runs (pre-codec).
+  std::atomic<uint64_t> bytes_written{0};
+  /// Bytes that actually hit the device, post-codec, accumulated when each
+  /// run's write phase seals. bytes_written / disk_bytes_written is the
+  /// manager-wide compression ratio.
+  std::atomic<uint64_t> disk_bytes_written{0};
+  std::atomic<uint64_t> io_retries{0};
 };
 
 /// One spill run: a write-then-read sequence of rows in a temp file. Created
 /// via SpillManager::CreateRun; the backing file is deleted when the run is
 /// destroyed (or earlier via Discard), never later.
 ///
-/// All methods return false after raising the sticky execution error on
-/// failure — callers propagate by returning false themselves, and DoClose
-/// destroys the runs.
+/// All methods return false after raising the sticky error on the passed
+/// context — callers propagate by returning false themselves, and DoClose
+/// destroys the runs. A run may move between threads (created on the query
+/// thread, written/read by a task) but is only ever touched by one thread at
+/// a time, with the task barrier as the handoff point.
 class SpillRun {
  public:
   ~SpillRun();
@@ -76,18 +109,19 @@ class SpillRun {
   SpillRun& operator=(const SpillRun&) = delete;
 
   /// Serializes and appends one row; counts one unit of spill work at `node`.
-  bool Append(ExecContext* ctx, int node, const Row& row);
+  bool Append(WorkContext* wc, int node, const Row& row);
 
-  /// Seals the write phase: emits the spill_end trace event carrying this
-  /// run's row and byte counts. Call once, after the last Append.
-  bool FinishWrite(ExecContext* ctx, int node);
+  /// Seals the write phase (flushing the final codec block, so byte counts
+  /// are true on-disk sizes) and emits the spill_end trace event carrying
+  /// this run's row and byte counts. Call once, after the last Append.
+  bool FinishWrite(WorkContext* wc, int node);
 
   /// Rewinds to the first row for reading. May be called again to re-read.
-  bool OpenRead(ExecContext* ctx, int node);
+  bool OpenRead(WorkContext* wc, int node);
 
   /// Reads the next row; counts one unit of spill work at `node`. Returns
-  /// false at end of run *or* on error — check ctx->ok() to tell them apart.
-  bool ReadNext(ExecContext* ctx, int node, Row* row);
+  /// false at end of run *or* on error — check wc->ok() to tell them apart.
+  bool ReadNext(WorkContext* wc, int node, Row* row);
 
   /// Deletes the backing file now (idempotent; destructor does it too).
   void Discard();
@@ -96,7 +130,13 @@ class SpillRun {
   uint64_t rows_read() const { return rows_read_; }
   /// Rows written but not yet re-read — the run's pending spill work, which
   /// the bounds walker adds to UB (and LB: every spilled row must come back).
+  /// NOTE: while a task owns this run, these counters are in flux and must
+  /// not be read from the query thread; operators keep their own query-
+  /// thread-side pending counters for FillProgressState (DESIGN.md §10).
   uint64_t rows_pending() const { return rows_written_ - rows_read_; }
+
+  /// On-disk size of the sealed run (post-codec), for telemetry/benchmarks.
+  uint64_t disk_bytes() const { return file_->bytes_written(); }
 
  private:
   friend class SpillManager;
@@ -104,12 +144,21 @@ class SpillRun {
   SpillRun(SpillManager* manager, std::unique_ptr<SpillFile> file,
            std::string phase);
 
+  /// Accrues device-model sleep debt for bytes newly moved by file_ since
+  /// the last charge, and pays it off in >= 100us sleeps.
+  void ChargeDevice();
+
   SpillManager* manager_;
   std::unique_ptr<SpillFile> file_;
   std::string phase_;
   uint64_t rows_written_ = 0;
   uint64_t rows_read_ = 0;
   std::string scratch_;  // serialization buffer, reused across rows
+  // Device-model bookkeeping: file byte counters as of the last charge, and
+  // unslept debt in nanoseconds. All zero-cost when the model is off.
+  uint64_t device_written_seen_ = 0;
+  uint64_t device_read_seen_ = 0;
+  uint64_t device_debt_ns_ = 0;
 };
 
 using SpillRunPtr = std::unique_ptr<SpillRun>;
@@ -128,7 +177,8 @@ class SpillManager {
 
   /// Creates a spill run for `node`; emits a spill_begin trace event with
   /// `phase` (e.g. "sort.run", "hashjoin.build"). Returns nullptr after
-  /// raising the sticky error when the file cannot be created.
+  /// raising the sticky error when the file cannot be created. Query thread
+  /// only — run creation order is part of the deterministic trace.
   SpillRunPtr CreateRun(ExecContext* ctx, int node, const char* phase);
 
   /// Runs created but not yet destroyed (each owns one live temp file).
@@ -138,25 +188,39 @@ class SpillManager {
   const std::string& dir() const { return dir_; }
   const SpillRetryPolicy& policy() const { return policy_; }
 
+  /// Framing/codec for runs created from now on (existing runs keep theirs).
+  /// Compression is off by default; flip `compress` to write LZ4-style
+  /// compressed blocks (storage/spill_codec.h). Configure before execution,
+  /// not concurrently with it.
+  void set_file_options(SpillFileOptions options) { file_options_ = options; }
+  const SpillFileOptions& file_options() const { return file_options_; }
+
+  /// Simulated device bandwidth (see SpillDeviceModel). Benchmarks only;
+  /// configure before execution.
+  void set_device_model(SpillDeviceModel model) { device_model_ = model; }
+  const SpillDeviceModel& device_model() const { return device_model_; }
+
  private:
   friend class SpillRun;
 
-  /// Runs `attempt` with transient-fault retries: consults the fault
-  /// injector at `site` before each try (the injector models the I/O layer),
-  /// retries only kUnavailable with doubling busy-wait backoff, and returns
-  /// the first non-transient status (or the last transient one when the
-  /// attempt budget runs out).
-  Status WithRetries(ExecContext* ctx, int node, const char* site,
+  /// Runs `attempt` with transient-fault retries: consults the context's
+  /// fault injector at `site` before each try (the injector models the I/O
+  /// layer), retries only kUnavailable with doubling busy-wait backoff, and
+  /// returns the first non-transient status (or the last transient one when
+  /// the attempt budget runs out).
+  Status WithRetries(WorkContext* wc, int node, const char* site,
                      const std::function<Status()>& attempt);
 
-  /// Records `status` as the sticky execution error, attributed to `node` at
+  /// Records `status` as the sticky error on `wc`, attributed to `node` at
   /// `site` in the telemetry.
-  void RaiseIoError(ExecContext* ctx, int node, const char* site,
+  void RaiseIoError(WorkContext* wc, int node, const char* site,
                     Status status);
 
   std::string dir_;
   SpillRetryPolicy policy_;
   SpillStats stats_;
+  SpillFileOptions file_options_;
+  SpillDeviceModel device_model_;
 };
 
 }  // namespace qprog

@@ -1,0 +1,224 @@
+// WorkerPool / TaskGroup / TaskContext: the intra-query parallelism layer.
+//
+// A WorkerPool is a fixed set of threads with a shared FIFO task queue,
+// attached to an ExecContext (set_worker_pool) and borrowed by spill-heavy
+// operators: external Sort fans out run formation and run merging, Grace
+// HashJoin fans out partition writes and per-partition joins. Everything
+// else in the engine stays single-threaded.
+//
+// The design problem is not speed — it is keeping the paper's progress
+// model deterministic while work happens concurrently. The solution has
+// three parts (DESIGN.md §10):
+//
+//  1. Sharded-then-folded accounting. A task never touches the ExecContext
+//     counters; it runs its spill I/O against a TaskContext, which logs the
+//     effects (spill-work units, telemetry events, errors) into a private
+//     op-log. After the barrier, the query thread folds each log into the
+//     ExecContext *in task submission order*. Submission order is a
+//     function of the data (partition 0, 1, 2, ...), so total(Q), every
+//     observer checkpoint and the whole trace are byte-identical at every
+//     pool size — and the ProgressMonitor keeps seeing consistent
+//     (Curr, LB, UB) snapshots because counters only move on its thread.
+//
+//  2. Data-derived task decomposition. Operators split work by fixed
+//     constants (merge fan-in, batch size, partition count), never by
+//     pool size. Adding threads changes who executes a task, not which
+//     tasks exist.
+//
+//  3. Deterministic fault forking. A task consults a FaultInjector::Fork
+//     seeded from the task's data identity (run index, partition index),
+//     so injected-fault schedules replay identically at every thread count.
+//
+// Lanes: SubmitToLane(k, fn) serializes tasks sharing lane k (they run in
+// submission order, one at a time) while different lanes proceed in
+// parallel. The Grace join uses one lane per spill partition so writes to a
+// partition's run stay ordered without a lock around the run.
+//
+// Error model: a task that fails keeps running its op-log locally (its
+// SpillRun methods return false and it unwinds); the fold raises the first
+// failed task's status on the ExecContext. C++ exceptions escaping a task
+// are a bug-containment path, not a control-flow path — the group converts
+// the first one to kInternal and Wait() returns it.
+
+#ifndef QPROG_EXEC_WORKER_POOL_H_
+#define QPROG_EXEC_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "exec/fault_injector.h"
+#include "exec/work_context.h"
+
+namespace qprog {
+
+/// Fixed-size thread pool with a shared FIFO queue. Threads start in the
+/// constructor and join in the destructor; the pool outlives every TaskGroup
+/// built on it (operators borrow the pool from the ExecContext and create
+/// short-lived groups per phase).
+class WorkerPool {
+ public:
+  /// `num_threads` is clamped to >= 1.
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  friend class TaskGroup;
+
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// One barrier's worth of tasks on a pool. Submit (optionally into lanes),
+/// then Wait() — the destructor also waits, so a group can never leak
+/// running tasks past its scope.
+class TaskGroup {
+ public:
+  explicit TaskGroup(WorkerPool* pool);
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `fn` to run on some pool thread.
+  void Submit(std::function<void()> fn);
+
+  /// Enqueues `fn` into `lane`: tasks sharing a lane run one at a time in
+  /// submission order; distinct lanes run concurrently. Lane promotion
+  /// happens on the finishing worker thread and never blocks, so lanes
+  /// cannot deadlock a small pool.
+  void SubmitToLane(uint64_t lane, std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished. Returns OK, or
+  /// kInternal describing the first exception that escaped a task.
+  /// Idempotent; safe to call with nothing submitted.
+  Status Wait();
+
+ private:
+  struct Lane {
+    std::deque<std::function<void()>> queued;
+    bool running = false;
+  };
+
+  // The group's synchronization state lives in a block co-owned by every
+  // in-flight task closure: a finishing task may signal done_cv (and promote
+  // the next lane task) strictly after Wait() observed pending == 0 and the
+  // TaskGroup itself was destroyed. The shared_ptr keeps the block alive
+  // until the last such task lets go.
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    uint64_t pending = 0;  // submitted, not finished (queued lane tasks incl.)
+    Status status;         // first escaped exception, as kInternal
+    std::unordered_map<uint64_t, Lane> lanes;
+  };
+
+  /// Runs `fn` with exception containment, then retires it (status capture,
+  /// pending decrement, done_cv signal).
+  static void RunTask(const std::shared_ptr<Sync>& sync,
+                      const std::function<void()>& fn);
+  /// Enqueues a lane task: run, then promote the lane's next queued task.
+  static void StartLaneTask(WorkerPool* pool,
+                            const std::shared_ptr<Sync>& sync, uint64_t lane,
+                            std::function<void()> fn);
+
+  WorkerPool* pool_;
+  std::shared_ptr<Sync> sync_;
+};
+
+/// The WorkContext a task runs against: accumulates the task's spill work,
+/// telemetry events, and error into a private log that FoldInto replays on
+/// the ExecContext after the barrier. Created on the query thread (it
+/// snapshots the buffered-row baseline and forks the fault injector there),
+/// used by exactly one task, folded back on the query thread — the task
+/// barrier is the handoff, so no member needs to be atomic.
+class TaskContext final : public WorkContext {
+ public:
+  /// `task_key` seeds the injector fork; derive it from the task's data
+  /// identity (see the task-key registry in DESIGN.md §10).
+  TaskContext(ExecContext* parent, uint64_t task_key);
+
+  // -- WorkContext ------------------------------------------------------------
+  /// False once this task failed, the query failed (sticky error raised on
+  /// the parent by the query thread or an earlier fold), or cancellation was
+  /// requested — tasks drain quickly instead of finishing doomed work.
+  bool ok() const override;
+  void RaiseError(Status status) override;
+  void AddSpillWork(int node, uint64_t n) override;
+  FaultInjector* io_fault_injector() const override { return injector_.get(); }
+  void OnSpillEnd(int node, const std::string& phase, uint64_t rows,
+                  uint64_t bytes) override;
+  void OnSpillRead(int node, uint64_t rows) override;
+  void OnIoRetry(int node, const char* site, uint64_t attempt) override;
+  void OnIoFault(int node, const char* site,
+                 const std::string& message) override;
+
+  // -- task-local buffered-row budget ------------------------------------------
+  /// Task-side mirror of ExecContext::ChargeBufferedRowsPostSpill: checks
+  /// this task's buffered rows (plus the plan-wide baseline snapshotted at
+  /// construction) against the guard's kill threshold. Check-first — a
+  /// failed charge raises the task-local error and charges nothing. The
+  /// parent's account is untouched either way: a task's buffers live and die
+  /// inside the task, so the charge is purely the kill-threshold tripwire,
+  /// applied per task exactly like the serial engine applies it per
+  /// partition.
+  bool ChargeBufferedRowsPostSpill(uint64_t n);
+  void ReleaseBufferedRows(uint64_t n) {
+    buffered_rows_ -= n < buffered_rows_ ? n : buffered_rows_;
+  }
+  uint64_t buffered_rows() const { return buffered_rows_; }
+
+  /// Task-local sticky status (OK until the first RaiseError).
+  const Status& status() const { return status_; }
+  bool failed() const { return failed_; }
+
+  /// Replays the op-log into `ctx` in log order — spill work advances
+  /// total(Q) and fires observer checkpoints / guard checks exactly as if
+  /// the I/O had happened serially at fold time — then raises this task's
+  /// error (if any) on `ctx`. Query thread only, after the barrier.
+  void FoldInto(ExecContext* ctx);
+
+ private:
+  struct Op {
+    enum Kind { kSpillWork, kSpillEnd, kSpillRead, kIoRetry, kIoFault };
+    Kind kind;
+    int node = 0;
+    uint64_t count = 0;      // spill-work units / rows read / retry attempt
+    uint64_t bytes = 0;      // spill_end only
+    const char* site = nullptr;  // retry/fault sites are static strings
+    std::string text;        // spill_end phase / fault message
+  };
+
+  ExecContext* parent_;
+  QueryGuard* guard_;
+  std::unique_ptr<FaultInjector> injector_;  // deterministic per-task fork
+  std::vector<Op> ops_;
+  uint64_t base_buffered_rows_;  // plan-wide account at construction
+  uint64_t buffered_rows_ = 0;
+  bool failed_ = false;
+  Status status_;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_EXEC_WORKER_POOL_H_

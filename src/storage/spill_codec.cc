@@ -1,0 +1,158 @@
+#include "storage/spill_codec.h"
+
+#include <cstring>
+
+namespace qprog {
+
+namespace {
+
+// 4-byte-sequence hash for the match table. Multiplicative hash over the
+// little-endian u32 at `p`; the shift keeps the top kHashBits bits.
+constexpr int kHashBits = 13;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+constexpr size_t kMaxOffset = 65535;
+
+inline uint32_t Load32(const unsigned char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t Hash4(const unsigned char* p) {
+  return (Load32(p) * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutLength(std::string* out, size_t len) {
+  // Nibble extension: 255-valued bytes, then the remainder byte.
+  while (len >= 255) {
+    out->push_back(static_cast<char>(0xFF));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+}  // namespace
+
+size_t SpillCompressBound(size_t raw_size) {
+  // One token byte per 15 literals plus extension bytes: raw + raw/255 + 16
+  // comfortably covers the all-literal worst case.
+  return raw_size + raw_size / 255 + 16;
+}
+
+size_t SpillCompressBlock(const void* data, size_t size, std::string* out) {
+  const auto* src = static_cast<const unsigned char*>(data);
+  const size_t start = out->size();
+  uint32_t table[kHashSize];  // positions + 1; 0 = empty
+  std::memset(table, 0, sizeof(table));
+
+  size_t pos = 0;      // current scan position
+  size_t lit_start = 0;  // first literal not yet emitted
+  // Matches need kMinMatch bytes plus room to load 4 bytes at the candidate.
+  const size_t match_limit = size >= kSpillCodecMinMatch + 4
+                                 ? size - (kSpillCodecMinMatch + 4)
+                                 : 0;
+  while (pos < match_limit) {
+    uint32_t h = Hash4(src + pos);
+    size_t cand = table[h];
+    table[h] = static_cast<uint32_t>(pos + 1);
+    if (cand == 0) {
+      ++pos;
+      continue;
+    }
+    --cand;  // stored +1
+    if (pos - cand > kMaxOffset || Load32(src + cand) != Load32(src + pos)) {
+      ++pos;
+      continue;
+    }
+    // Extend the match as far as it goes (may overlap pos: offset < length
+    // encodes a byte-repeat, same as LZ4).
+    size_t match_len = 4;
+    while (pos + match_len < size && src[cand + match_len] == src[pos + match_len]) {
+      ++match_len;
+    }
+    size_t lit_len = pos - lit_start;
+    size_t token_match = match_len - kSpillCodecMinMatch;
+    unsigned char token =
+        static_cast<unsigned char>((lit_len < 15 ? lit_len : 15) << 4) |
+        static_cast<unsigned char>(token_match < 15 ? token_match : 15);
+    out->push_back(static_cast<char>(token));
+    if (lit_len >= 15) PutLength(out, lit_len - 15);
+    out->append(reinterpret_cast<const char*>(src + lit_start), lit_len);
+    size_t offset = pos - cand;
+    out->push_back(static_cast<char>(offset & 0xFF));
+    out->push_back(static_cast<char>((offset >> 8) & 0xFF));
+    if (token_match >= 15) PutLength(out, token_match - 15);
+    pos += match_len;
+    lit_start = pos;
+  }
+  // Final token: the remaining literals, no match.
+  size_t lit_len = size - lit_start;
+  unsigned char token =
+      static_cast<unsigned char>((lit_len < 15 ? lit_len : 15) << 4);
+  out->push_back(static_cast<char>(token));
+  if (lit_len >= 15) PutLength(out, lit_len - 15);
+  out->append(reinterpret_cast<const char*>(src + lit_start), lit_len);
+  return out->size() - start;
+}
+
+namespace {
+
+bool GetLength(const unsigned char*& p, const unsigned char* end, size_t* len) {
+  for (;;) {
+    if (p >= end) return false;
+    unsigned char b = *p++;
+    *len += b;
+    if (b != 255) return true;
+  }
+}
+
+}  // namespace
+
+Status SpillDecompressBlock(const void* data, size_t size, size_t raw_size,
+                            std::string* out) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const unsigned char* end = p + size;
+  const size_t start = out->size();
+  out->reserve(start + raw_size);
+  for (;;) {
+    if (p >= end) return Internal("spill codec: truncated token");
+    unsigned char token = *p++;
+    size_t lit_len = token >> 4;
+    if (lit_len == 15 && !GetLength(p, end, &lit_len)) {
+      return Internal("spill codec: truncated literal length");
+    }
+    if (static_cast<size_t>(end - p) < lit_len) {
+      return Internal("spill codec: truncated literals");
+    }
+    if (out->size() - start + lit_len > raw_size) {
+      return Internal("spill codec: output overruns declared size");
+    }
+    out->append(reinterpret_cast<const char*>(p), lit_len);
+    p += lit_len;
+    if (p == end) break;  // final token carries literals only
+    if (end - p < 2) return Internal("spill codec: truncated match offset");
+    size_t offset = static_cast<size_t>(p[0]) | (static_cast<size_t>(p[1]) << 8);
+    p += 2;
+    size_t match_len = (token & 0x0F);
+    if (match_len == 15 && !GetLength(p, end, &match_len)) {
+      return Internal("spill codec: truncated match length");
+    }
+    match_len += kSpillCodecMinMatch;
+    size_t produced = out->size() - start;
+    if (offset == 0 || offset > produced) {
+      return Internal("spill codec: match offset out of window");
+    }
+    if (produced + match_len > raw_size) {
+      return Internal("spill codec: match overruns declared size");
+    }
+    // Byte-by-byte copy: offset < match_len overlaps deliberately (RLE).
+    size_t from = out->size() - offset;
+    for (size_t i = 0; i < match_len; ++i) out->push_back((*out)[from + i]);
+  }
+  if (out->size() - start != raw_size) {
+    return Internal("spill codec: stream decodes to the wrong length");
+  }
+  return OkStatus();
+}
+
+}  // namespace qprog

@@ -1,0 +1,59 @@
+// SpillCodec: a from-scratch LZ4-style block compressor for spill runs.
+//
+// Spill runs are written and re-read in bulk, so the codec is tuned for
+// throughput, not ratio: a greedy byte-oriented scheme that finds matches
+// through a 4-byte-sequence hash table and emits (literal run, match) token
+// pairs — the classic LZ4 shape, implemented independently here.
+//
+// Compressed stream format (little-endian, byte-oriented):
+//
+//   token := [1 byte: literal_len (high nibble) | match_len - kMinMatch (low)]
+//            [literal_len extension bytes, 255-terminated, if nibble == 15]
+//            [literal bytes]
+//            [2 bytes: match offset, 1..65535]          (absent in final token)
+//            [match_len extension bytes, if nibble == 15]
+//
+// The final token of a block carries literals only (no offset/match), which
+// is how the decoder recognizes the end. Inputs that do not compress are
+// handled a level up: SpillFile stores such blocks raw (see spill_file.h
+// framing), so CompressBlock never needs to expand its input by more than
+// the bound below.
+//
+// The decoder is defensive: any malformed byte (offset past the window,
+// lengths overrunning the declared raw size) fails with kInternal rather
+// than reading out of bounds — a corrupt spill block must surface as a clean
+// error, never UB.
+
+#ifndef QPROG_STORAGE_SPILL_CODEC_H_
+#define QPROG_STORAGE_SPILL_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace qprog {
+
+/// Smallest match worth encoding (below this a literal run is cheaper).
+inline constexpr size_t kSpillCodecMinMatch = 4;
+
+/// Worst-case compressed size for `raw_size` input bytes (all literals plus
+/// token/extension overhead). Callers that cap output at this bound can pass
+/// any input.
+size_t SpillCompressBound(size_t raw_size);
+
+/// Compresses `size` bytes at `data`, appending the stream onto `*out`.
+/// Returns the number of bytes appended. The result is only worth keeping
+/// when it is smaller than `size` — otherwise store the block raw.
+size_t SpillCompressBlock(const void* data, size_t size, std::string* out);
+
+/// Decompresses a stream produced by SpillCompressBlock, appending exactly
+/// `raw_size` bytes onto `*out`. Fails with kInternal on any malformed
+/// input, including a stream that decodes to the wrong length.
+Status SpillDecompressBlock(const void* data, size_t size, size_t raw_size,
+                            std::string* out);
+
+}  // namespace qprog
+
+#endif  // QPROG_STORAGE_SPILL_CODEC_H_

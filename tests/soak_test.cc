@@ -6,6 +6,9 @@
 // structural invariants must hold: no leaked temp files, zero live spill
 // runs, the buffered-row account drained to zero, every estimate sanitized
 // into [0, 1], and completed runs result-identical to an unconstrained run.
+// The whole matrix runs twice: single-threaded and with a 4-thread worker
+// pool, so every disruption also lands inside parallel merges, batched
+// partition writes, and concurrent partition joins (DESIGN.md §10).
 
 #include <gtest/gtest.h>
 
@@ -13,6 +16,7 @@
 #include <cmath>
 #include <filesystem>
 #include <iterator>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -23,6 +27,7 @@
 #include "exec/plan.h"
 #include "exec/query_guard.h"
 #include "exec/spill.h"
+#include "exec/worker_pool.h"
 #include "storage/spill_file.h"
 #include "tests/test_util.h"
 #include "tpch/dbgen.h"
@@ -101,19 +106,23 @@ TEST_F(SoakTest, DisruptionMatrixLeavesNoResidue) {
   }
 
   uint64_t total_spilled_runs = 0;
+  for (int threads : {0, 4}) {
+    std::unique_ptr<WorkerPool> pool;
+    if (threads > 0) pool = std::make_unique<WorkerPool>(threads);
   for (size_t qi = 0; qi < std::size(kQueries); ++qi) {
     for (uint64_t seed : kSeeds) {
       for (Scenario scenario : kScenarios) {
         const int q = kQueries[qi];
         SCOPED_TRACE(std::string("Q") + std::to_string(q) + " seed=" +
                      std::to_string(seed) + " scenario=" +
-                     ScenarioName(scenario));
+                     ScenarioName(scenario) + " threads=" +
+                     std::to_string(threads));
         Rng rng(seed * 1000003 + static_cast<uint64_t>(q));
 
         std::filesystem::path dir =
             std::filesystem::temp_directory_path() /
             ("qprog_soak_" + std::to_string(q) + "_" + std::to_string(seed) +
-             "_" + ScenarioName(scenario));
+             "_" + ScenarioName(scenario) + "_t" + std::to_string(threads));
         std::filesystem::remove_all(dir);
         std::filesystem::create_directories(dir);
 
@@ -164,6 +173,7 @@ TEST_F(SoakTest, DisruptionMatrixLeavesNoResidue) {
           ctx.set_guard(&guard);
           ctx.set_spill_manager(&spill);
           ctx.set_fault_injector(&fi);
+          ctx.set_worker_pool(pool.get());
           fi.Reset();
           if (cancel_at > 0) {
             ctx.SetWorkObserver(64, [&](uint64_t work) {
@@ -198,6 +208,7 @@ TEST_F(SoakTest, DisruptionMatrixLeavesNoResidue) {
           m.set_guard(&guard);
           m.set_spill_manager(&spill);
           m.set_fault_injector(&fi);
+          m.set_worker_pool(pool.get());
           if (cancel_at > 0) {
             m.set_checkpoint_listener([&](const Checkpoint& cp) {
               if (cp.work >= cancel_at) guard.RequestCancel();
@@ -225,6 +236,7 @@ TEST_F(SoakTest, DisruptionMatrixLeavesNoResidue) {
         std::filesystem::remove_all(dir);
       }
     }
+  }
   }
   // The matrix must actually exercise the memory-adaptive path: across all
   // queries, seeds, and scenarios, plenty of spill runs were created.
