@@ -2,12 +2,18 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "common/macros.h"
 #include "common/strings.h"
 #include "exec/fault_injector.h"
+#include "exec/query_guard.h"
 #include "exec/worker_pool.h"
 
 namespace qprog {
@@ -259,6 +265,71 @@ std::string IndexNestedLoopsJoin::label() const {
 // --------------------------------------------------------------------------
 // HashJoin
 
+// Shared buffered-row budget for the concurrent partition joins. The serial
+// replay keeps one partition's table in memory at a time, all of it answering
+// to the guard's kill threshold; with kSpillFanout tasks in flight the same
+// contract must hold for their *sum*. Each partition's need is known exactly
+// before its task runs (the sealed build run's row count, plus the fixed
+// in-memory output allowance), so tasks make one all-or-nothing reservation
+// in partition-index order — no incremental growth, hence no two-holders-
+// stuck deadlock — and an admitted task runs to completion without blocking
+// (output past the allowance overflows to disk instead of waiting on a
+// consumer). A partition too big for the whole budget is admitted alone and
+// then trips the task's kill tripwire exactly where the serial replay would.
+// Admission order, reservations and the allowance are all data-derived, so
+// which rows land in memory vs. the overflow run is identical at every pool
+// size. With kill == kNoLimit (the default) everything is admitted up front
+// and the budget is inert.
+struct HashJoin::JoinBudget {
+  const bool unlimited;
+  const uint64_t capacity;       // kill threshold minus the plan-wide base
+  const uint64_t out_allowance;  // in-memory output rows per partition
+
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t in_use = 0;      // sum of live reservations; <= capacity
+  size_t next_admit = 0;    // partition index next in line
+
+  JoinBudget(bool unlimited_in, uint64_t capacity_in, uint64_t allowance_in)
+      : unlimited(unlimited_in),
+        capacity(capacity_in),
+        out_allowance(allowance_in) {}
+
+  /// Blocks until partition `part` may hold `need` budget rows. Returns
+  /// false (without reserving) when the query fails or is cancelled while
+  /// waiting; polls so a guard cancel can't strand a waiter.
+  bool Admit(size_t part, uint64_t need, const TaskContext* tc) {
+    if (unlimited) return true;
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      if (next_admit == part && (in_use + need <= capacity || in_use == 0)) {
+        in_use += need;
+        ++next_admit;
+        cv.notify_all();
+        return true;
+      }
+      if (!tc->ok()) {
+        // Keep the line moving so partitions behind a cancelled one do not
+        // wait forever for a turn that will never be taken.
+        if (next_admit == part) {
+          ++next_admit;
+          cv.notify_all();
+        }
+        return false;
+      }
+      cv.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+
+  /// Returns `n` reserved rows to the pool (the task's unretained slack).
+  void Release(uint64_t n) {
+    if (unlimited || n == 0) return;
+    std::lock_guard<std::mutex> lock(mu);
+    in_use -= n < in_use ? n : in_use;
+    cv.notify_all();
+  }
+};
+
 // Pool-backed Grace partition writes. Rows buffer per partition on the query
 // thread; every kBatchRows a batch task appends them to the partition's run
 // on a worker, submitted into that partition's lane so a run's appends stay
@@ -276,6 +347,11 @@ class HashJoin::PartitionWriter {
 
   /// Buffers `row` for `part`, flushing a batch task when full.
   bool Add(size_t part, const Row& row) {
+    // A batch task that hit a write error flags it so the operator stops
+    // consuming input now, not up to kMaxInflightBatches batches later (a
+    // permanent failure like disk-full would otherwise keep collecting rows
+    // into doomed batches). The fold surfaces the task's sticky error.
+    if (write_failed_.load(std::memory_order_relaxed)) return FoldBatches();
     buf_[part].push_back(row);
     if (buf_[part].size() >= kBatchRows) return FlushPartition(part);
     return ctx_->ok();
@@ -303,9 +379,13 @@ class HashJoin::PartitionWriter {
     SpillRun* run = (*parts_)[part].get();
     uint64_t n = buf_[part].size();
     group_.SubmitToLane(
-        part, [join = join_, tcp, run, rows = std::move(buf_[part])] {
+        part, [join = join_, tcp, run, failed = &write_failed_,
+               rows = std::move(buf_[part])] {
           for (const Row& row : rows) {
-            if (!run->Append(tcp, join->node_id(), row)) return;
+            if (!run->Append(tcp, join->node_id(), row)) {
+              failed->store(true, std::memory_order_relaxed);
+              return;
+            }
           }
         });
     buf_[part] = std::vector<Row>();
@@ -334,6 +414,9 @@ class HashJoin::PartitionWriter {
   std::array<std::vector<Row>, kSpillFanout> buf_;
   std::array<uint64_t, kSpillFanout> batch_seq_{};
   std::vector<PendingBatch> pending_;
+  // Set (relaxed) by a batch task on write failure, polled by Add: a hint to
+  // fold early — correctness still comes from the fold's error replay.
+  std::atomic<bool> write_failed_{false};
   // Declared last: destroyed first, so the destructor's implicit Wait()
   // drains in-flight tasks while the TaskContexts in pending_ still live.
   TaskGroup group_;
@@ -375,8 +458,9 @@ void HashJoin::DoOpen(ExecContext* ctx) {
   part_loaded_ = false;
   grace_rows_written_ = 0;
   parallel_joined_ = false;
-  out_rows_.clear();
-  out_pos_ = 0;
+  par_outs_.clear();
+  par_part_ = 0;
+  par_pos_ = 0;
   if (ctx->ConsultFault(faults::kHashJoinOpen, node_id())) return;
   build_->Open(ctx);
   probe_->Open(ctx);
@@ -565,7 +649,23 @@ bool HashJoin::PullProbe(ExecContext* ctx, Row* row) {
 }
 
 bool HashJoin::ParallelJoinPartitions(ExecContext* ctx, WorkerPool* pool) {
-  std::vector<PartitionJoinOut> outs(kSpillFanout);
+  // Budget geometry, all computed on the query thread before any task runs:
+  // capacity is the kill headroom above what the plan already holds, and the
+  // output allowance splits half of it evenly across partitions (the other
+  // half carries the partition build tables). Every term is data-derived, so
+  // the in-memory/overflow split is identical at every pool size.
+  const QueryGuard* guard = ctx->guard();
+  const uint64_t kill = guard != nullptr ? guard->max_buffered_rows_kill()
+                                         : QueryGuard::kNoLimit;
+  const bool unlimited = kill == QueryGuard::kNoLimit;
+  const uint64_t base = ctx->buffered_rows();
+  const uint64_t capacity = unlimited ? 0 : kill - std::min(kill, base);
+  const uint64_t allowance =
+      unlimited ? std::numeric_limits<uint64_t>::max()
+                : capacity / (2 * static_cast<uint64_t>(kSpillFanout));
+  JoinBudget budget(unlimited, capacity, allowance);
+  par_outs_.clear();
+  par_outs_.resize(kSpillFanout);
   std::vector<std::unique_ptr<TaskContext>> tcs;
   tcs.reserve(kSpillFanout);
   {
@@ -576,9 +676,19 @@ bool HashJoin::ParallelJoinPartitions(ExecContext* ctx, WorkerPool* pool) {
       TaskContext* tcp = tc.get();
       SpillRun* build_run = build_parts_[static_cast<size_t>(p)].get();
       SpillRun* probe_run = probe_parts_[static_cast<size_t>(p)].get();
-      PartitionJoinOut* out = &outs[static_cast<size_t>(p)];
-      group.Submit([this, tcp, build_run, probe_run, out] {
-        JoinPartitionTask(tcp, build_run, probe_run, out);
+      PartitionJoinOut* out = &par_outs_[static_cast<size_t>(p)];
+      out->part = static_cast<size_t>(p);
+      // The build run sealed on the query thread, so its row count is exact:
+      // reserve the whole partition table plus the output allowance, capped
+      // at capacity so an oversized partition can still be admitted alone
+      // (its task then trips the kill tripwire, as the serial replay would).
+      out->reserved =
+          unlimited ? 0
+                    : std::min<uint64_t>(build_run->rows_written() + allowance,
+                                         capacity);
+      group.Submit([this, tcp, build_run, probe_run,
+                    spill = ctx->spill_manager(), budget_ptr = &budget, out] {
+        JoinPartitionTask(tcp, build_run, probe_run, spill, budget_ptr, out);
       });
       tcs.push_back(std::move(tc));
     }
@@ -590,42 +700,70 @@ bool HashJoin::ParallelJoinPartitions(ExecContext* ctx, WorkerPool* pool) {
       // Post-barrier run-counter reads are safe: the barrier handed the runs
       // back to the query thread.
       max_bucket_ =
-          std::max(max_bucket_, outs[static_cast<size_t>(p)].max_bucket);
-      for (Row& r : outs[static_cast<size_t>(p)].rows) {
-        out_rows_.push_back(std::move(r));
-      }
-      outs[static_cast<size_t>(p)].rows.clear();
+          std::max(max_bucket_, par_outs_[static_cast<size_t>(p)].max_bucket);
       build_parts_[static_cast<size_t>(p)].reset();  // delete temp files
       probe_parts_[static_cast<size_t>(p)].reset();
     }
     if (ctx->ok() && !escaped.ok()) ctx->RaiseError(std::move(escaped));
   }
   part_idx_ = kSpillFanout;  // every partition consumed
+  if (!ctx->ok()) return false;
+  // Move the retained in-memory prefixes into the plan-wide account, where
+  // they stay visible to the guard until NextParallelOutput drains them.
+  // Cannot trip the kill threshold: admission kept the sum within capacity.
+  if (!unlimited) {
+    uint64_t prefix_total = 0;
+    for (PartitionJoinOut& po : par_outs_) {
+      po.charged_rows = po.rows.size();
+      prefix_total += po.charged_rows;
+    }
+    if (!ctx->ChargeBufferedRowsPostSpill(prefix_total)) return false;
+    charged_ += prefix_total;
+  }
   return ctx->ok();
 }
 
 void HashJoin::JoinPartitionTask(TaskContext* tc, SpillRun* build_run,
-                                 SpillRun* probe_run,
+                                 SpillRun* probe_run, SpillManager* spill,
+                                 JoinBudget* budget,
                                  PartitionJoinOut* out) const {
   // The task owns its partition end to end: a private hash table, the
-  // partition's spill reads, and the output buffer. The per-task
-  // kill-threshold charge mirrors the serial LoadPartition charge — each
-  // reloaded partition answers to the same tripwire.
+  // partition's spill reads, and the output buffer. It runs only once the
+  // shared budget admits its reservation, so the *sum* of concurrent
+  // partition memory stays under the guard's kill threshold; the per-task
+  // kill-threshold charge below mirrors the serial LoadPartition charge —
+  // each reloaded partition answers to the same tripwire.
+  if (!budget->Admit(out->part, out->reserved, tc)) return;
+  // Output rows land in memory up to the allowance; the rest go to an
+  // unaccounted side run created lazily here (thread-safe, trace-silent).
+  auto emit = [&](Row&& joined) -> bool {
+    if (out->rows.size() < budget->out_allowance) {
+      out->rows.push_back(std::move(joined));
+      return true;
+    }
+    if (out->overflow == nullptr) {
+      out->overflow = spill->CreateSideRun(tc, node_id());
+      if (out->overflow == nullptr) return false;
+    }
+    return out->overflow->Append(tc, node_id(), joined);
+  };
   std::unordered_map<Row, std::vector<Row>, RowHash, RowEq> table;
   Row row;
-  if (!build_run->OpenRead(tc, node_id())) return;
-  while (build_run->ReadNext(tc, node_id(), &row)) {
+  bool ok = build_run->OpenRead(tc, node_id());
+  while (ok && build_run->ReadNext(tc, node_id(), &row)) {
     bool has_null = false;
     Row key = KeyOf(row, build_keys_, &has_null);
     QPROG_DCHECK(!has_null);  // NULL build keys were never spilled
-    if (!tc->ChargeBufferedRowsPostSpill(1)) return;
+    if (!tc->ChargeBufferedRowsPostSpill(1)) {
+      ok = false;
+      break;
+    }
     auto& bucket = table[std::move(key)];
     bucket.push_back(std::move(row));
     out->max_bucket = std::max<uint64_t>(out->max_bucket, bucket.size());
   }
-  if (!tc->ok()) return;
-  if (!probe_run->OpenRead(tc, node_id())) return;
-  while (probe_run->ReadNext(tc, node_id(), &row)) {
+  ok = ok && tc->ok() && probe_run->OpenRead(tc, node_id());
+  while (ok && probe_run->ReadNext(tc, node_id(), &row)) {
     bool has_null = false;
     Row key = KeyOf(row, probe_keys_, &has_null);
     const std::vector<Row>* bucket = nullptr;
@@ -644,22 +782,66 @@ void HashJoin::JoinPartitionTask(TaskContext* tc, SpillRun* build_run,
         matched = true;
         if (join_type_ == JoinType::kInner ||
             join_type_ == JoinType::kLeftOuter) {
-          out->rows.push_back(std::move(joined));
+          if (!emit(std::move(joined))) {
+            ok = false;
+            break;
+          }
           continue;
         }
-        if (join_type_ == JoinType::kLeftSemi) out->rows.push_back(row);
+        if (join_type_ == JoinType::kLeftSemi && !emit(Row(row))) ok = false;
         break;  // semi: one output per probe row; anti: match disqualifies
       }
     }
-    if (!matched) {
+    if (ok && !matched) {
       if (join_type_ == JoinType::kLeftOuter) {
-        out->rows.push_back(
+        ok = emit(
             ConcatRows(row, NullRow(build_->output_schema().num_fields())));
       } else if (join_type_ == JoinType::kLeftAnti) {
-        out->rows.push_back(row);
+        ok = emit(Row(row));
       }
     }
   }
+  if (tc->ok() && out->overflow != nullptr) {
+    out->overflow->FinishWrite(tc, node_id());
+  }
+  // Hand back the slack between the reservation and the rows the partition
+  // actually keeps in memory; the prefix itself stays reserved until the
+  // query thread charges it to the plan account after the fold.
+  uint64_t kept = std::min<uint64_t>(out->rows.size(), out->reserved);
+  budget->Release(out->reserved - kept);
+}
+
+bool HashJoin::NextParallelOutput(ExecContext* ctx, Row* out) {
+  while (ctx->ok() && par_part_ < par_outs_.size()) {
+    PartitionJoinOut& po = par_outs_[par_part_];
+    if (par_pos_ < po.rows.size()) {
+      *out = std::move(po.rows[par_pos_++]);
+      Emit(ctx);
+      return true;
+    }
+    if (po.overflow != nullptr) {
+      if (!po.overflow_open) {
+        if (!po.overflow->OpenRead(ctx, node_id())) return false;
+        po.overflow_open = true;
+      }
+      if (po.overflow->ReadNext(ctx, node_id(), out)) {
+        Emit(ctx);
+        return true;
+      }
+      if (!ctx->ok()) return false;
+      po.overflow.reset();  // end of side run: delete the temp file now
+    }
+    // Partition fully drained: give back its in-memory prefix.
+    po.rows = std::vector<Row>();
+    ctx->ReleaseBufferedRows(po.charged_rows);
+    charged_ -= std::min<uint64_t>(charged_, po.charged_rows);
+    po.charged_rows = 0;
+    par_pos_ = 0;
+    ++par_part_;
+  }
+  if (!ctx->ok()) return false;
+  finished_ = true;
+  return false;
 }
 
 bool HashJoin::AdvanceProbe(ExecContext* ctx) {
@@ -698,16 +880,7 @@ bool HashJoin::DoNext(ExecContext* ctx, Row* out) {
     if (!ParallelJoinPartitions(ctx, ctx->worker_pool())) return false;
     parallel_joined_ = true;
   }
-  if (parallel_joined_) {
-    if (out_pos_ < out_rows_.size()) {
-      *out = std::move(out_rows_[out_pos_++]);
-      Emit(ctx);
-      return true;
-    }
-    out_rows_.clear();
-    finished_ = true;
-    return false;
-  }
+  if (parallel_joined_) return NextParallelOutput(ctx, out);
   for (;;) {
     if (!ctx->ok()) return false;
     if (spilled_ && !part_loaded_) {
@@ -781,8 +954,9 @@ void HashJoin::DoClose(ExecContext* ctx) {
   table_.clear();
   build_parts_.clear();  // deletes any remaining spill temp files
   probe_parts_.clear();
-  out_rows_.clear();
-  out_pos_ = 0;
+  par_outs_.clear();  // deletes any remaining overflow side runs
+  par_part_ = 0;
+  par_pos_ = 0;
   ctx->ReleaseBufferedRows(charged_);
   charged_ = 0;
 }

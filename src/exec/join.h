@@ -128,7 +128,11 @@ class IndexNestedLoopsJoin : public PhysicalOperator {
 /// kSpillFanout partition pairs are joined concurrently — each task owns
 /// its partition's build table and spill reads — and the query thread folds
 /// results in partition order, so output rows match the serial replay
-/// byte-for-byte at every pool size.
+/// byte-for-byte at every pool size. Under a finite kill threshold the
+/// concurrent joins share one buffered-row budget (ordered all-or-nothing
+/// admission per partition) and bound their in-memory output to a fixed
+/// per-partition allowance, overflowing the rest to unaccounted side runs —
+/// aggregate memory honors the guard's contract just like the serial replay.
 class HashJoin : public PhysicalOperator {
  public:
   /// Equi-join on `probe_keys` (over probe rows) == `build_keys` (over build
@@ -162,9 +166,22 @@ class HashJoin : public PhysicalOperator {
   /// Batches Grace partition writes into worker tasks, one lane per
   /// partition (defined in join.cc; pool-backed executions only).
   class PartitionWriter;
-  /// One parallel partition join's results, filled by a worker task.
+  /// Shared buffered-row budget for concurrent partition joins (defined in
+  /// join.cc): admits partitions in index order under the guard's kill
+  /// threshold so aggregate task memory honors the same contract the serial
+  /// one-partition-at-a-time replay does.
+  struct JoinBudget;
+  /// One parallel partition join's results, filled by a worker task. Output
+  /// rows up to the budget's allowance stay in `rows`; the remainder
+  /// overflows to an unaccounted side run so a high-multiplicity join's
+  /// output never breaks the bounded-memory contract.
   struct PartitionJoinOut {
-    std::vector<Row> rows;
+    size_t part = 0;          // partition index (== admission order)
+    uint64_t reserved = 0;    // budget rows held while the task runs
+    std::vector<Row> rows;    // in-memory output prefix (<= allowance)
+    SpillRunPtr overflow;     // output beyond the allowance, if any
+    bool overflow_open = false;
+    uint64_t charged_rows = 0;  // prefix rows charged to the plan account
     uint64_t max_bucket = 0;
   };
 
@@ -187,12 +204,19 @@ class HashJoin : public PhysicalOperator {
   /// Drains the probe child into probe partition runs (Grace mode only).
   void PartitionProbe(ExecContext* ctx);
   /// Joins all kSpillFanout partition pairs on the pool, folding results
-  /// into out_rows_ in partition order. Returns ctx->ok().
+  /// into par_outs_ in partition order. Returns ctx->ok().
   bool ParallelJoinPartitions(ExecContext* ctx, WorkerPool* pool);
-  /// Worker-side body of one partition join: rebuilds the partition's table
-  /// from `build_run`, probes it with `probe_run`, collects output in `out`.
+  /// Worker-side body of one partition join: admits `out->part` against the
+  /// shared budget, rebuilds the partition's table from `build_run`, probes
+  /// it with `probe_run`, collects output in `out` (overflowing to a side
+  /// run past the budget's allowance), and releases the unretained budget.
   void JoinPartitionTask(TaskContext* tc, SpillRun* build_run,
-                         SpillRun* probe_run, PartitionJoinOut* out) const;
+                         SpillRun* probe_run, SpillManager* spill,
+                         JoinBudget* budget, PartitionJoinOut* out) const;
+  /// Streams the next parallel-join output row: each partition's in-memory
+  /// prefix, then its overflow side run, releasing the partition's charge as
+  /// it drains. Returns false at end of output or on error.
+  bool NextParallelOutput(ExecContext* ctx, Row* out);
   /// Rebuilds the hash table from build partition `part_idx_` and rewinds
   /// the matching probe run.
   bool LoadPartition(ExecContext* ctx);
@@ -233,11 +257,13 @@ class HashJoin : public PhysicalOperator {
   bool part_loaded_ = false;
   uint64_t grace_rows_written_ = 0;  // rows appended to partition runs
 
-  // Parallel-join state: the folded output of ParallelJoinPartitions,
-  // drained by DoNext in partition order (matches the serial replay order).
+  // Parallel-join state: per-partition outputs of ParallelJoinPartitions,
+  // drained by DoNext in partition order (matches the serial replay order) —
+  // in-memory prefix first, then the partition's overflow side run.
   bool parallel_joined_ = false;
-  std::vector<Row> out_rows_;
-  size_t out_pos_ = 0;
+  std::vector<PartitionJoinOut> par_outs_;
+  size_t par_part_ = 0;  // partition currently draining
+  size_t par_pos_ = 0;   // next row within that partition's prefix
 };
 
 /// ⋈merge: inner equi-join over inputs sorted ascending on the key

@@ -7,6 +7,7 @@
 #include "common/macros.h"
 #include "common/strings.h"
 #include "exec/fault_injector.h"
+#include "exec/query_guard.h"
 #include "exec/worker_pool.h"
 
 namespace qprog {
@@ -156,6 +157,11 @@ void Sort::MaterializeParallel(ExecContext* ctx, WorkerPool* pool) {
   };
   std::vector<PendingRun> pending;
   uint64_t run_seq = 0;
+  // Rows living in buffers handed to in-flight run tasks. Their charge was
+  // released at handoff (see flush_buffer), so this is the real memory the
+  // plan-wide account cannot see; flush_buffer folds early when it would
+  // push past the guard's kill threshold.
+  uint64_t handoff_rows = 0;
 
   // Barrier + fold: replay each finished run task's log into the context in
   // submission (= run) order. Folding stops at the first failed task — the
@@ -173,6 +179,7 @@ void Sort::MaterializeParallel(ExecContext* ctx, WorkerPool* pool) {
       input_spilled_rows_ += p.rows;
     }
     pending.clear();
+    handoff_rows = 0;  // the barrier above freed every handed-off buffer
     if (ctx->ok() && !escaped.ok()) ctx->RaiseError(std::move(escaped));
     return ctx->ok();
   };
@@ -183,6 +190,21 @@ void Sort::MaterializeParallel(ExecContext* ctx, WorkerPool* pool) {
   // where the serial path's next charge would see them released — so the
   // charge-verdict sequence, and with it every run boundary, is identical.
   auto flush_buffer = [&]() -> bool {
+    // Handed-off buffers are uncharged by design (the release below is what
+    // keeps the charge-verdict sequence serial-identical), but their real
+    // memory still answers to the guard's kill threshold: when this buffer
+    // would push the uncharged aggregate past it, barrier-and-fold first so
+    // the in-flight buffers are freed. The bound depends only on the data
+    // and the guard config — never the pool size — so fold points (and the
+    // trace) stay identical at every thread count. With kill == kNoLimit
+    // (the default) the pipeline runs free, exactly as before.
+    const QueryGuard* guard = ctx->guard();
+    if (handoff_rows > 0 && guard != nullptr &&
+        guard->max_buffered_rows_kill() != QueryGuard::kNoLimit &&
+        ctx->buffered_rows() + handoff_rows >
+            guard->max_buffered_rows_kill()) {
+      if (!fold_pending()) return false;
+    }
     SpillRunPtr run =
         ctx->spill_manager()->CreateRun(ctx, node_id(), "sort.run");
     if (run == nullptr) return false;
@@ -200,6 +222,7 @@ void Sort::MaterializeParallel(ExecContext* ctx, WorkerPool* pool) {
     rows_ = std::vector<Row>();
     runs_.push_back(std::move(run));
     pending.push_back(PendingRun{std::move(tc), n});
+    handoff_rows += n;
     ctx->ReleaseBufferedRows(charged_);
     charged_ = 0;
     if (pending.size() >= kInflightRunTasks) return fold_pending();

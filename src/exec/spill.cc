@@ -63,11 +63,13 @@ bool SpillRun::Append(WorkContext* wc, int node, const Row& row) {
     return false;
   }
   ++rows_written_;
-  ++manager_->stats_.rows_written;
-  manager_->stats_.bytes_written += scratch_.size();
   ChargeDevice();
-  // One unit of extra work per spilled row: total(Q) just grew.
-  wc->AddSpillWork(node, 1);
+  if (accounted_) {
+    ++manager_->stats_.rows_written;
+    manager_->stats_.bytes_written += scratch_.size();
+    // One unit of extra work per spilled row: total(Q) just grew.
+    wc->AddSpillWork(node, 1);
+  }
   return wc->ok();  // counting the work may have tripped the guard
 }
 
@@ -82,8 +84,10 @@ bool SpillRun::FinishWrite(WorkContext* wc, int node) {
     return false;
   }
   ChargeDevice();
-  manager_->stats_.disk_bytes_written += file_->bytes_written();
-  wc->OnSpillEnd(node, phase_, rows_written_, file_->bytes_written());
+  if (accounted_) {
+    manager_->stats_.disk_bytes_written += file_->bytes_written();
+    wc->OnSpillEnd(node, phase_, rows_written_, file_->bytes_written());
+  }
   return true;
 }
 
@@ -125,10 +129,12 @@ bool SpillRun::ReadNext(WorkContext* wc, int node, Row* row) {
     return false;
   }
   ++rows_read_;
-  ++manager_->stats_.rows_read;
   ChargeDevice();
-  wc->OnSpillRead(node, 1);
-  wc->AddSpillWork(node, 1);
+  if (accounted_) {
+    ++manager_->stats_.rows_read;
+    wc->OnSpillRead(node, 1);
+    wc->AddSpillWork(node, 1);
+  }
   return wc->ok();
 }
 
@@ -160,6 +166,30 @@ SpillRunPtr SpillManager::CreateRun(ExecContext* ctx, int node,
     ctx->telemetry()->RecordSpillBegin(node, ctx->work(), phase);
   }
   return SpillRunPtr(new SpillRun(this, std::move(file), phase));
+}
+
+SpillRunPtr SpillManager::CreateSideRun(WorkContext* wc, int node) {
+  // Thread-safe, unlike CreateRun: SpillFile::Create names files off an
+  // atomic counter, the stats bump is atomic, and the manager's options are
+  // frozen during execution. Deliberately silent — no spill_begin, and the
+  // run is marked unaccounted so its I/O never touches the work model.
+  if (!wc->ok()) return nullptr;
+  std::unique_ptr<SpillFile> file;
+  Status status = WithRetries(wc, node, faults::kSpillOpen, [&]() -> Status {
+    StatusOr<std::unique_ptr<SpillFile>> created =
+        SpillFile::Create(dir_, file_options_);
+    if (!created.ok()) return created.status();
+    file = std::move(created).value();
+    return OkStatus();
+  });
+  if (!status.ok()) {
+    RaiseIoError(wc, node, faults::kSpillOpen, std::move(status));
+    return nullptr;
+  }
+  ++stats_.runs_created;
+  SpillRunPtr run(new SpillRun(this, std::move(file), "side"));
+  run->accounted_ = false;
+  return run;
 }
 
 Status SpillManager::WithRetries(WorkContext* wc, int node, const char* site,

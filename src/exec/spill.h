@@ -33,6 +33,11 @@
 // of the deterministic work model). CreateRun stays query-thread-only: run
 // *identity* (and the spill_begin trace event) is part of the deterministic
 // trace, so operators create runs up front and hand them to tasks.
+// CreateSideRun is the one exception: it mints an *unaccounted* run — no
+// trace events, no spill work, no row/byte stats — that worker tasks may
+// create lazily to park overflow state on disk. Because a side run leaves no
+// mark on the work model or the trace, creating one from a task cannot make
+// totals or traces scheduling-dependent.
 
 #ifndef QPROG_EXEC_SPILL_H_
 #define QPROG_EXEC_SPILL_H_
@@ -138,6 +143,10 @@ class SpillRun {
   /// On-disk size of the sealed run (post-codec), for telemetry/benchmarks.
   uint64_t disk_bytes() const { return file_->bytes_written(); }
 
+  /// False for side runs (SpillManager::CreateSideRun): I/O on an
+  /// unaccounted run moves no work counters, no stats and no trace events.
+  bool accounted() const { return accounted_; }
+
  private:
   friend class SpillManager;
 
@@ -151,6 +160,7 @@ class SpillRun {
   SpillManager* manager_;
   std::unique_ptr<SpillFile> file_;
   std::string phase_;
+  bool accounted_ = true;
   uint64_t rows_written_ = 0;
   uint64_t rows_read_ = 0;
   std::string scratch_;  // serialization buffer, reused across rows
@@ -180,6 +190,16 @@ class SpillManager {
   /// raising the sticky error when the file cannot be created. Query thread
   /// only — run creation order is part of the deterministic trace.
   SpillRunPtr CreateRun(ExecContext* ctx, int node, const char* phase);
+
+  /// Creates an *unaccounted* side run for `node`: no spill_begin event, and
+  /// the run's I/O moves no work counters, row/byte stats or spill events —
+  /// only the live-run count (for leak tracking), the device model and the
+  /// retryable-I/O path still apply. Safe from any thread, including worker
+  /// tasks mid-phase: operators use side runs to bound in-memory overflow
+  /// (e.g. parallel join output beyond its budget allowance) without
+  /// perturbing the deterministic work model. Returns nullptr after raising
+  /// the sticky error on `wc` when the file cannot be created.
+  SpillRunPtr CreateSideRun(WorkContext* wc, int node);
 
   /// Runs created but not yet destroyed (each owns one live temp file).
   uint64_t live_runs() const { return stats_.runs_created - stats_.runs_deleted; }

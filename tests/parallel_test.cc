@@ -19,6 +19,7 @@
 
 #include "common/random.h"
 #include "core/monitor.h"
+#include "exec/fault_injector.h"
 #include "exec/join.h"
 #include "exec/plan.h"
 #include "exec/query_guard.h"
@@ -85,14 +86,17 @@ PhysicalPlan JoinPlan(const Table* probe, const Table* build,
       std::move(pk), std::move(bk), type));
 }
 
-/// Collects `make_plan`'s rows under a spilling budget, optionally on a pool.
+/// Collects `make_plan`'s rows under a spilling budget, optionally on a pool
+/// and optionally under a finite kill threshold.
 StatusOr<std::vector<Row>> RunSpilling(
     const std::function<PhysicalPlan()>& make_plan, uint64_t soft_budget,
-    const std::string& tag, int pool_threads, uint64_t* spill_runs = nullptr) {
+    const std::string& tag, int pool_threads, uint64_t* spill_runs = nullptr,
+    uint64_t kill_budget = QueryGuard::kNoLimit) {
   std::string dir = MakeSpillDir(tag);
   SpillManager spill(dir);
   QueryGuard guard;
   guard.set_max_buffered_rows(soft_budget);
+  guard.set_max_buffered_rows_kill(kill_budget);
   PhysicalPlan plan = make_plan();
   ExecContext ctx;
   ctx.set_guard(&guard);
@@ -376,6 +380,143 @@ TEST(ParallelSortTest, CancellationMidMergeLeavesNoResidue) {
   EXPECT_EQ(ctx.buffered_rows(), 0u) << "cancelled run leaked charges";
   EXPECT_EQ(CountSpillFiles(dir), 0) << "cancelled run leaked temp files";
   std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded memory under a finite kill threshold (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+TEST(ParallelMemoryBoundTest, HighMultiplicityJoinOverflowsOutputToSideRuns) {
+  // 8 build rows per key x 8 probe rows per key -> 3200 output rows from 400
+  // probe rows. Materializing that wholesale would blow through a 600-row
+  // kill threshold; instead the shared budget's output allowance (600/16 =
+  // 37 rows per partition) pushes the bulk of each partition's output into
+  // unaccounted side runs. Rows must still match the serial replay exactly,
+  // in order, and nothing may leak.
+  Table probe = Keyed(400, 50);
+  Table build = Keyed(400, 50);
+  auto make = [&] { return JoinPlan(&probe, &build, JoinType::kInner); };
+  StatusOr<std::vector<Row>> serial =
+      RunSpilling(make, 64, "mult_serial", 0, nullptr, 600);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_EQ(serial.value().size(), 3200u);
+  std::string expected = testutil::RowsToString(serial.value());
+  for (int threads : kPoolSizes) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    StatusOr<std::vector<Row>> got = RunSpilling(
+        make, 64, "mult_p" + std::to_string(threads), threads, nullptr, 600);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(testutil::RowsToString(got.value()), expected);
+  }
+  // The kill threshold is what forces output overflow: the same parallel run
+  // without it keeps all output in memory and creates only partition runs.
+  uint64_t runs_unbounded = 0;
+  uint64_t runs_bounded = 0;
+  ASSERT_TRUE(RunSpilling(make, 64, "mult_nokill", 4, &runs_unbounded).ok());
+  ASSERT_TRUE(
+      RunSpilling(make, 64, "mult_kill", 4, &runs_bounded, 600).ok());
+  EXPECT_GT(runs_bounded, runs_unbounded) << "no overflow side runs created";
+}
+
+TEST(ParallelMemoryBoundTest, TightKillThresholdSerializesPartitionAdmission) {
+  // ~62-row partition builds against a 150-row budget: the ordered
+  // all-or-nothing admission lets at most two partition joins hold memory at
+  // once and must serialize the rest without deadlock at any pool size —
+  // with rows identical to the serial one-at-a-time replay.
+  Table probe = Keyed(400, 60);
+  Table build = Keyed(500, 60);
+  auto make = [&] { return JoinPlan(&probe, &build, JoinType::kInner); };
+  StatusOr<std::vector<Row>> serial =
+      RunSpilling(make, 64, "tight_serial", 0, nullptr, 150);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  std::string expected = testutil::RowsToString(serial.value());
+  for (int threads : kPoolSizes) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    StatusOr<std::vector<Row>> got = RunSpilling(
+        make, 64, "tight_p" + std::to_string(threads), threads, nullptr, 150);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(testutil::RowsToString(got.value()), expected);
+  }
+}
+
+TEST(ParallelMemoryBoundTest, OversizedPartitionTripsKillLikeSerial) {
+  // Every build row shares one key, so a single partition holds all 400
+  // rows — more than the whole 120-row kill budget. The budget admits the
+  // oversized partition alone (capped reservation) and the task's kill
+  // tripwire must then fire exactly like the serial reload, at every pool
+  // size, leaking nothing.
+  Table probe = Keyed(50, 1);
+  Table build = Keyed(400, 1);
+  auto make = [&] { return JoinPlan(&probe, &build, JoinType::kInner); };
+  StatusOr<std::vector<Row>> serial =
+      RunSpilling(make, 64, "skew_serial", 0, nullptr, 120);
+  ASSERT_FALSE(serial.ok()) << "serial run should trip the kill threshold";
+  EXPECT_EQ(serial.status().code(), StatusCode::kResourceExhausted);
+  for (int threads : kPoolSizes) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    StatusOr<std::vector<Row>> got = RunSpilling(
+        make, 64, "skew_p" + std::to_string(threads), threads, nullptr, 120);
+    ASSERT_FALSE(got.ok()) << "parallel run must honor the same kill contract";
+    EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted)
+        << got.status();
+  }
+}
+
+TEST(ParallelMemoryBoundTest, SortKillThresholdBoundsHandedOffBuffers) {
+  // Kill just above the soft budget: the sort's handed-off run buffers
+  // (uncharged by design) would stack up to kInflightRunTasks x soft without
+  // the early-fold bound. With it, flush_buffer folds before the uncharged
+  // aggregate can pass the kill threshold — and the output must stay
+  // byte-identical to the serial sort at every pool size.
+  Table t = Keyed(900, 101);
+  auto make = [&] { return SortPlan(&t); };
+  StatusOr<std::vector<Row>> serial =
+      RunSpilling(make, 60, "sortkill_serial", 0, nullptr, 100);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  std::string expected = testutil::RowsToString(serial.value());
+  for (int threads : kPoolSizes) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    StatusOr<std::vector<Row>> got =
+        RunSpilling(make, 60, "sortkill_p" + std::to_string(threads), threads,
+                    nullptr, 100);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(testutil::RowsToString(got.value()), expected);
+  }
+}
+
+TEST(ParallelMemoryBoundTest, PermanentWriteFaultFailsFastAndCleans) {
+  // A permanent spill.write fault (the disk-full model) fires in the first
+  // write batch of every forked task injector: the PartitionWriter's failed
+  // flag must stop the operator from feeding further doomed batches, surface
+  // the injected error, and leave no charges, runs or temp files behind.
+  Table probe = Keyed(400, 60);
+  Table build = Keyed(500, 60);
+  for (int threads : kPoolSizes) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::string dir = MakeSpillDir("wfault_p" + std::to_string(threads));
+    SpillManager spill(dir);
+    QueryGuard guard;
+    guard.set_max_buffered_rows(64);
+    FaultInjector fi(7);
+    FaultSpec spec;
+    spec.site = faults::kSpillWrite;
+    spec.fail_on_hit = 1;
+    fi.Arm(spec);
+    WorkerPool pool(threads);
+    PhysicalPlan plan = JoinPlan(&probe, &build, JoinType::kInner);
+    ExecContext ctx;
+    ctx.set_guard(&guard);
+    ctx.set_spill_manager(&spill);
+    ctx.set_worker_pool(&pool);
+    ctx.set_fault_injector(&fi);
+    StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+    ASSERT_FALSE(got.ok()) << "injected write fault ignored";
+    EXPECT_EQ(got.status().code(), StatusCode::kInternal) << got.status();
+    EXPECT_EQ(spill.live_runs(), 0u) << "failed run leaked spill runs";
+    EXPECT_EQ(ctx.buffered_rows(), 0u) << "failed run leaked charges";
+    EXPECT_EQ(CountSpillFiles(dir), 0) << "failed run leaked temp files";
+    std::filesystem::remove_all(dir);
+  }
 }
 
 // ---------------------------------------------------------------------------
