@@ -28,8 +28,10 @@ int main() {
       {"inl/random", R1Order::kRandom, false},
       {"hash/skew-last", R1Order::kSkewLast, true},
   };
-  const std::vector<std::string> estimators = {"dne", "pmax", "safe",
-                                               "hybrid", "window"};
+  // "hybrid:1.5" exercises the parameterized factory spec: a tighter mu
+  // threshold that switches to pmax only when the observable bound is small.
+  const std::vector<std::string> estimators = {"dne",    "pmax",       "safe",
+                                               "hybrid", "hybrid:1.5", "window"};
 
   std::printf("%-16s", "scenario");
   for (const std::string& e : estimators) std::printf(" %-10s", e.c_str());

@@ -65,7 +65,11 @@ int main(int argc, char** argv) {
   pc.exec = &ctx;
   pc.pipelines = &pipelines;
   pc.scanned_leaf_cardinality = ScannedLeafCardinality(plan.value());
-  HybridEstimator hybrid;
+  // The factory accepts parameterized specs: "hybrid:2.5" tunes the mu
+  // threshold at which the estimator switches from safe to pmax.
+  auto hybrid_or = CreateEstimator("hybrid:2.5");
+  QPROG_CHECK(hybrid_or.ok());
+  std::unique_ptr<ProgressEstimator> hybrid = std::move(hybrid_or).value();
 
   auto start = std::chrono::steady_clock::now();
   bool printed_explain = false;
@@ -73,7 +77,7 @@ int main(int argc, char** argv) {
   ctx.SetWorkObserver(static_cast<uint64_t>(rows) / 8, [&](uint64_t) {
     PlanBounds bounds = tracker.Compute(ctx);
     pc.bounds = &bounds;
-    double est = hybrid.Estimate(pc);
+    double est = hybrid->Estimate(pc);
     double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();

@@ -336,10 +336,12 @@ class Walker {
         } else {
           // Each spilled-but-unread row may still open a fresh group, so it
           // keeps the upper bound honest even after the child is drained.
-          double pending = static_cast<double>(s.spill_rows_pending);
+          // spill_rows_unread is a true row count; the old work-unit pending
+          // counter overstated the unseen rows by the unfinished write pass.
+          double unread = static_cast<double>(s.spill_rows_unread);
           b.lb = std::max(produced, groups);
           b.ub = std::min(
-              CapAdd(groups + RemainingInput(op->child(0), c), pending),
+              CapAdd(groups + RemainingInput(op->child(0), c), unread),
               std::max(c.ub, groups));
         }
         break;

@@ -1,7 +1,9 @@
 #include "core/estimators.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/macros.h"
 #include "common/strings.h"
@@ -58,6 +60,33 @@ double BoundedDneEstimator::Estimate(const ProgressContext& pc) const {
   return Clamp01(std::clamp(dne, lo, hi));
 }
 
+double PessimisticDneEstimator::Estimate(const ProgressContext& pc) const {
+  QPROG_CHECK(pc.pipelines != nullptr && pc.exec != nullptr &&
+              pc.bounds != nullptr);
+  double done = 0;
+  double total = 0;
+  for (const Pipeline& p : *pc.pipelines) {
+    for (const PhysicalOperator* d : p.drivers) {
+      DriverStatus s = ComputeDriverStatus(d, *pc.exec);
+      done += s.rows_done;
+      total += s.rows_total;
+    }
+  }
+  // Fold the engine's outstanding spill debt into the denominator: every
+  // pending unit is work the drivers' totals know nothing about, so the raw
+  // fraction can only shrink relative to dne — and the shared clamp below is
+  // monotone, so the clamped estimate never exceeds dne_bounded either.
+  double pending =
+      pc.spill != nullptr ? static_cast<double>(pc.spill->spill_rows_pending)
+                          : 0.0;
+  double denom = total + pending;
+  double raw = denom > 0 ? done / denom : 0.0;
+  double curr = static_cast<double>(pc.exec->work());
+  double lo = pc.bounds->work_ub > 0 ? curr / pc.bounds->work_ub : 0.0;
+  double hi = pc.bounds->work_lb > 0 ? curr / pc.bounds->work_lb : 1.0;
+  return Clamp01(std::clamp(raw, lo, hi));
+}
+
 double HybridEstimator::Estimate(const ProgressContext& pc) const {
   QPROG_CHECK(pc.bounds != nullptr);
   if (pc.scanned_leaf_cardinality > 0) {
@@ -108,8 +137,73 @@ double WindowEstimator::Estimate(const ProgressContext& pc) const {
   return Clamp01(std::clamp(estimate, lo, hi));
 }
 
+namespace {
+
+// Parses the whole of `text` as a finite double; false on trailing junk,
+// empty input, or non-finite values.
+bool ParseFullDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(begin, &end);
+  if (end != begin + text.size() || errno == ERANGE || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Parses the whole of `text` as an unsigned integer; rejects signs so
+// "window:-4" fails instead of wrapping.
+bool ParseFullSize(const std::string& text, size_t* out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(begin, &end, 10);
+  if (end != begin + text.size() || errno == ERANGE) return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+}  // namespace
+
 StatusOr<std::unique_ptr<ProgressEstimator>> CreateEstimator(
-    const std::string& name) {
+    const std::string& spec) {
+  // "name" or "name:param" — only hybrid and window take a parameter.
+  const size_t colon = spec.find(':');
+  const bool has_param = colon != std::string::npos;
+  const std::string name = has_param ? spec.substr(0, colon) : spec;
+  const std::string param = has_param ? spec.substr(colon + 1) : std::string();
+
+  if (name == "hybrid") {
+    double mu_threshold = 3.0;
+    if (has_param &&
+        (!ParseFullDouble(param, &mu_threshold) || mu_threshold <= 0)) {
+      return InvalidArgument(StringPrintf(
+          "estimator spec '%s': hybrid takes a positive mu threshold "
+          "(e.g. 'hybrid:2.5')",
+          spec.c_str()));
+    }
+    return std::unique_ptr<ProgressEstimator>(
+        new HybridEstimator(mu_threshold));
+  }
+  if (name == "window") {
+    size_t window = 16;
+    if (has_param && (!ParseFullSize(param, &window) || window == 0)) {
+      return InvalidArgument(StringPrintf(
+          "estimator spec '%s': window takes a positive integer history "
+          "length (e.g. 'window:32')",
+          spec.c_str()));
+    }
+    return std::unique_ptr<ProgressEstimator>(new WindowEstimator(window));
+  }
+  if (has_param) {
+    return InvalidArgument(StringPrintf(
+        "estimator spec '%s': '%s' takes no parameter", spec.c_str(),
+        name.c_str()));
+  }
   if (name == "dne") {
     return std::unique_ptr<ProgressEstimator>(new DneEstimator());
   }
@@ -122,18 +216,16 @@ StatusOr<std::unique_ptr<ProgressEstimator>> CreateEstimator(
   if (name == "dne_bounded") {
     return std::unique_ptr<ProgressEstimator>(new BoundedDneEstimator());
   }
-  if (name == "hybrid") {
-    return std::unique_ptr<ProgressEstimator>(new HybridEstimator());
-  }
-  if (name == "window") {
-    return std::unique_ptr<ProgressEstimator>(new WindowEstimator());
+  if (name == "dne_pessimistic") {
+    return std::unique_ptr<ProgressEstimator>(new PessimisticDneEstimator());
   }
   return InvalidArgument(
       StringPrintf("unknown estimator '%s'", name.c_str()));
 }
 
 std::vector<std::string> AllEstimatorNames() {
-  return {"dne", "pmax", "safe", "dne_bounded", "hybrid", "window"};
+  return {"dne",    "pmax",   "safe", "dne_bounded", "dne_pessimistic",
+          "hybrid", "window"};
 }
 
 }  // namespace qprog

@@ -15,6 +15,12 @@
 //           *observable upper bound* on mu (UB / sum of scanned-leaf
 //           cardinalities) drops below a threshold. (Theorem 7 shows mu
 //           itself cannot be estimated; the upper bound can.)
+//   dne_pessimistic — dne with the engine's spill debt folded into the
+//           denominator: anticipated re-read passes (spilled rows not yet
+//           replayed) count as work still owed, so the estimate stops
+//           rushing to 1 while partitions sit on disk. Clamped into
+//           [Curr/UB, Curr/LB] like dne_bounded; never exceeds dne_bounded
+//           while spill work is pending.
 
 #ifndef QPROG_CORE_ESTIMATORS_H_
 #define QPROG_CORE_ESTIMATORS_H_
@@ -30,6 +36,21 @@
 
 namespace qprog {
 
+/// Read-only view of the engine's spill debt at one checkpoint, populated by
+/// the ProgressMonitor from the operators' query-thread spill counters
+/// (never from SpillRun state a worker task may own). All figures are in
+/// work units of the paper's model: one unit per row written to a run, one
+/// per row read back.
+struct SpillSnapshot {
+  uint64_t spill_work_done = 0;     // spill I/O units already performed
+  uint64_t spill_rows_pending = 0;  // spill I/O units still owed
+  /// Per-node pending spill work, indexed by node id (empty when nothing
+  /// has spilled).
+  std::vector<uint64_t> node_pending;
+
+  bool active() const { return spill_work_done != 0 || spill_rows_pending != 0; }
+};
+
 /// Everything an estimator may look at, at one checkpoint. Matches the
 /// paper's information model (Section 2.4): the plan, execution feedback
 /// (counters, operator phase state, runtime bounds), and planner estimates —
@@ -40,6 +61,9 @@ struct ProgressContext {
   const PlanBounds* bounds = nullptr;
   const std::vector<Pipeline>* pipelines = nullptr;
   double scanned_leaf_cardinality = 0;  // denominator of mu
+  /// Spill-aware view; null when the monitor has not sampled one (e.g. a
+  /// caller-built context). Estimators must treat null as "no spill".
+  const SpillSnapshot* spill = nullptr;
 };
 
 /// Interface for progress estimators. Estimates are fractions in [0, 1].
@@ -72,6 +96,18 @@ class BoundedDneEstimator : public ProgressEstimator {
  public:
   double Estimate(const ProgressContext& pc) const override;
   std::string name() const override { return "dne_bounded"; }
+};
+
+/// dne_bounded made spill-aware: the raw driver fraction's denominator grows
+/// by the pending spill work from the ProgressContext's SpillSnapshot, so
+/// the estimate anticipates the re-read passes the engine already owes
+/// instead of discovering them one checkpoint at a time. Same feasible-
+/// interval clamp as dne_bounded; with no snapshot (or no spill) the two
+/// are identical, and while spill is pending this one is never larger.
+class PessimisticDneEstimator : public ProgressEstimator {
+ public:
+  double Estimate(const ProgressContext& pc) const override;
+  std::string name() const override { return "dne_pessimistic"; }
 };
 
 class HybridEstimator : public ProgressEstimator {
@@ -111,11 +147,18 @@ class WindowEstimator : public ProgressEstimator {
   mutable std::vector<std::pair<double, double>> history_;
 };
 
-/// Factory: "dne", "pmax", "safe", "dne_bounded", "hybrid", "window".
+/// Factory. `spec` is an estimator name — "dne", "pmax", "safe",
+/// "dne_bounded", "dne_pessimistic", "hybrid", "window" — optionally
+/// followed by ":" and a constructor parameter for the estimators that take
+/// one: "hybrid:2.5" sets the mu threshold (a positive double), "window:32"
+/// the history length (a positive integer). A bare name uses the default
+/// parameter. Returns kInvalidArgument for unknown names, malformed or
+/// out-of-range parameters, and parameters passed to estimators that take
+/// none ("dne:2").
 StatusOr<std::unique_ptr<ProgressEstimator>> CreateEstimator(
-    const std::string& name);
+    const std::string& spec);
 
-/// All estimator names, in canonical order.
+/// All estimator names, in canonical order (bare names, no parameters).
 std::vector<std::string> AllEstimatorNames();
 
 }  // namespace qprog

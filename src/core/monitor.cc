@@ -97,14 +97,18 @@ std::string ProgressReport::ToTsv() const {
 
 ProgressMonitor::ProgressMonitor(
     PhysicalPlan* plan,
-    std::vector<std::unique_ptr<ProgressEstimator>> estimators)
-    : plan_(plan), estimators_(std::move(estimators)) {
+    std::vector<std::unique_ptr<ProgressEstimator>> estimators,
+    MonitorOptions options)
+    : plan_(plan),
+      estimators_(std::move(estimators)),
+      options_(std::move(options)) {
   QPROG_CHECK(plan_ != nullptr);
   QPROG_CHECK(!estimators_.empty());
 }
 
 ProgressMonitor ProgressMonitor::WithEstimators(
-    PhysicalPlan* plan, const std::vector<std::string>& names) {
+    PhysicalPlan* plan, const std::vector<std::string>& names,
+    MonitorOptions options) {
   std::vector<std::unique_ptr<ProgressEstimator>> estimators;
   estimators.reserve(names.size());
   for (const std::string& name : names) {
@@ -112,32 +116,36 @@ ProgressMonitor ProgressMonitor::WithEstimators(
     QPROG_CHECK_MSG(e.ok(), "%s", e.status().ToString().c_str());
     estimators.push_back(std::move(e).value());
   }
-  return ProgressMonitor(plan, std::move(estimators));
+  return ProgressMonitor(plan, std::move(estimators), std::move(options));
 }
 
 ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   QPROG_CHECK(checkpoint_interval > 0);
+  TelemetryCollector* telemetry = options_.telemetry;
+  MetricsRegistry* registry = options_.metrics_registry;
   ProgressReport report;
   for (const auto& e : estimators_) report.names.push_back(e->name());
   report.scanned_leaf_cardinality = ScannedLeafCardinality(*plan_);
 
   ExecContext ctx;
-  ctx.set_guard(guard_);
-  ctx.set_fault_injector(injector_);
-  ctx.set_spill_manager(spill_);
-  ctx.set_worker_pool(pool_);
-  ctx.set_telemetry(telemetry_);
-  if (injector_ != nullptr) injector_->Reset();  // deterministic replay
+  ctx.set_guard(options_.guard);
+  ctx.set_fault_injector(options_.fault_injector);
+  ctx.set_spill_manager(options_.spill_manager);
+  ctx.set_worker_pool(options_.worker_pool);
+  ctx.set_telemetry(telemetry);
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->Reset();  // deterministic replay
+  }
   BoundsTracker tracker(plan_);
   std::vector<Pipeline> pipelines = DecomposePipelines(*plan_);
 
-  if (telemetry_ != nullptr) {
+  if (telemetry != nullptr) {
     TraceEvent begin;
     begin.kind = TraceEventKind::kRunBegin;
     begin.name = JoinStrings(report.names, ",");
     begin.a = report.scanned_leaf_cardinality;
     begin.b = static_cast<double>(checkpoint_interval);
-    telemetry_->Emit(std::move(begin));
+    telemetry->Emit(std::move(begin));
   }
 
   ProgressContext pc;
@@ -146,30 +154,48 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   pc.pipelines = &pipelines;
   pc.scanned_leaf_cardinality = report.scanned_leaf_cardinality;
 
+  SpillSnapshot spill_snapshot;
   ctx.SetWorkObserver(checkpoint_interval, [&](uint64_t work) {
-    uint64_t cp_start = registry_ != nullptr ? MonotonicNanos() : 0;
+    uint64_t cp_start = registry != nullptr ? MonotonicNanos() : 0;
     PlanBounds bounds = tracker.Compute(ctx);
     pc.bounds = &bounds;
+    // Spill-aware view for the estimators, from the operators' query-thread
+    // counters (checkpoints fire on the query thread, so this never races a
+    // worker task). Exposed only while something has actually spilled.
+    spill_snapshot = SpillSnapshot();
+    for (const PhysicalOperator* op : plan_->nodes()) {
+      ProgressState s;
+      op->FillProgressState(ctx, &s);
+      if (s.spill_work_done == 0 && s.spill_rows_pending == 0) continue;
+      spill_snapshot.spill_work_done += s.spill_work_done;
+      spill_snapshot.spill_rows_pending += s.spill_rows_pending;
+      if (spill_snapshot.node_pending.empty()) {
+        spill_snapshot.node_pending.resize(plan_->nodes().size(), 0);
+      }
+      spill_snapshot.node_pending[static_cast<size_t>(op->node_id())] =
+          s.spill_rows_pending;
+    }
+    pc.spill = spill_snapshot.active() ? &spill_snapshot : nullptr;
     Checkpoint cp;
     cp.work = work;
     cp.work_lb = bounds.work_lb;
     cp.work_ub = bounds.work_ub;
     cp.estimates.reserve(estimators_.size());
     for (const auto& e : estimators_) {
-      if (registry_ != nullptr) {
+      if (registry != nullptr) {
         uint64_t eval_start = MonotonicNanos();
         cp.estimates.push_back(SanitizeEstimate(e->Estimate(pc)));
-        registry_->histogram("estimator_eval_ns")
+        registry->histogram("estimator_eval_ns")
             ->Record(static_cast<double>(MonotonicNanos() - eval_start));
       } else {
         cp.estimates.push_back(SanitizeEstimate(e->Estimate(pc)));
       }
     }
-    if (telemetry_ != nullptr) {
+    if (telemetry != nullptr) {
       // Bounds history first (refinement events carry this checkpoint's
       // work), then the checkpoint, then the estimates it was scored with.
       for (size_t n = 0; n < bounds.node_bounds.size(); ++n) {
-        telemetry_->RecordNodeBounds(static_cast<int>(n),
+        telemetry->RecordNodeBounds(static_cast<int>(n),
                                      bounds.node_bounds[n].lb,
                                      bounds.node_bounds[n].ub, work);
       }
@@ -178,24 +204,26 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
       ev.work = work;
       ev.a = bounds.work_lb;
       ev.b = bounds.work_ub;
-      telemetry_->Emit(std::move(ev));
+      telemetry->Emit(std::move(ev));
       for (size_t i = 0; i < estimators_.size(); ++i) {
         TraceEvent est;
         est.kind = TraceEventKind::kEstimatorEvaluated;
         est.work = work;
         est.name = estimators_[i]->name();
         est.a = cp.estimates[i];
-        telemetry_->Emit(std::move(est));
+        telemetry->Emit(std::move(est));
       }
     }
     report.checkpoints.push_back(std::move(cp));
     pc.bounds = nullptr;
-    if (registry_ != nullptr) {
-      registry_->IncrementCounter("checkpoints");
-      registry_->histogram("checkpoint_ns")
+    if (registry != nullptr) {
+      registry->IncrementCounter("checkpoints");
+      registry->histogram("checkpoint_ns")
           ->Record(static_cast<double>(MonotonicNanos() - cp_start));
     }
-    if (listener_) listener_(report.checkpoints.back());
+    if (options_.checkpoint_listener) {
+      options_.checkpoint_listener(report.checkpoints.back());
+    }
   });
 
   report.root_rows = ExecutePlan(plan_, &ctx);
@@ -204,7 +232,7 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   report.status = ctx.status();
   report.termination = TerminationFromStatus(report.status);
   report.total_work = ctx.work();
-  if (registry_ != nullptr) registry_->IncrementCounter("runs");
+  if (registry != nullptr) registry->IncrementCounter("runs");
   if (!report.completed()) {
     // The true total is unknowable for an unfinished query: keep the partial
     // checkpoints (work counters, bounds, estimates) but make no
@@ -225,7 +253,8 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
 }
 
 void ProgressMonitor::EmitRunEnd(const ProgressReport& report) {
-  if (telemetry_ == nullptr) return;
+  TelemetryCollector* telemetry = options_.telemetry;
+  if (telemetry == nullptr) return;
   TraceEvent ev;
   ev.kind = TraceEventKind::kRunEnd;
   ev.work = report.total_work;
@@ -233,8 +262,8 @@ void ProgressMonitor::EmitRunEnd(const ProgressReport& report) {
   if (!report.status.ok()) ev.detail = report.status.ToString();
   ev.a = static_cast<double>(report.root_rows);
   ev.b = report.mu;
-  telemetry_->Emit(std::move(ev));
-  if (TraceSink* sink = telemetry_->sink(); sink != nullptr) sink->Flush();
+  telemetry->Emit(std::move(ev));
+  if (TraceSink* sink = telemetry->sink(); sink != nullptr) sink->Flush();
 }
 
 ProgressReport ProgressMonitor::MakeAbortedReport(const ExecContext& ctx) const {
@@ -263,11 +292,11 @@ ProgressReport ProgressMonitor::RunWithApproxCheckpoints(
   // cancel or deadline must be honored even while learning); the fault
   // injector is reset first so the monitored run replays the same schedule.
   ExecContext ctx;
-  ctx.set_guard(guard_);
-  ctx.set_fault_injector(injector_);
-  ctx.set_spill_manager(spill_);
-  ctx.set_worker_pool(pool_);
-  if (injector_ != nullptr) injector_->Reset();
+  ctx.set_guard(options_.guard);
+  ctx.set_fault_injector(options_.fault_injector);
+  ctx.set_spill_manager(options_.spill_manager);
+  ctx.set_worker_pool(options_.worker_pool);
+  if (options_.fault_injector != nullptr) options_.fault_injector->Reset();
   ExecutePlan(plan_, &ctx);
   if (!ctx.ok()) return MakeAbortedReport(ctx);
   uint64_t total = ctx.work();

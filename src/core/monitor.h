@@ -23,6 +23,35 @@ class SpillManager;
 class WorkerPool;
 
 /// One sampling instant.
+struct Checkpoint;
+
+/// Everything a ProgressMonitor borrows, gathered into one construction-time
+/// options struct. All pointers are borrowed and may be null; the listener
+/// may be empty. Prefer passing this to the constructor over the individual
+/// set_* methods, which survive only as deprecated forwarders.
+struct MonitorOptions {
+  /// Resource guard enforced during monitored runs: cancellation is honored
+  /// within one checkpoint interval, and budget / deadline violations end
+  /// the run with a partial report.
+  QueryGuard* guard = nullptr;
+  /// Fault injector, Reset() at the start of every run so a given seed
+  /// replays the same fault schedule.
+  FaultInjector* fault_injector = nullptr;
+  /// Spill manager: blocking operators that would overflow the guard's soft
+  /// buffered-row budget spill to disk instead of aborting.
+  SpillManager* spill_manager = nullptr;
+  /// Worker pool: spill-heavy operators parallelize across its threads
+  /// (DESIGN.md §10) with results identical to the serial engine.
+  WorkerPool* worker_pool = nullptr;
+  /// Telemetry collector: operator stats, bounds history, and — with a
+  /// TraceSink — the full replayable event stream.
+  TelemetryCollector* telemetry = nullptr;
+  /// Metrics registry: checkpoint latency and estimator-cost histograms.
+  MetricsRegistry* metrics_registry = nullptr;
+  /// Called after each checkpoint is recorded — the hook a kill-or-wait
+  /// policy uses to watch estimates and, e.g., RequestCancel() on the guard.
+  std::function<void(const Checkpoint&)> checkpoint_listener;
+};
 struct Checkpoint {
   uint64_t work = 0;            // Curr
   double true_progress = 0;     // work / total(Q), filled in after the run
@@ -87,54 +116,46 @@ struct ProgressReport {
 
 class ProgressMonitor {
  public:
-  /// The monitor borrows `plan`; the estimators are owned.
+  /// The monitor borrows `plan` and everything in `options`; the estimators
+  /// are owned.
   ProgressMonitor(PhysicalPlan* plan,
-                  std::vector<std::unique_ptr<ProgressEstimator>> estimators);
+                  std::vector<std::unique_ptr<ProgressEstimator>> estimators,
+                  MonitorOptions options = MonitorOptions());
 
-  /// Convenience: monitor with the named estimators (must all resolve).
+  /// Convenience: monitor with the named estimators (must all resolve;
+  /// parameterized specs like "hybrid:2.5" are accepted).
   static ProgressMonitor WithEstimators(PhysicalPlan* plan,
-                                        const std::vector<std::string>& names);
+                                        const std::vector<std::string>& names,
+                                        MonitorOptions options = MonitorOptions());
 
-  /// Installs a resource guard (borrowed) enforced during monitored runs:
-  /// cancellation is honored within one checkpoint interval, and budget /
-  /// deadline violations end the run with a partial report.
-  void set_guard(QueryGuard* guard) { guard_ = guard; }
+  // Deprecated setters, kept as thin forwarders into the options struct for
+  // callers predating MonitorOptions. Prefer passing MonitorOptions at
+  // construction; these may be removed once no caller remains.
 
-  /// Installs a fault injector (borrowed). It is Reset() at the start of
-  /// every run, so a given seed replays the same fault schedule — two runs
-  /// of the same plan produce byte-identical reports.
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
-
-  /// Installs a spill manager (borrowed): blocking operators that would
-  /// overflow the guard's soft buffered-row budget spill to disk and the
-  /// run's total(Q) grows mid-query instead of aborting with
-  /// kResourceExhausted.
-  void set_spill_manager(SpillManager* spill) { spill_ = spill; }
-
-  /// Installs a worker pool (borrowed): spill-heavy operators parallelize
-  /// run formation, run merging and Grace partition joins across its
-  /// threads (DESIGN.md §10). Results and progress accounting are identical
-  /// to the single-threaded engine at every pool size.
-  void set_worker_pool(WorkerPool* pool) { pool_ = pool; }
-
-  /// Called after each checkpoint is recorded — the hook a kill-or-wait
-  /// policy uses to watch estimates and, e.g., RequestCancel() on the guard.
-  void set_checkpoint_listener(std::function<void(const Checkpoint&)> listener) {
-    listener_ = std::move(listener);
+  /// \deprecated Use MonitorOptions::guard.
+  void set_guard(QueryGuard* guard) { options_.guard = guard; }
+  /// \deprecated Use MonitorOptions::fault_injector.
+  void set_fault_injector(FaultInjector* injector) {
+    options_.fault_injector = injector;
   }
-
-  /// Attaches a telemetry collector (borrowed) to monitored runs: operator
-  /// stats are gathered, per-node bounds history is recorded at every
-  /// checkpoint, and — when the collector has a TraceSink — the full typed
-  /// event stream (run begin/end, checkpoints, estimator evaluations, bound
-  /// refinements) is emitted, replayable via obs/replay.h. The throwaway
-  /// learning run of RunWithApproxCheckpoints is never traced.
-  void set_telemetry(TelemetryCollector* telemetry) { telemetry_ = telemetry; }
-
-  /// Attaches a metrics registry (borrowed): monitored runs record
-  /// checkpoint latency and estimator evaluation cost histograms plus event
-  /// counters. Independent of the trace; costs nothing when absent.
-  void set_metrics_registry(MetricsRegistry* registry) { registry_ = registry; }
+  /// \deprecated Use MonitorOptions::spill_manager.
+  void set_spill_manager(SpillManager* spill) {
+    options_.spill_manager = spill;
+  }
+  /// \deprecated Use MonitorOptions::worker_pool.
+  void set_worker_pool(WorkerPool* pool) { options_.worker_pool = pool; }
+  /// \deprecated Use MonitorOptions::checkpoint_listener.
+  void set_checkpoint_listener(std::function<void(const Checkpoint&)> listener) {
+    options_.checkpoint_listener = std::move(listener);
+  }
+  /// \deprecated Use MonitorOptions::telemetry.
+  void set_telemetry(TelemetryCollector* telemetry) {
+    options_.telemetry = telemetry;
+  }
+  /// \deprecated Use MonitorOptions::metrics_registry.
+  void set_metrics_registry(MetricsRegistry* registry) {
+    options_.metrics_registry = registry;
+  }
 
   /// Executes the plan to completion (or until a guardrail stops it),
   /// checkpointing every `checkpoint_interval` units of work (getnext
@@ -157,13 +178,7 @@ class ProgressMonitor {
 
   PhysicalPlan* plan_;
   std::vector<std::unique_ptr<ProgressEstimator>> estimators_;
-  QueryGuard* guard_ = nullptr;
-  FaultInjector* injector_ = nullptr;
-  SpillManager* spill_ = nullptr;
-  WorkerPool* pool_ = nullptr;
-  TelemetryCollector* telemetry_ = nullptr;
-  MetricsRegistry* registry_ = nullptr;
-  std::function<void(const Checkpoint&)> listener_;
+  MonitorOptions options_;
 };
 
 }  // namespace qprog

@@ -1,8 +1,15 @@
 #include "exec/aggregate.h"
 
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <utility>
+
 #include "common/macros.h"
 #include "common/strings.h"
 #include "exec/fault_injector.h"
+#include "exec/query_guard.h"
+#include "exec/worker_pool.h"
 
 namespace qprog {
 
@@ -114,6 +121,11 @@ Row ResultRow(const Row& key, const std::vector<AggAccumulator>& states) {
   return out;
 }
 
+// Task key for the parallel partition replay (DESIGN.md §10): the partition
+// index alone is the task's full data identity — one replay task per
+// partition, at most once per execution.
+constexpr uint64_t kAggReplayTaskTag = 0x54ULL << 56;
+
 }  // namespace
 
 // --------------------------------------------------------------------------
@@ -144,6 +156,13 @@ void HashAggregate::DoOpen(ExecContext* ctx) {
   parts_.clear();
   part_next_ = 0;
   prior_groups_ = 0;
+  agg_rows_spilled_ = 0;
+  agg_rows_replayed_ = 0;
+  parallel_replayed_ = false;
+  agg_outs_.clear();
+  agg_part_ = 0;
+  agg_pos_ = 0;
+  par_groups_ = 0;
   child_->Open(ctx);
 }
 
@@ -159,7 +178,9 @@ bool HashAggregate::SpillRow(ExecContext* ctx, const Row& key,
     }
   }
   size_t part = RowHash()(key) % static_cast<size_t>(kSpillFanout);
-  return parts_[part]->Append(ctx, node_id(), row);
+  if (!parts_[part]->Append(ctx, node_id(), row)) return false;
+  ++agg_rows_spilled_;
+  return true;
 }
 
 void HashAggregate::Build(ExecContext* ctx) {
@@ -240,11 +261,185 @@ bool HashAggregate::LoadNextPartition(ExecContext* ctx) {
       group_states_.push_back(MakeStates(aggregates_));
     }
     AccumulateRow(aggregates_, &group_states_[it->second], row);
+    ++agg_rows_replayed_;
   }
   if (!ctx->ok()) return false;
   parts_[part_next_].reset();  // delete this partition's temp file
   ++part_next_;
   return true;
+}
+
+bool HashAggregate::ParallelReplayPartitions(ExecContext* ctx,
+                                             WorkerPool* pool) {
+  // Budget geometry, identical to the parallel Grace join's and computed on
+  // the query thread before any task runs: capacity is the kill headroom
+  // above what the plan already holds, and the result allowance splits half
+  // of it evenly across partitions (the other half carries the per-task
+  // group tables). Every term is data-derived, so the in-memory/overflow
+  // split is identical at every pool size.
+  QPROG_DCHECK(part_next_ == 0);  // pool mode never replays serially first
+  const QueryGuard* guard = ctx->guard();
+  const uint64_t kill = guard != nullptr ? guard->max_buffered_rows_kill()
+                                         : QueryGuard::kNoLimit;
+  const bool unlimited = kill == QueryGuard::kNoLimit;
+  const uint64_t base = ctx->buffered_rows();
+  const uint64_t capacity = unlimited ? 0 : kill - std::min(kill, base);
+  const size_t num_parts = parts_.size();
+  const uint64_t allowance =
+      unlimited ? std::numeric_limits<uint64_t>::max()
+                : capacity / (2 * std::max<uint64_t>(num_parts, 1));
+  OrderedTaskBudget budget(unlimited, capacity, allowance);
+  agg_outs_.clear();
+  agg_outs_.resize(num_parts);
+  std::vector<std::unique_ptr<TaskContext>> tcs;
+  tcs.reserve(num_parts);
+  {
+    TaskGroup group(pool);
+    for (size_t p = 0; p < num_parts; ++p) {
+      auto tc = std::make_unique<TaskContext>(
+          ctx, kAggReplayTaskTag | static_cast<uint64_t>(p));
+      TaskContext* tcp = tc.get();
+      SpillRun* run = parts_[p].get();
+      PartitionAggOut* out = &agg_outs_[p];
+      out->part = p;
+      // The run sealed on the query thread, so its row count is exact and
+      // bounds the partition's group count: reserve the whole group table
+      // plus the result allowance, capped at capacity so an oversized
+      // partition can still be admitted alone (its task then trips the kill
+      // tripwire, as the serial replay would).
+      out->reserved =
+          unlimited ? 0
+                    : std::min<uint64_t>(run->rows_written() + allowance,
+                                         capacity);
+      group.Submit([this, tcp, run, spill = ctx->spill_manager(),
+                    budget_ptr = &budget, out] {
+        ReplayPartitionTask(tcp, run, spill, budget_ptr, out);
+      });
+      tcs.push_back(std::move(tc));
+    }
+    Status escaped = group.Wait();
+    for (size_t p = 0; p < num_parts; ++p) {
+      if (!ctx->ok()) break;
+      tcs[p]->FoldInto(ctx);
+      if (!ctx->ok()) break;
+      par_groups_ += agg_outs_[p].groups;
+      agg_rows_replayed_ += agg_outs_[p].rows_read;
+      parts_[p].reset();  // delete this partition's temp file
+    }
+    if (ctx->ok() && !escaped.ok()) ctx->RaiseError(std::move(escaped));
+  }
+  part_next_ = num_parts;  // every partition consumed
+  if (!ctx->ok()) return false;
+  // Move the retained result prefixes into the plan-wide account, where they
+  // stay visible to the guard until NextReplayOutput drains them. Cannot
+  // trip the kill threshold: admission kept the sum within capacity.
+  if (!unlimited) {
+    uint64_t prefix_total = 0;
+    for (PartitionAggOut& po : agg_outs_) {
+      po.charged_rows = po.rows.size();
+      prefix_total += po.charged_rows;
+    }
+    if (!ctx->ChargeBufferedRowsPostSpill(prefix_total)) return false;
+    charged_ += prefix_total;
+  }
+  return ctx->ok();
+}
+
+void HashAggregate::ReplayPartitionTask(TaskContext* tc, SpillRun* run,
+                                        SpillManager* spill,
+                                        OrderedTaskBudget* budget,
+                                        PartitionAggOut* out) const {
+  // The task owns its partition end to end: a private group table, the
+  // partition's spill reads, and the result buffer. It runs only once the
+  // shared budget admits its reservation, so the *sum* of concurrent
+  // partition memory stays under the guard's kill threshold; the per-task
+  // kill-threshold charge below mirrors the serial LoadNextPartition charge.
+  if (!budget->Admit(out->part, out->reserved, tc)) return;
+  std::unordered_map<Row, size_t, RowHash, RowEq> index;
+  std::vector<Row> keys;
+  std::vector<std::vector<AggAccumulator>> states;
+  Row row;
+  bool ok = run->OpenRead(tc, node_id());
+  while (ok && run->ReadNext(tc, node_id(), &row)) {
+    Row key;
+    key.reserve(group_exprs_.size());
+    for (const ExprPtr& e : group_exprs_) key.push_back(e->Eval(row));
+    auto [it, inserted] = index.try_emplace(key, keys.size());
+    if (inserted) {
+      // One partition's groups answer to the kill threshold only.
+      if (!tc->ChargeBufferedRowsPostSpill(1)) {
+        ok = false;
+        break;
+      }
+      keys.push_back(std::move(key));
+      states.push_back(MakeStates(aggregates_));
+    }
+    AccumulateRow(aggregates_, &states[it->second], row);
+    ++out->rows_read;
+  }
+  ok = ok && tc->ok();
+  out->groups = keys.size();
+  // Emit result rows in first-seen order — the order the serial replay
+  // emits this partition's groups — keeping the prefix in memory up to the
+  // allowance and overflowing the rest to an unaccounted side run (created
+  // lazily here; thread-safe, trace-silent).
+  for (size_t g = 0; ok && g < keys.size(); ++g) {
+    Row result = ResultRow(keys[g], states[g]);
+    if (out->rows.size() < budget->out_allowance) {
+      out->rows.push_back(std::move(result));
+      continue;
+    }
+    if (out->overflow == nullptr) {
+      out->overflow = spill->CreateSideRun(tc, node_id());
+      if (out->overflow == nullptr) {
+        ok = false;
+        break;
+      }
+    }
+    ok = out->overflow->Append(tc, node_id(), result);
+  }
+  if (tc->ok() && out->overflow != nullptr) {
+    out->overflow->FinishWrite(tc, node_id());
+  }
+  // Hand back the slack between the reservation and the rows the partition
+  // actually keeps in memory; the prefix itself stays reserved until the
+  // query thread charges it to the plan account after the fold.
+  uint64_t kept = std::min<uint64_t>(out->rows.size(), out->reserved);
+  budget->Retain(kept);
+  budget->Release(out->reserved - kept);
+}
+
+bool HashAggregate::NextReplayOutput(ExecContext* ctx, Row* out) {
+  while (ctx->ok() && agg_part_ < agg_outs_.size()) {
+    PartitionAggOut& po = agg_outs_[agg_part_];
+    if (agg_pos_ < po.rows.size()) {
+      *out = std::move(po.rows[agg_pos_++]);
+      Emit(ctx);
+      return true;
+    }
+    if (po.overflow != nullptr) {
+      if (!po.overflow_open) {
+        if (!po.overflow->OpenRead(ctx, node_id())) return false;
+        po.overflow_open = true;
+      }
+      if (po.overflow->ReadNext(ctx, node_id(), out)) {
+        Emit(ctx);
+        return true;
+      }
+      if (!ctx->ok()) return false;
+      po.overflow.reset();  // end of side run: delete the temp file now
+    }
+    // Partition fully drained: give back its in-memory prefix.
+    po.rows = std::vector<Row>();
+    ctx->ReleaseBufferedRows(po.charged_rows);
+    charged_ -= std::min<uint64_t>(charged_, po.charged_rows);
+    po.charged_rows = 0;
+    agg_pos_ = 0;
+    ++agg_part_;
+  }
+  if (!ctx->ok()) return false;
+  finished_ = true;
+  return false;
 }
 
 bool HashAggregate::DoNext(ExecContext* ctx, Row* out) {
@@ -261,9 +456,15 @@ bool HashAggregate::DoNext(ExecContext* ctx, Row* out) {
       Emit(ctx);
       return true;
     }
+    if (parallel_replayed_) return NextReplayOutput(ctx, out);
     if (!spilled_ || part_next_ >= parts_.size()) {
       finished_ = true;
       return false;
+    }
+    if (ctx->worker_pool() != nullptr) {
+      if (!ParallelReplayPartitions(ctx, ctx->worker_pool())) return false;
+      parallel_replayed_ = true;
+      continue;
     }
     if (!LoadNextPartition(ctx)) return false;
   }
@@ -274,7 +475,8 @@ void HashAggregate::DoClose(ExecContext* ctx) {
   group_index_.clear();
   group_keys_.clear();
   group_states_.clear();
-  parts_.clear();  // deletes any remaining spill temp files
+  parts_.clear();     // deletes any remaining spill temp files
+  agg_outs_.clear();  // deletes any remaining overflow side runs
   ctx->ReleaseBufferedRows(charged_);
   charged_ = 0;
 }
@@ -290,13 +492,25 @@ void HashAggregate::FillProgressState(const ExecContext& ctx,
   // Spilled runs keep the conservative !build_done path: group counts are
   // not final until every partition has been re-aggregated.
   state->build_done = built_ && !spilled_;
-  state->groups_so_far = prior_groups_ + group_keys_.size();
+  state->groups_so_far = prior_groups_ + group_keys_.size() + par_groups_;
   state->scalar_aggregate = group_exprs_.empty();
-  uint64_t pending = 0;
-  for (const auto& run : parts_) {
-    if (run != nullptr) pending += run->rows_pending();
-  }
-  state->spill_rows_pending = pending;
+  // Every spilled row is written once and read back exactly once, so this
+  // node's total spill work is 2x the rows spilled so far; deriving pending
+  // from the same work counter the checkpoint just advanced keeps
+  // (done + pending) consistent at every sampling instant, and never reads
+  // SpillRun counters a replay task may be mutating (see sort.cc, join.cc).
+  uint64_t spill_total = 2 * agg_rows_spilled_;
+  state->spill_rows_pending = spill_total > state->spill_work_done
+                                  ? spill_total - state->spill_work_done
+                                  : 0;
+  // Row count for the group-cardinality bound: spilled rows that have not
+  // been re-aggregated yet (each may still open a fresh group). Distinct
+  // from spill_rows_pending, which is in *work units* and would overstate
+  // the unseen rows by the unfinished write pass.
+  state->spill_rows_unread =
+      agg_rows_spilled_ > agg_rows_replayed_
+          ? agg_rows_spilled_ - agg_rows_replayed_
+          : 0;
 }
 
 // --------------------------------------------------------------------------

@@ -16,6 +16,10 @@
 
 namespace qprog {
 
+class TaskContext;
+class WorkerPool;
+struct OrderedTaskBudget;
+
 enum class AggFunc {
   kCount,  // COUNT(*) when arg is null, else COUNT(arg)
   kSum,
@@ -74,6 +78,14 @@ class AggAccumulator {
 /// keep accumulating there — no work is thrown away). After the in-memory
 /// groups are emitted, each partition is re-read and aggregated in turn.
 /// Keys never straddle memory and disk, so no group is double-counted.
+///
+/// With a WorkerPool attached, the partition replay runs as one task per
+/// partition instead of the serial loop: tasks admit their exact memory need
+/// against a shared OrderedTaskBudget (the Grace join's reservation
+/// protocol), aggregate their partition privately, and emit result rows —
+/// the in-memory prefix up to the budget's allowance, the rest to an
+/// unaccounted side run. Results fold in partition order, so output rows are
+/// identical to the serial replay at every pool size.
 class HashAggregate : public PhysicalOperator {
  public:
   HashAggregate(OperatorPtr child, std::vector<ExprPtr> group_exprs,
@@ -98,6 +110,21 @@ class HashAggregate : public PhysicalOperator {
   static constexpr int kSpillFanout = 8;
 
  private:
+  /// One parallel partition replay's results, filled by a worker task.
+  /// Result rows up to the budget's allowance stay in `rows`; the remainder
+  /// overflows to an unaccounted side run, so a high-cardinality partition's
+  /// output never breaks the bounded-memory contract.
+  struct PartitionAggOut {
+    size_t part = 0;          // partition index (== admission order)
+    uint64_t reserved = 0;    // budget rows held while the task runs
+    std::vector<Row> rows;    // in-memory result prefix (<= allowance)
+    SpillRunPtr overflow;     // results beyond the allowance, if any
+    bool overflow_open = false;
+    uint64_t charged_rows = 0;  // prefix rows charged to the plan account
+    uint64_t groups = 0;        // distinct groups found in this partition
+    uint64_t rows_read = 0;     // partition rows re-aggregated by the task
+  };
+
   void Build(ExecContext* ctx);
   /// Routes one raw input row to its hash partition (creating the partition
   /// runs on first use).
@@ -105,6 +132,20 @@ class HashAggregate : public PhysicalOperator {
   /// Aggregates partition `part_next_` into a fresh group table and resets
   /// the emit cursor over it.
   bool LoadNextPartition(ExecContext* ctx);
+  /// Replays all spilled partitions on the pool, folding results into
+  /// agg_outs_ in partition order. Returns ctx->ok().
+  bool ParallelReplayPartitions(ExecContext* ctx, WorkerPool* pool);
+  /// Worker-side body of one partition replay: admits `out->part` against
+  /// the shared budget, re-aggregates `run` into a private group table, and
+  /// emits result rows into `out` in first-seen order (overflowing to a side
+  /// run past the budget's allowance), releasing the unretained budget.
+  void ReplayPartitionTask(TaskContext* tc, SpillRun* run, SpillManager* spill,
+                           OrderedTaskBudget* budget,
+                           PartitionAggOut* out) const;
+  /// Streams the next parallel-replay result row: each partition's in-memory
+  /// prefix, then its overflow side run, releasing the partition's charge as
+  /// it drains. Returns false at end of output or on error.
+  bool NextReplayOutput(ExecContext* ctx, Row* out);
 
   OperatorPtr child_;
   std::vector<ExprPtr> group_exprs_;
@@ -123,6 +164,18 @@ class HashAggregate : public PhysicalOperator {
   std::vector<SpillRunPtr> parts_;
   size_t part_next_ = 0;
   uint64_t prior_groups_ = 0;  // groups emitted before the current table
+  // Query-thread spill accounting (never read from SpillRun counters — a
+  // task may own the runs). Rows appended to partition runs, and rows
+  // re-aggregated from them (serially or via folded tasks).
+  uint64_t agg_rows_spilled_ = 0;
+  uint64_t agg_rows_replayed_ = 0;
+
+  // Parallel-replay state (pool-backed executions only).
+  bool parallel_replayed_ = false;
+  std::vector<PartitionAggOut> agg_outs_;
+  size_t agg_part_ = 0;       // next partition to drain
+  size_t agg_pos_ = 0;        // next prefix row within that partition
+  uint64_t par_groups_ = 0;   // groups discovered by folded replay tasks
 };
 
 /// γ over an input already sorted by the grouping expressions; emits each

@@ -23,16 +23,41 @@ namespace {
 // Task-key layout for the parallel Grace join (DESIGN.md §10): partition
 // write batches are keyed by phase (bit 55: 0 = build, 1 = probe), partition
 // index, and a per-partition batch sequence number; partition joins by the
-// partition index alone. All data identity, never pool size.
+// leaf's recursion depth (bits 48..55) and partition path (3 bits per level,
+// level 0 lowest). All data identity, never pool size — the same leaf gets
+// the same forked fault schedule whether it came from a depth-0 pass or a
+// depth-3 re-split.
 constexpr uint64_t kJoinWriteTaskTag = 0x52ULL << 56;
 constexpr uint64_t kJoinProbePhaseBit = 1ULL << 55;
 constexpr uint64_t kJoinPartitionTaskTag = 0x53ULL << 56;
+
+uint64_t JoinLeafTaskKey(int depth, uint64_t path) {
+  return kJoinPartitionTaskTag | (static_cast<uint64_t>(depth) << 48) | path;
+}
 
 // Rows buffered per partition before a write batch is handed to a worker,
 // and batches in flight before the query thread folds their op-logs. Both
 // bound the uncharged write-side overcommit (see DESIGN.md §10).
 constexpr size_t kBatchRows = 256;
 constexpr size_t kMaxInflightBatches = 16;
+
+// Depth-salted Grace partition routing. Level 0 uses the raw row hash (the
+// single-level routing of PR 3); each deeper level remixes the hash with a
+// level-dependent increment and a 64-bit finalizer so rows that collided
+// into one partition at level d spread across children at level d+1 —
+// unless they literally share a hash (single-key skew), which no salt can
+// separate and RefineOne detects as an ineffective split.
+size_t GracePartitionIndex(size_t hash, int level) {
+  uint64_t x = static_cast<uint64_t>(hash);
+  if (level > 0) {
+    x += 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(level);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+  }
+  return static_cast<size_t>(x %
+                             static_cast<uint64_t>(HashJoin::kSpillFanout));
+}
 
 Row ConcatRows(const Row& left, const Row& right) {
   Row out;
@@ -265,70 +290,12 @@ std::string IndexNestedLoopsJoin::label() const {
 // --------------------------------------------------------------------------
 // HashJoin
 
-// Shared buffered-row budget for the concurrent partition joins. The serial
-// replay keeps one partition's table in memory at a time, all of it answering
-// to the guard's kill threshold; with kSpillFanout tasks in flight the same
-// contract must hold for their *sum*. Each partition's need is known exactly
-// before its task runs (the sealed build run's row count, plus the fixed
-// in-memory output allowance), so tasks make one all-or-nothing reservation
-// in partition-index order — no incremental growth, hence no two-holders-
-// stuck deadlock — and an admitted task runs to completion without blocking
-// (output past the allowance overflows to disk instead of waiting on a
-// consumer). A partition too big for the whole budget is admitted alone and
-// then trips the task's kill tripwire exactly where the serial replay would.
-// Admission order, reservations and the allowance are all data-derived, so
-// which rows land in memory vs. the overflow run is identical at every pool
-// size. With kill == kNoLimit (the default) everything is admitted up front
-// and the budget is inert.
-struct HashJoin::JoinBudget {
-  const bool unlimited;
-  const uint64_t capacity;       // kill threshold minus the plan-wide base
-  const uint64_t out_allowance;  // in-memory output rows per partition
-
-  std::mutex mu;
-  std::condition_variable cv;
-  uint64_t in_use = 0;      // sum of live reservations; <= capacity
-  size_t next_admit = 0;    // partition index next in line
-
-  JoinBudget(bool unlimited_in, uint64_t capacity_in, uint64_t allowance_in)
-      : unlimited(unlimited_in),
-        capacity(capacity_in),
-        out_allowance(allowance_in) {}
-
-  /// Blocks until partition `part` may hold `need` budget rows. Returns
-  /// false (without reserving) when the query fails or is cancelled while
-  /// waiting; polls so a guard cancel can't strand a waiter.
-  bool Admit(size_t part, uint64_t need, const TaskContext* tc) {
-    if (unlimited) return true;
-    std::unique_lock<std::mutex> lock(mu);
-    for (;;) {
-      if (next_admit == part && (in_use + need <= capacity || in_use == 0)) {
-        in_use += need;
-        ++next_admit;
-        cv.notify_all();
-        return true;
-      }
-      if (!tc->ok()) {
-        // Keep the line moving so partitions behind a cancelled one do not
-        // wait forever for a turn that will never be taken.
-        if (next_admit == part) {
-          ++next_admit;
-          cv.notify_all();
-        }
-        return false;
-      }
-      cv.wait_for(lock, std::chrono::milliseconds(10));
-    }
-  }
-
-  /// Returns `n` reserved rows to the pool (the task's unretained slack).
-  void Release(uint64_t n) {
-    if (unlimited || n == 0) return;
-    std::lock_guard<std::mutex> lock(mu);
-    in_use -= n < in_use ? n : in_use;
-    cv.notify_all();
-  }
-};
+// The concurrent partition joins share an OrderedTaskBudget
+// (exec/worker_pool.h): each leaf's need is known exactly before its task
+// runs (the sealed build run's row count, plus the fixed in-memory output
+// allowance), output past the allowance overflows to disk instead of waiting
+// on a consumer, and an oversized leaf is admitted alone and then trips the
+// task's kill tripwire exactly where the serial replay would.
 
 // Pool-backed Grace partition writes. Rows buffer per partition on the query
 // thread; every kBatchRows a batch task appends them to the partition's run
@@ -454,6 +421,7 @@ void HashJoin::DoOpen(ExecContext* ctx) {
   probe_partitioned_ = false;
   build_parts_.clear();
   probe_parts_.clear();
+  grace_leaves_.clear();
   part_idx_ = 0;
   part_loaded_ = false;
   grace_rows_written_ = 0;
@@ -496,7 +464,7 @@ bool HashJoin::AppendToPartition(ExecContext* ctx,
                                  const char* phase, const Row& key,
                                  const Row& row, PartitionWriter* writer) {
   if (!EnsureRuns(ctx, parts, phase)) return false;
-  size_t part = RowHash()(key) % static_cast<size_t>(kSpillFanout);
+  size_t part = GracePartitionIndex(RowHash()(key), 0);
   if (writer != nullptr) return writer->Add(part, row);
   if (!(*parts)[part]->Append(ctx, node_id(), row)) return false;
   ++grace_rows_written_;
@@ -605,8 +573,130 @@ void HashJoin::PartitionProbe(ExecContext* ctx) {
   probe_partitioned_ = true;
 }
 
+bool HashJoin::RefinePartitions(ExecContext* ctx) {
+  // Capacity is the kill headroom above what the plan already holds at this
+  // instant — the same geometry ParallelJoinPartitions uses for admission
+  // and the serial LoadPartition enforces per row. A leaf at or under it
+  // can (barring later base growth) be rebuilt in memory; anything larger
+  // is re-split rather than loaded into a certain kill trip.
+  const QueryGuard* guard = ctx->guard();
+  const uint64_t kill = guard != nullptr ? guard->max_buffered_rows_kill()
+                                         : QueryGuard::kNoLimit;
+  uint64_t capacity = QueryGuard::kNoLimit;
+  if (kill != QueryGuard::kNoLimit) {
+    capacity = kill - std::min(kill, ctx->buffered_rows());
+  }
+  grace_leaves_.clear();
+  grace_leaves_.reserve(kSpillFanout);
+  for (int p = 0; p < kSpillFanout; ++p) {
+    if (!RefineOne(ctx, std::move(build_parts_[static_cast<size_t>(p)]),
+                   std::move(probe_parts_[static_cast<size_t>(p)]), 0,
+                   static_cast<uint64_t>(p), capacity)) {
+      return false;
+    }
+  }
+  build_parts_.clear();
+  probe_parts_.clear();
+  return ctx->ok();
+}
+
+bool HashJoin::RefineOne(ExecContext* ctx, SpillRunPtr build, SpillRunPtr probe,
+                         int depth, uint64_t path, uint64_t capacity) {
+  if (build->rows_written() <= capacity) {
+    grace_leaves_.push_back(
+        GraceLeaf{std::move(build), std::move(probe), depth, path});
+    return true;
+  }
+  if (depth >= kMaxGraceDepth) {
+    ctx->RaiseError(qprog::ResourceExhausted(StringPrintf(
+        "build partition of %llu rows still exceeds the kill headroom of "
+        "%llu rows at Grace recursion depth %d; input too skewed to process "
+        "under this budget",
+        static_cast<unsigned long long>(build->rows_written()),
+        static_cast<unsigned long long>(capacity), depth)));
+    return false;
+  }
+  // Redistribute both runs into kSpillFanout children under the next level's
+  // salt. Query thread only: run creation order (and the spill_begin events
+  // carrying the new depth) must stay part of the deterministic trace. Every
+  // re-read and re-write below is accounted spill work, so total(Q) grows by
+  // exactly two units per re-partitioned row and the 2*written-done pending
+  // identity holds at every checkpoint mid-refinement.
+  const int child_depth = depth + 1;
+  const uint64_t parent_rows = build->rows_written();
+  std::vector<SpillRunPtr> child_build;
+  std::vector<SpillRunPtr> child_probe;
+  child_build.reserve(kSpillFanout);
+  child_probe.reserve(kSpillFanout);
+  for (int i = 0; i < kSpillFanout; ++i) {
+    SpillRunPtr run = ctx->spill_manager()->CreateRun(ctx, node_id(),
+                                                      "hashjoin.build",
+                                                      child_depth);
+    if (run == nullptr) return false;
+    child_build.push_back(std::move(run));
+  }
+  for (int i = 0; i < kSpillFanout; ++i) {
+    SpillRunPtr run = ctx->spill_manager()->CreateRun(ctx, node_id(),
+                                                      "hashjoin.probe",
+                                                      child_depth);
+    if (run == nullptr) return false;
+    child_probe.push_back(std::move(run));
+  }
+  Row row;
+  if (!build->OpenRead(ctx, node_id())) return false;
+  while (build->ReadNext(ctx, node_id(), &row)) {
+    bool has_null = false;
+    Row key = KeyOf(row, build_keys_, &has_null);
+    QPROG_DCHECK(!has_null);  // NULL build keys were never spilled
+    size_t part = GracePartitionIndex(RowHash()(key), child_depth);
+    if (!child_build[part]->Append(ctx, node_id(), row)) return false;
+    ++grace_rows_written_;
+  }
+  if (!ctx->ok()) return false;
+  build.reset();  // parent temp file gone before the tree grows further
+  uint64_t biggest_child = 0;
+  for (auto& run : child_build) {
+    biggest_child = std::max(biggest_child, run->rows_written());
+    if (!run->FinishWrite(ctx, node_id())) return false;
+  }
+  if (biggest_child >= parent_rows) {
+    // The salt moved nothing: every row shares one key (or one hash value).
+    // No recursion depth will ever spread this partition, so stop here
+    // instead of burning kMaxGraceDepth futile passes.
+    ctx->RaiseError(qprog::ResourceExhausted(StringPrintf(
+        "build partition of %llu rows exceeds the kill headroom of %llu rows "
+        "and cannot be subdivided (single-key skew); input too skewed to "
+        "process under this budget",
+        static_cast<unsigned long long>(parent_rows),
+        static_cast<unsigned long long>(capacity))));
+    return false;
+  }
+  if (!probe->OpenRead(ctx, node_id())) return false;
+  while (probe->ReadNext(ctx, node_id(), &row)) {
+    bool has_null = false;
+    Row key = KeyOf(row, probe_keys_, &has_null);
+    size_t part = GracePartitionIndex(RowHash()(key), child_depth);
+    if (!child_probe[part]->Append(ctx, node_id(), row)) return false;
+    ++grace_rows_written_;
+  }
+  if (!ctx->ok()) return false;
+  probe.reset();
+  for (auto& run : child_probe) {
+    if (!run->FinishWrite(ctx, node_id())) return false;
+  }
+  for (int i = 0; i < kSpillFanout; ++i) {
+    if (!RefineOne(ctx, std::move(child_build[static_cast<size_t>(i)]),
+                   std::move(child_probe[static_cast<size_t>(i)]), child_depth,
+                   path | (static_cast<uint64_t>(i) << (3 * child_depth)),
+                   capacity)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool HashJoin::LoadPartition(ExecContext* ctx) {
-  SpillRun* build_run = build_parts_[static_cast<size_t>(part_idx_)].get();
+  SpillRun* build_run = grace_leaves_[static_cast<size_t>(part_idx_)].build.get();
   if (!build_run->OpenRead(ctx, node_id())) return false;
   Row row;
   while (build_run->ReadNext(ctx, node_id(), &row)) {
@@ -622,7 +712,8 @@ bool HashJoin::LoadPartition(ExecContext* ctx) {
     max_bucket_ = std::max<uint64_t>(max_bucket_, bucket.size());
   }
   if (!ctx->ok()) return false;
-  if (!probe_parts_[static_cast<size_t>(part_idx_)]->OpenRead(ctx, node_id())) {
+  if (!grace_leaves_[static_cast<size_t>(part_idx_)].probe->OpenRead(
+          ctx, node_id())) {
     return false;
   }
   part_loaded_ = true;
@@ -633,16 +724,16 @@ void HashJoin::UnloadPartition(ExecContext* ctx) {
   table_.clear();
   ctx->ReleaseBufferedRows(charged_);
   charged_ = 0;
-  build_parts_[static_cast<size_t>(part_idx_)].reset();  // delete temp files
-  probe_parts_[static_cast<size_t>(part_idx_)].reset();
+  grace_leaves_[static_cast<size_t>(part_idx_)].build.reset();  // delete files
+  grace_leaves_[static_cast<size_t>(part_idx_)].probe.reset();
   ++part_idx_;
   part_loaded_ = false;
 }
 
 bool HashJoin::PullProbe(ExecContext* ctx, Row* row) {
   if (!spilled_) return probe_->Next(ctx, row);
-  if (!probe_parts_[static_cast<size_t>(part_idx_)]->ReadNext(ctx, node_id(),
-                                                              row)) {
+  if (!grace_leaves_[static_cast<size_t>(part_idx_)].probe->ReadNext(
+          ctx, node_id(), row)) {
     return false;
   }
   return true;
@@ -660,24 +751,26 @@ bool HashJoin::ParallelJoinPartitions(ExecContext* ctx, WorkerPool* pool) {
   const bool unlimited = kill == QueryGuard::kNoLimit;
   const uint64_t base = ctx->buffered_rows();
   const uint64_t capacity = unlimited ? 0 : kill - std::min(kill, base);
+  const size_t num_leaves = grace_leaves_.size();
   const uint64_t allowance =
       unlimited ? std::numeric_limits<uint64_t>::max()
-                : capacity / (2 * static_cast<uint64_t>(kSpillFanout));
-  JoinBudget budget(unlimited, capacity, allowance);
+                : capacity / (2 * std::max<uint64_t>(num_leaves, 1));
+  OrderedTaskBudget budget(unlimited, capacity, allowance);
   par_outs_.clear();
-  par_outs_.resize(kSpillFanout);
+  par_outs_.resize(num_leaves);
   std::vector<std::unique_ptr<TaskContext>> tcs;
-  tcs.reserve(kSpillFanout);
+  tcs.reserve(num_leaves);
   {
     TaskGroup group(pool);
-    for (int p = 0; p < kSpillFanout; ++p) {
+    for (size_t p = 0; p < num_leaves; ++p) {
+      const GraceLeaf& leaf = grace_leaves_[p];
       auto tc = std::make_unique<TaskContext>(
-          ctx, kJoinPartitionTaskTag | static_cast<uint64_t>(p));
+          ctx, JoinLeafTaskKey(leaf.depth, leaf.path));
       TaskContext* tcp = tc.get();
-      SpillRun* build_run = build_parts_[static_cast<size_t>(p)].get();
-      SpillRun* probe_run = probe_parts_[static_cast<size_t>(p)].get();
-      PartitionJoinOut* out = &par_outs_[static_cast<size_t>(p)];
-      out->part = static_cast<size_t>(p);
+      SpillRun* build_run = leaf.build.get();
+      SpillRun* probe_run = leaf.probe.get();
+      PartitionJoinOut* out = &par_outs_[p];
+      out->part = p;
       // The build run sealed on the query thread, so its row count is exact:
       // reserve the whole partition table plus the output allowance, capped
       // at capacity so an oversized partition can still be admitted alone
@@ -693,20 +786,19 @@ bool HashJoin::ParallelJoinPartitions(ExecContext* ctx, WorkerPool* pool) {
       tcs.push_back(std::move(tc));
     }
     Status escaped = group.Wait();
-    for (int p = 0; p < kSpillFanout; ++p) {
+    for (size_t p = 0; p < num_leaves; ++p) {
       if (!ctx->ok()) break;
-      tcs[static_cast<size_t>(p)]->FoldInto(ctx);
+      tcs[p]->FoldInto(ctx);
       if (!ctx->ok()) break;
       // Post-barrier run-counter reads are safe: the barrier handed the runs
       // back to the query thread.
-      max_bucket_ =
-          std::max(max_bucket_, par_outs_[static_cast<size_t>(p)].max_bucket);
-      build_parts_[static_cast<size_t>(p)].reset();  // delete temp files
-      probe_parts_[static_cast<size_t>(p)].reset();
+      max_bucket_ = std::max(max_bucket_, par_outs_[p].max_bucket);
+      grace_leaves_[p].build.reset();  // delete temp files
+      grace_leaves_[p].probe.reset();
     }
     if (ctx->ok() && !escaped.ok()) ctx->RaiseError(std::move(escaped));
   }
-  part_idx_ = kSpillFanout;  // every partition consumed
+  part_idx_ = static_cast<int>(num_leaves);  // every leaf consumed
   if (!ctx->ok()) return false;
   // Move the retained in-memory prefixes into the plan-wide account, where
   // they stay visible to the guard until NextParallelOutput drains them.
@@ -725,7 +817,7 @@ bool HashJoin::ParallelJoinPartitions(ExecContext* ctx, WorkerPool* pool) {
 
 void HashJoin::JoinPartitionTask(TaskContext* tc, SpillRun* build_run,
                                  SpillRun* probe_run, SpillManager* spill,
-                                 JoinBudget* budget,
+                                 OrderedTaskBudget* budget,
                                  PartitionJoinOut* out) const {
   // The task owns its partition end to end: a private hash table, the
   // partition's spill reads, and the output buffer. It runs only once the
@@ -808,6 +900,7 @@ void HashJoin::JoinPartitionTask(TaskContext* tc, SpillRun* build_run,
   // actually keeps in memory; the prefix itself stays reserved until the
   // query thread charges it to the plan account after the fold.
   uint64_t kept = std::min<uint64_t>(out->rows.size(), out->reserved);
+  budget->Retain(kept);
   budget->Release(out->reserved - kept);
 }
 
@@ -875,6 +968,9 @@ bool HashJoin::DoNext(ExecContext* ctx, Row* out) {
   if (spilled_ && !probe_partitioned_) {
     PartitionProbe(ctx);
     if (!ctx->ok()) return false;
+    // Both sides sealed: flatten the partition tree, re-splitting any build
+    // partition the kill threshold could never admit (recursive Grace).
+    if (!RefinePartitions(ctx)) return false;
   }
   if (spilled_ && !parallel_joined_ && ctx->worker_pool() != nullptr) {
     if (!ParallelJoinPartitions(ctx, ctx->worker_pool())) return false;
@@ -884,7 +980,7 @@ bool HashJoin::DoNext(ExecContext* ctx, Row* out) {
   for (;;) {
     if (!ctx->ok()) return false;
     if (spilled_ && !part_loaded_) {
-      if (part_idx_ >= kSpillFanout) {
+      if (part_idx_ >= static_cast<int>(grace_leaves_.size())) {
         finished_ = true;
         return false;
       }
@@ -954,6 +1050,7 @@ void HashJoin::DoClose(ExecContext* ctx) {
   table_.clear();
   build_parts_.clear();  // deletes any remaining spill temp files
   probe_parts_.clear();
+  grace_leaves_.clear();
   par_outs_.clear();  // deletes any remaining overflow side runs
   par_part_ = 0;
   par_pos_ = 0;

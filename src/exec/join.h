@@ -26,6 +26,7 @@ namespace qprog {
 
 class TaskContext;
 class WorkerPool;
+struct OrderedTaskBudget;
 
 enum class JoinType {
   kInner,
@@ -117,9 +118,14 @@ class IndexNestedLoopsJoin : public PhysicalOperator {
 /// Memory-adaptive (Grace hash join): when the build table would exceed the
 /// guard's soft budget and a SpillManager is attached, both inputs are hash-
 /// partitioned to spill runs by join key and the join runs partition by
-/// partition, rebuilding a table that is ~1/kSpillFanout the size. One level
-/// of partitioning only — a single partition that still cannot fit (extreme
-/// key skew) aborts via the guard's kill threshold.
+/// partition, rebuilding a table that is ~1/kSpillFanout the size.
+/// Partitioning is *recursive*: a build partition that still exceeds the
+/// guard's kill headroom after one fanout-kSpillFanout pass is re-partitioned
+/// with a fresh per-level hash salt (both sides, on the query thread, so run
+/// identity stays deterministic), down to kMaxGraceDepth levels. The join
+/// then runs over the flattened leaf list in depth-first order. Only a
+/// partition whose rows all share one key/hash (no salt can spread it) or
+/// one still oversized at the depth cap aborts with kResourceExhausted.
 ///
 /// Parallel (DESIGN.md §10): with a WorkerPool attached, the Grace path
 /// fans out twice. Partition writes go through a PartitionWriter that
@@ -161,22 +167,33 @@ class HashJoin : public PhysicalOperator {
   bool spilled() const { return spilled_; }
 
   static constexpr int kSpillFanout = 8;
+  /// Deepest Grace re-partitioning level. A partition still exceeding the
+  /// kill headroom after kMaxGraceDepth re-salted passes aborts cleanly with
+  /// kResourceExhausted instead of partitioning forever.
+  static constexpr int kMaxGraceDepth = 4;
 
  private:
   /// Batches Grace partition writes into worker tasks, one lane per
   /// partition (defined in join.cc; pool-backed executions only).
   class PartitionWriter;
-  /// Shared buffered-row budget for concurrent partition joins (defined in
-  /// join.cc): admits partitions in index order under the guard's kill
-  /// threshold so aggregate task memory honors the same contract the serial
-  /// one-partition-at-a-time replay does.
-  struct JoinBudget;
   /// One parallel partition join's results, filled by a worker task. Output
   /// rows up to the budget's allowance stay in `rows`; the remainder
   /// overflows to an unaccounted side run so a high-multiplicity join's
   /// output never breaks the bounded-memory contract.
+  /// One leaf of the (possibly recursive) Grace partition tree: a sealed
+  /// build/probe run pair ready to be joined. `depth` is the number of
+  /// re-partitioning passes that produced it (0 = first pass); `path` packs
+  /// the child index chosen at each level, 3 bits per level, level 0 lowest —
+  /// together they identify the leaf in the worker-pool task key, so forked
+  /// fault schedules and fold order stay data-derived under recursion.
+  struct GraceLeaf {
+    SpillRunPtr build;
+    SpillRunPtr probe;
+    int depth = 0;
+    uint64_t path = 0;
+  };
   struct PartitionJoinOut {
-    size_t part = 0;          // partition index (== admission order)
+    size_t part = 0;          // leaf index (== admission order)
     uint64_t reserved = 0;    // budget rows held while the task runs
     std::vector<Row> rows;    // in-memory output prefix (<= allowance)
     SpillRunPtr overflow;     // output beyond the allowance, if any
@@ -203,8 +220,18 @@ class HashJoin : public PhysicalOperator {
                          PartitionWriter* writer);
   /// Drains the probe child into probe partition runs (Grace mode only).
   void PartitionProbe(ExecContext* ctx);
-  /// Joins all kSpillFanout partition pairs on the pool, folding results
-  /// into par_outs_ in partition order. Returns ctx->ok().
+  /// Flattens the first-pass partition pairs into grace_leaves_, recursively
+  /// re-partitioning any build partition that exceeds the guard's kill
+  /// headroom (query thread only; see the class comment). Returns ctx->ok().
+  bool RefinePartitions(ExecContext* ctx);
+  /// Recursion step of RefinePartitions: either accepts (build, probe) as a
+  /// leaf or redistributes both runs into kSpillFanout children under the
+  /// next level's salt and recurses. `capacity` is the kill headroom in rows
+  /// (QueryGuard::kNoLimit disables refinement).
+  bool RefineOne(ExecContext* ctx, SpillRunPtr build, SpillRunPtr probe,
+                 int depth, uint64_t path, uint64_t capacity);
+  /// Joins all grace_leaves_ pairs on the pool, folding results
+  /// into par_outs_ in leaf order. Returns ctx->ok().
   bool ParallelJoinPartitions(ExecContext* ctx, WorkerPool* pool);
   /// Worker-side body of one partition join: admits `out->part` against the
   /// shared budget, rebuilds the partition's table from `build_run`, probes
@@ -212,12 +239,13 @@ class HashJoin : public PhysicalOperator {
   /// run past the budget's allowance), and releases the unretained budget.
   void JoinPartitionTask(TaskContext* tc, SpillRun* build_run,
                          SpillRun* probe_run, SpillManager* spill,
-                         JoinBudget* budget, PartitionJoinOut* out) const;
+                         OrderedTaskBudget* budget,
+                         PartitionJoinOut* out) const;
   /// Streams the next parallel-join output row: each partition's in-memory
   /// prefix, then its overflow side run, releasing the partition's charge as
   /// it drains. Returns false at end of output or on error.
   bool NextParallelOutput(ExecContext* ctx, Row* out);
-  /// Rebuilds the hash table from build partition `part_idx_` and rewinds
+  /// Rebuilds the hash table from grace_leaves_[part_idx_].build and rewinds
   /// the matching probe run.
   bool LoadPartition(ExecContext* ctx);
   void UnloadPartition(ExecContext* ctx);
@@ -253,9 +281,13 @@ class HashJoin : public PhysicalOperator {
   bool probe_partitioned_ = false;
   std::vector<SpillRunPtr> build_parts_;
   std::vector<SpillRunPtr> probe_parts_;
+  // Flattened partition-tree leaves (filled by RefinePartitions; the replay
+  // loops — serial and parallel — iterate these, not build_parts_).
+  std::vector<GraceLeaf> grace_leaves_;
   int part_idx_ = 0;
   bool part_loaded_ = false;
-  uint64_t grace_rows_written_ = 0;  // rows appended to partition runs
+  uint64_t grace_rows_written_ = 0;  // rows appended to partition runs,
+                                     // at every recursion level
 
   // Parallel-join state: per-partition outputs of ParallelJoinPartitions,
   // drained by DoNext in partition order (matches the serial replay order) —

@@ -65,10 +65,16 @@ struct ProgressState {
   bool has_limit = false;
 
   // Spilling (any blocking operator): extra work units already spent on
-  // spill I/O at this node, and spilled rows not yet re-read. Both are
-  // counted into [LB, UB] — spill passes revise total(Q) upward mid-query.
+  // spill I/O at this node, and spill work not yet performed (in work
+  // units: unfinished writes plus unstarted re-reads). Both are counted
+  // into [LB, UB] — spill passes revise total(Q) upward mid-query.
   uint64_t spill_work_done = 0;   // set by the base FillProgressState
   uint64_t spill_rows_pending = 0;
+  // HashAggregate only: spilled *rows* not yet re-aggregated. A row count,
+  // not work units — feeds the group-cardinality upper bound (each unread
+  // row may still open a fresh group), where spill_rows_pending would
+  // overstate the unseen input.
+  uint64_t spill_rows_unread = 0;
 };
 
 /// Base class for all physical operators. Operators own their children.

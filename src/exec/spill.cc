@@ -147,7 +147,7 @@ SpillManager::SpillManager(std::string dir, SpillRetryPolicy policy)
 }
 
 SpillRunPtr SpillManager::CreateRun(ExecContext* ctx, int node,
-                                    const char* phase) {
+                                    const char* phase, int depth) {
   if (!ctx->ok()) return nullptr;
   std::unique_ptr<SpillFile> file;
   Status status = WithRetries(ctx, node, faults::kSpillOpen, [&]() -> Status {
@@ -163,7 +163,7 @@ SpillRunPtr SpillManager::CreateRun(ExecContext* ctx, int node,
   }
   ++stats_.runs_created;
   if (ctx->telemetry() != nullptr) {
-    ctx->telemetry()->RecordSpillBegin(node, ctx->work(), phase);
+    ctx->telemetry()->RecordSpillBegin(node, ctx->work(), phase, depth);
   }
   return SpillRunPtr(new SpillRun(this, std::move(file), phase));
 }

@@ -186,10 +186,14 @@ class SpillManager {
   SpillManager& operator=(const SpillManager&) = delete;
 
   /// Creates a spill run for `node`; emits a spill_begin trace event with
-  /// `phase` (e.g. "sort.run", "hashjoin.build"). Returns nullptr after
-  /// raising the sticky error when the file cannot be created. Query thread
-  /// only — run creation order is part of the deterministic trace.
-  SpillRunPtr CreateRun(ExecContext* ctx, int node, const char* phase);
+  /// `phase` (e.g. "sort.run", "hashjoin.build") and `depth` — the Grace
+  /// recursion depth of the run (0 for first-pass runs and every non-join
+  /// spill; >= 1 for runs minted while re-partitioning an oversized
+  /// partition). Returns nullptr after raising the sticky error when the
+  /// file cannot be created. Query thread only — run creation order is part
+  /// of the deterministic trace.
+  SpillRunPtr CreateRun(ExecContext* ctx, int node, const char* phase,
+                        int depth = 0);
 
   /// Creates an *unaccounted* side run for `node`: no spill_begin event, and
   /// the run's I/O moves no work counters, row/byte stats or spill events —

@@ -175,7 +175,11 @@ class TelemetryCollector {
 
   // -- spill hooks (called by the SpillManager) -----------------------------
 
-  void RecordSpillBegin(int node, uint64_t work, const std::string& phase) {
+  /// `depth` is the Grace recursion depth of the run being created: 0 for
+  /// first-pass runs (and every non-join spill), >= 1 for runs produced by
+  /// re-partitioning an oversized partition (trace schema v3).
+  void RecordSpillBegin(int node, uint64_t work, const std::string& phase,
+                        int depth = 0) {
     if (node >= 0) ++stats_[static_cast<size_t>(node)].spills;
     if (sink_ != nullptr) {
       TraceEvent ev;
@@ -183,6 +187,7 @@ class TelemetryCollector {
       ev.work = work;
       ev.node = node;
       ev.name = phase;
+      ev.a = static_cast<double>(depth);
       Emit(std::move(ev));
     }
   }

@@ -258,6 +258,7 @@ std::string TraceEventToJson(const TraceEvent& event) {
     case TraceEventKind::kSpillBegin:
       AppendField(&out, "node", event.node);
       AppendField(&out, "phase", event.name);
+      AppendField(&out, "depth", event.a);
       break;
     case TraceEventKind::kSpillEnd:
       AppendField(&out, "node", event.node);
@@ -336,6 +337,8 @@ StatusOr<TraceEvent> ParseTraceEvent(const std::string& line) {
   } else if (kind_name == "spill_begin") {
     event.kind = TraceEventKind::kSpillBegin;
     event.name = json.str("phase");
+    // v2 spill_begin lines carry no depth; they parse as depth 0.
+    event.a = json.num("depth");
   } else if (kind_name == "spill_end") {
     event.kind = TraceEventKind::kSpillEnd;
     event.name = json.str("phase");

@@ -7,10 +7,11 @@
 // golden-trace tests and the replay-equals-live invariant possible. Wall-time
 // lives in OperatorStats (obs/telemetry.h), never in the trace.
 //
-// Schema versioning: every JSONL line carries `"v":2`. Additions to a schema
+// Schema versioning: every JSONL line carries `"v":3`. Additions to a schema
 // bump the version; TraceReader accepts any version it knows how to parse
-// (currently 1 and 2 — v2 added the spill/io-retry events) and rejects the
-// rest with a clear Status (see DESIGN.md section 8).
+// (currently 1 through 3 — v2 added the spill/io-retry events, v3 added the
+// Grace recursion `depth` field on spill_begin) and rejects the rest with a
+// clear Status (see DESIGN.md section 8).
 
 #ifndef QPROG_OBS_TRACE_H_
 #define QPROG_OBS_TRACE_H_
@@ -25,10 +26,12 @@
 namespace qprog {
 
 /// Current trace schema version written by the serializer.
-inline constexpr int kTraceSchemaVersion = 2;
+inline constexpr int kTraceSchemaVersion = 3;
 
 /// Oldest schema version the reader still parses. Version 1 traces are a
-/// strict subset of version 2 (no spill events), so replay handles both.
+/// strict subset of version 2 (no spill events), and version 2 is a strict
+/// subset of version 3 (spill_begin without `depth`, which parses as depth
+/// 0), so replay handles all three.
 inline constexpr int kMinTraceSchemaVersion = 1;
 
 /// Every event type the engine can emit. One enumerator per row in the
@@ -44,7 +47,8 @@ enum class TraceEventKind : uint8_t {
   kGuardTrip,           // QueryGuard violation became the sticky error
   kFaultFired,          // FaultInjector fault became the sticky error
   kRunEnd,              // run finished: total work, termination, root rows, mu
-  kSpillBegin,          // v2: a node started spilling (phase in `name`)
+  kSpillBegin,          // v2: a node started spilling (phase in `name`);
+                        // v3 adds the Grace recursion depth in `a`
   kSpillEnd,            // v2: one spill run sealed: rows + bytes written
   kIoRetry,             // v2: transient spill I/O failure, attempt retried
 };
@@ -64,7 +68,7 @@ const char* TraceEventKindToString(TraceEventKind kind);
 ///   kGuardTrip          reason            status message  -           -
 ///   kFaultFired         fault site        status message  -           -
 ///   kRunEnd             termination       status message  root_rows   mu
-///   kSpillBegin         spill phase       -               -           -
+///   kSpillBegin         spill phase       -               depth       -
 ///   kSpillEnd           spill phase       -               rows        bytes
 ///   kIoRetry            fault site        -               attempt     -
 struct TraceEvent {

@@ -9,8 +9,21 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "core/bounds.h"
 #include "core/monitor.h"
+#include "core/pipeline.h"
+#include "exec/filter_project.h"
+#include "exec/plan.h"
+#include "exec/query_guard.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "exec/spill.h"
 #include "stats/table_stats.h"
 #include "tests/test_util.h"
 #include "workload/adversarial.h"
@@ -208,6 +221,152 @@ TEST(EstimatorTest, FactoryResolvesAllNamesAndRejectsUnknown) {
     EXPECT_EQ(e.value()->name(), name);
   }
   EXPECT_FALSE(CreateEstimator("oracle").ok());
+}
+
+TEST(EstimatorTest, FactoryAcceptsParameterizedSpecs) {
+  for (const char* spec : {"hybrid:2.5", "hybrid:3", "hybrid:0.5"}) {
+    auto e = CreateEstimator(spec);
+    ASSERT_TRUE(e.ok()) << spec << ": " << e.status();
+    EXPECT_EQ(e.value()->name(), "hybrid") << spec;
+  }
+  for (const char* spec : {"window:32", "window:1"}) {
+    auto e = CreateEstimator(spec);
+    ASSERT_TRUE(e.ok()) << spec << ": " << e.status();
+    EXPECT_EQ(e.value()->name(), "window") << spec;
+  }
+}
+
+TEST(EstimatorTest, FactoryRejectsMalformedSpecsWithInvalidArgument) {
+  const char* kBad[] = {
+      // Empty / structural garbage.
+      "", ":", ":5", "hybrid:2:5",
+      // hybrid needs a positive finite double consumed in full.
+      "hybrid:", "hybrid:abc", "hybrid:0", "hybrid:-1", "hybrid:2.5x",
+      "hybrid:nan", "hybrid:inf", "hybrid:1e999",
+      // window needs a positive unsigned integer consumed in full.
+      "window:", "window:0", "window:-4", "window:+8", "window:3.5",
+      "window:99999999999999999999999",
+      // Parameter on a non-parameterized estimator.
+      "dne:2", "pmax:1", "safe:0", "dne_bounded:1", "dne_pessimistic:1",
+      // Unknown names, with and without parameter.
+      "oracle", "oracle:2"};
+  for (const char* spec : kBad) {
+    auto e = CreateEstimator(spec);
+    EXPECT_FALSE(e.ok()) << "accepted malformed spec '" << spec << "'";
+    if (!e.ok()) {
+      EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument)
+          << spec << ": " << e.status();
+    }
+  }
+}
+
+// dne_pessimistic folds the engine's outstanding spill debt into dne's
+// denominator before passing through the same feasible-interval clamp as
+// dne_bounded. The raw fraction can only shrink relative to dne and the
+// clamp is monotone, so at every checkpoint of a spilling run the
+// pessimistic estimate is bounded above by dne_bounded — and like every
+// estimate stays inside [0, 1].
+TEST(EstimatorTest, PessimisticDneNeverExceedsBoundedDneUnderSpill) {
+  std::vector<Row> rows;
+  for (int64_t i = 899; i >= 0; --i) {
+    rows.push_back({testutil::I(i % 97), testutil::I(i)});
+  }
+  Table t = testutil::MakeTable("t", {"k", "v"}, std::move(rows));
+  std::vector<SortKey> keys;
+  keys.emplace_back(eb::Col(0));
+  PhysicalPlan plan(std::make_unique<Sort>(std::make_unique<SeqScan>(&t),
+                                           std::move(keys)));
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "qprog_estimator_spill";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  SpillManager spill(dir.string());
+  QueryGuard guard;
+  guard.set_max_buffered_rows(60);
+  MonitorOptions options;
+  options.guard = &guard;
+  options.spill_manager = &spill;
+  ProgressMonitor m = ProgressMonitor::WithEstimators(
+      &plan, {"dne", "dne_bounded", "dne_pessimistic"}, std::move(options));
+  ProgressReport r = m.Run(40);
+  ASSERT_TRUE(r.completed()) << r.status.ToString();
+  ASSERT_FALSE(r.checkpoints.empty());
+  EXPECT_GT(spill.stats().runs_created, 0u) << "budget never forced a spill";
+  int bounded = r.FindEstimator("dne_bounded");
+  int pess = r.FindEstimator("dne_pessimistic");
+  ASSERT_GE(bounded, 0);
+  ASSERT_GE(pess, 0);
+  for (const Checkpoint& c : r.checkpoints) {
+    EXPECT_GE(c.estimates[pess], 0.0) << "at work " << c.work;
+    EXPECT_LE(c.estimates[pess], 1.0) << "at work " << c.work;
+    EXPECT_LE(c.estimates[pess], c.estimates[bounded] + 1e-12)
+        << "pessimistic exceeded dne_bounded at work " << c.work;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// The strict discount itself. The monitor's clamp floors every estimate at
+// Curr/UB, and in a live spilling run the raw driver fraction sits below
+// that floor (dne's fallback totals and the work upper bound grow from the
+// same per-pass cardinalities while Curr also counts the spill I/O the
+// drivers cannot see) — so the end-to-end checkpoints above show the two
+// estimators agreeing at the clamp, not the discount. Pin the discount down
+// where the API makes it observable: a mid-scan context with a
+// caller-chosen feasible interval and an explicit SpillSnapshot.
+TEST(EstimatorTest, PessimisticDneDiscountsPendingSpillWork) {
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 900; ++i) rows.push_back({testutil::I(i)});
+  Table t = testutil::MakeTable("t", {"k"}, std::move(rows));
+  // The root's production is not work, so give the scan a streaming parent;
+  // the scan stays the pipeline's only driver.
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(eb::Col(0));
+  PhysicalPlan plan(std::make_unique<Project>(std::make_unique<SeqScan>(&t),
+                                              std::move(exprs),
+                                              std::vector<std::string>{"k"}));
+  ExecContext ctx;
+  std::vector<Pipeline> pipelines = DecomposePipelines(plan);
+  BoundedDneEstimator bounded;
+  PessimisticDneEstimator pessimistic;
+  bool checked = false;
+  ctx.SetWorkObserver(100, [&](uint64_t work) {
+    if (checked) return;
+    checked = true;
+    double curr = static_cast<double>(work);
+    ProgressContext pc;
+    pc.plan = &plan;
+    pc.exec = &ctx;
+    pc.pipelines = &pipelines;
+    // A wide feasible interval that admits the raw fractions, so the clamp
+    // passes them through instead of collapsing both to a bound.
+    PlanBounds bounds;
+    bounds.work_lb = 2 * curr;   // hi = 1/2
+    bounds.work_ub = 40 * curr;  // lo = 1/40
+    pc.bounds = &bounds;
+    DriverStatus ds = ComputeDriverStatus(pipelines[0].drivers[0], ctx);
+    ASSERT_GT(ds.rows_done, 0.0);
+    ASSERT_EQ(ds.rows_total, 900.0);
+
+    // Without a snapshot the two estimators are the same function.
+    EXPECT_DOUBLE_EQ(pessimistic.Estimate(pc), bounded.Estimate(pc));
+
+    // Two full replay passes still owed: the denominator grows, the
+    // estimate strictly drops below dne_bounded.
+    SpillSnapshot spill;
+    spill.spill_rows_pending = 1800;
+    pc.spill = &spill;
+    double b = bounded.Estimate(pc);
+    double p = pessimistic.Estimate(pc);
+    EXPECT_DOUBLE_EQ(b, ds.rows_done / ds.rows_total);
+    EXPECT_DOUBLE_EQ(p, ds.rows_done / (ds.rows_total + 1800));
+    EXPECT_LT(p, b);
+
+    // An absurd debt cannot push the estimate below the feasible floor.
+    spill.spill_rows_pending = uint64_t{1} << 40;
+    EXPECT_DOUBLE_EQ(pessimistic.Estimate(pc), curr / bounds.work_ub);
+  });
+  EXPECT_EQ(ExecutePlan(&plan, &ctx), 900u);
+  EXPECT_TRUE(checked);
 }
 
 // Theorem 1's construction: the two adversarial instances have identical

@@ -154,24 +154,24 @@ TEST(TraceSchemaTest, GoldenJsonlForFixedPlan) {
   m.set_telemetry(&collector);
   ProgressReport r = m.Run(60);
   ASSERT_TRUE(r.completed());
-  EXPECT_EQ(sink.data(), R"json({"v":2,"seq":0,"event":"run_begin","work":0,"estimators":"dne,pmax","leaf_cardinality":100,"interval":60}
-{"v":2,"seq":1,"event":"operator_open","work":0,"node":2,"op":"SeqScan(t)"}
-{"v":2,"seq":2,"event":"operator_open","work":0,"node":1,"op":"Filter(($0 < 50))"}
-{"v":2,"seq":3,"event":"operator_open","work":0,"node":0,"op":"HashAggregate(0 groups cols, 1 aggs)"}
-{"v":2,"seq":4,"event":"bound_refined","work":60,"node":0,"lb":1,"ub":1}
-{"v":2,"seq":5,"event":"bound_refined","work":60,"node":1,"lb":30,"ub":101}
-{"v":2,"seq":6,"event":"bound_refined","work":60,"node":2,"lb":100,"ub":100}
-{"v":2,"seq":7,"event":"checkpoint","work":60,"work_lb":130,"work_ub":201}
-{"v":2,"seq":8,"event":"estimator","work":60,"name":"dne","estimate":0.29702970297029702}
-{"v":2,"seq":9,"event":"estimator","work":60,"name":"pmax","estimate":0.46153846153846156}
-{"v":2,"seq":10,"event":"bound_refined","work":120,"node":1,"lb":50,"ub":82}
-{"v":2,"seq":11,"event":"checkpoint","work":120,"work_lb":150,"work_ub":182}
-{"v":2,"seq":12,"event":"estimator","work":120,"name":"dne","estimate":0.69306930693069302}
-{"v":2,"seq":13,"event":"estimator","work":120,"name":"pmax","estimate":0.80000000000000004}
-{"v":2,"seq":14,"event":"operator_close","work":150,"node":2,"op":"SeqScan(t)"}
-{"v":2,"seq":15,"event":"operator_close","work":150,"node":1,"op":"Filter(($0 < 50))"}
-{"v":2,"seq":16,"event":"operator_close","work":150,"node":0,"op":"HashAggregate(0 groups cols, 1 aggs)"}
-{"v":2,"seq":17,"event":"run_end","work":150,"termination":"completed","message":"","root_rows":1,"mu":1.5}
+  EXPECT_EQ(sink.data(), R"json({"v":3,"seq":0,"event":"run_begin","work":0,"estimators":"dne,pmax","leaf_cardinality":100,"interval":60}
+{"v":3,"seq":1,"event":"operator_open","work":0,"node":2,"op":"SeqScan(t)"}
+{"v":3,"seq":2,"event":"operator_open","work":0,"node":1,"op":"Filter(($0 < 50))"}
+{"v":3,"seq":3,"event":"operator_open","work":0,"node":0,"op":"HashAggregate(0 groups cols, 1 aggs)"}
+{"v":3,"seq":4,"event":"bound_refined","work":60,"node":0,"lb":1,"ub":1}
+{"v":3,"seq":5,"event":"bound_refined","work":60,"node":1,"lb":30,"ub":101}
+{"v":3,"seq":6,"event":"bound_refined","work":60,"node":2,"lb":100,"ub":100}
+{"v":3,"seq":7,"event":"checkpoint","work":60,"work_lb":130,"work_ub":201}
+{"v":3,"seq":8,"event":"estimator","work":60,"name":"dne","estimate":0.29702970297029702}
+{"v":3,"seq":9,"event":"estimator","work":60,"name":"pmax","estimate":0.46153846153846156}
+{"v":3,"seq":10,"event":"bound_refined","work":120,"node":1,"lb":50,"ub":82}
+{"v":3,"seq":11,"event":"checkpoint","work":120,"work_lb":150,"work_ub":182}
+{"v":3,"seq":12,"event":"estimator","work":120,"name":"dne","estimate":0.69306930693069302}
+{"v":3,"seq":13,"event":"estimator","work":120,"name":"pmax","estimate":0.80000000000000004}
+{"v":3,"seq":14,"event":"operator_close","work":150,"node":2,"op":"SeqScan(t)"}
+{"v":3,"seq":15,"event":"operator_close","work":150,"node":1,"op":"Filter(($0 < 50))"}
+{"v":3,"seq":16,"event":"operator_close","work":150,"node":0,"op":"HashAggregate(0 groups cols, 1 aggs)"}
+{"v":3,"seq":17,"event":"run_end","work":150,"termination":"completed","message":"","root_rows":1,"mu":1.5}
 )json");
 }
 

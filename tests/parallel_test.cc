@@ -19,6 +19,7 @@
 
 #include "common/random.h"
 #include "core/monitor.h"
+#include "exec/aggregate.h"
 #include "exec/fault_injector.h"
 #include "exec/join.h"
 #include "exec/plan.h"
@@ -515,6 +516,176 @@ TEST(ParallelMemoryBoundTest, PermanentWriteFaultFailsFastAndCleans) {
     EXPECT_EQ(spill.live_runs(), 0u) << "failed run leaked spill runs";
     EXPECT_EQ(ctx.buffered_rows(), 0u) << "failed run leaked charges";
     EXPECT_EQ(CountSpillFiles(dir), 0) << "failed run leaked temp files";
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recursive Grace partitioning (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+/// Distinct int64 keys whose single-column key row hashes into depth-0 Grace
+/// partition 0, so every build row collides into one oversized partition that
+/// only the depth-salted re-split can spread.
+std::vector<int64_t> PartitionZeroKeys(size_t want) {
+  std::vector<int64_t> keys;
+  for (int64_t k = 0; keys.size() < want; ++k) {
+    if (RowHash()(Row{I(k)}) %
+            static_cast<size_t>(HashJoin::kSpillFanout) ==
+        0) {
+      keys.push_back(k);
+    }
+  }
+  return keys;
+}
+
+/// Build/probe pair engineered for depth-2 recursion under a 150-row kill
+/// threshold: 200 distinct partition-0 keys x 8 build copies = 1600 rows in
+/// one depth-0 partition. A single salted re-split leaves ~200-row children,
+/// and by pigeonhole (8 x 150 < 1600) at least one child must still exceed
+/// the headroom — the run can only complete through depth >= 2 leaves.
+std::pair<Table, Table> DepthTwoTables() {
+  std::vector<int64_t> keys = PartitionZeroKeys(200);
+  std::vector<Row> brows, prows;
+  for (int64_t k : keys) {
+    for (int64_t i = 0; i < 8; ++i) brows.push_back({I(k), I(i)});
+    for (int64_t i = 0; i < 2; ++i) prows.push_back({I(k), I(100 + i)});
+  }
+  return {testutil::MakeTable("b", {"k", "v"}, std::move(brows)),
+          testutil::MakeTable("p", {"k", "v"}, std::move(prows))};
+}
+
+TEST(RecursiveGraceTest, DepthTwoResplitMatchesSerialAtEveryPoolSize) {
+  auto [build, probe] = DepthTwoTables();
+  auto make = [&] { return JoinPlan(&probe, &build, JoinType::kInner); };
+  StatusOr<std::vector<Row>> serial =
+      RunSpilling(make, 64, "grace2_serial", 0, nullptr, 150);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_EQ(serial.value().size(), 200u * 2 * 8);
+  std::string expected = testutil::RowsToString(serial.value());
+  for (int threads : kPoolSizes) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    StatusOr<std::vector<Row>> got = RunSpilling(
+        make, 64, "grace2_p" + std::to_string(threads), threads, nullptr, 150);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(testutil::RowsToString(got.value()), expected);
+  }
+}
+
+TEST(RecursiveGraceTest, DepthTwoTracesCarryDepthAndMatchAcrossPoolSizes) {
+  // The refinement happens on the query thread, so the full trace — including
+  // the spill_begin events that carry each child run's recursion depth — must
+  // be byte-identical at every pool size, and the v3 depth field must show
+  // the re-splits actually reaching depth 2.
+  auto [build, probe] = DepthTwoTables();
+  std::string reference;
+  for (int threads : kPoolSizes) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::string dir = MakeSpillDir("grace2_trace_p" + std::to_string(threads));
+    SpillManager spill(dir);
+    QueryGuard guard;
+    guard.set_max_buffered_rows(64);
+    guard.set_max_buffered_rows_kill(150);
+    WorkerPool pool(threads);
+    PhysicalPlan plan = JoinPlan(&probe, &build, JoinType::kInner);
+    JsonlStringSink sink;
+    TelemetryCollector collector(&sink);
+    MonitorOptions options;
+    options.guard = &guard;
+    options.spill_manager = &spill;
+    options.worker_pool = &pool;
+    options.telemetry = &collector;
+    ProgressMonitor m = ProgressMonitor::WithEstimators(
+        &plan, {"dne", "pmax", "safe"}, std::move(options));
+    ProgressReport r = m.Run(200);
+    ASSERT_TRUE(r.completed()) << r.status.ToString();
+    if (reference.empty()) {
+      reference = sink.data();
+      EXPECT_NE(reference.find("\"depth\":1"), std::string::npos)
+          << "no depth-1 re-split in the trace";
+      EXPECT_NE(reference.find("\"depth\":2"), std::string::npos)
+          << "no depth-2 re-split in the trace";
+    } else {
+      EXPECT_EQ(sink.data(), reference) << "trace diverged";
+    }
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel HashAggregate spilled-partition replay (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+PhysicalPlan AggPlan(const Table* t) {
+  std::vector<ExprPtr> groups;
+  groups.push_back(eb::Col(0));
+  std::vector<AggregateDesc> aggs;
+  aggs.emplace_back(AggFunc::kCount, nullptr, "cnt");
+  aggs.emplace_back(AggFunc::kSum, eb::Col(1), "total");
+  return PhysicalPlan(std::make_unique<HashAggregate>(
+      std::make_unique<SeqScan>(t), std::move(groups),
+      std::vector<std::string>{"g"}, std::move(aggs)));
+}
+
+TEST(ParallelAggregateTest, ReplayRowsMatchSerialAtEveryPoolSize) {
+  // 300 groups against a 60-group budget: most groups land in spilled
+  // partitions and come back through the replay tasks. Output must be
+  // byte-identical to the serial one-partition-at-a-time replay — both
+  // unconstrained and under a kill threshold that forces the shared budget's
+  // output allowance to push result rows into side runs.
+  Table t = Keyed(900, 300);
+  auto make = [&] { return AggPlan(&t); };
+  for (uint64_t kill : {QueryGuard::kNoLimit, uint64_t{200}}) {
+    SCOPED_TRACE(kill == QueryGuard::kNoLimit ? "no-kill" : "kill=200");
+    std::string tag = kill == QueryGuard::kNoLimit ? "agg" : "aggk";
+    StatusOr<std::vector<Row>> serial =
+        RunSpilling(make, 60, tag + "_serial", 0, nullptr, kill);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    ASSERT_EQ(serial.value().size(), 300u);
+    std::string expected = testutil::RowsToString(serial.value());
+    for (int threads : kPoolSizes) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      StatusOr<std::vector<Row>> got = RunSpilling(
+          make, 60, tag + "_p" + std::to_string(threads), threads, nullptr,
+          kill);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(testutil::RowsToString(got.value()), expected);
+    }
+  }
+}
+
+TEST(ParallelAggregateTest, TracesAndScoresMatchAcrossPoolSizes) {
+  Table t = Keyed(900, 300);
+  std::string reference_trace;
+  std::string reference_tsv;
+  for (int threads : kPoolSizes) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::string dir = MakeSpillDir("aggtrace_p" + std::to_string(threads));
+    SpillManager spill(dir);
+    QueryGuard guard;
+    guard.set_max_buffered_rows(60);
+    WorkerPool pool(threads);
+    PhysicalPlan plan = AggPlan(&t);
+    JsonlStringSink sink;
+    TelemetryCollector collector(&sink);
+    MonitorOptions options;
+    options.guard = &guard;
+    options.spill_manager = &spill;
+    options.worker_pool = &pool;
+    options.telemetry = &collector;
+    ProgressMonitor m = ProgressMonitor::WithEstimators(
+        &plan, {"dne", "dne_pessimistic", "safe"}, std::move(options));
+    ProgressReport r = m.Run(100);
+    ASSERT_TRUE(r.completed()) << r.status.ToString();
+    EXPECT_GT(spill.stats().runs_created, 0u);
+    if (reference_trace.empty()) {
+      reference_trace = sink.data();
+      reference_tsv = r.ToTsv();
+      EXPECT_FALSE(reference_trace.empty());
+    } else {
+      EXPECT_EQ(sink.data(), reference_trace) << "trace diverged";
+      EXPECT_EQ(r.ToTsv(), reference_tsv) << "estimator scores diverged";
+    }
     std::filesystem::remove_all(dir);
   }
 }

@@ -24,8 +24,10 @@
 #include "common/random.h"
 #include "core/monitor.h"
 #include "exec/fault_injector.h"
+#include "exec/join.h"
 #include "exec/plan.h"
 #include "exec/query_guard.h"
+#include "exec/scan.h"
 #include "exec/spill.h"
 #include "exec/worker_pool.h"
 #include "storage/spill_file.h"
@@ -241,6 +243,72 @@ TEST_F(SoakTest, DisruptionMatrixLeavesNoResidue) {
   // The matrix must actually exercise the memory-adaptive path: across all
   // queries, seeds, and scenarios, plenty of spill runs were created.
   EXPECT_GT(total_spilled_runs, 0u);
+}
+
+// Tight-memory recursive-Grace scenario: every build key hashes into one
+// depth-0 partition, so under a kill threshold below the partition size the
+// join can only complete by re-splitting with fresh salts — twice, since one
+// re-split still leaves oversized children. Serial and 4-thread runs must
+// produce identical rows and leave no residue.
+TEST(SoakRecursionTest, TightMemoryRecursiveGraceLeavesNoResidue) {
+  std::vector<int64_t> keys;
+  for (int64_t k = 0; keys.size() < 200; ++k) {
+    if (RowHash()(Row{Value::Int64(k)}) %
+            static_cast<size_t>(HashJoin::kSpillFanout) ==
+        0) {
+      keys.push_back(k);
+    }
+  }
+  std::vector<Row> brows, prows;
+  for (int64_t k : keys) {
+    for (int64_t i = 0; i < 8; ++i) {
+      brows.push_back({Value::Int64(k), Value::Int64(i)});
+    }
+    prows.push_back({Value::Int64(k), Value::Int64(100)});
+  }
+  Table build = testutil::MakeTable("b", {"k", "v"}, std::move(brows));
+  Table probe = testutil::MakeTable("p", {"k", "v"}, std::move(prows));
+
+  std::string expected;
+  for (int threads : {0, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::filesystem::path dir = std::filesystem::temp_directory_path() /
+                                ("qprog_soak_grace_t" + std::to_string(threads));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    SpillManager spill(dir.string());
+    QueryGuard guard;
+    guard.set_max_buffered_rows(64);
+    guard.set_max_buffered_rows_kill(150);
+    std::unique_ptr<WorkerPool> pool;
+    if (threads > 0) pool = std::make_unique<WorkerPool>(threads);
+    std::vector<ExprPtr> pk, bk;
+    pk.push_back(eb::Col(0));
+    bk.push_back(eb::Col(0));
+    PhysicalPlan plan(std::make_unique<HashJoin>(
+        std::make_unique<SeqScan>(&probe), std::make_unique<SeqScan>(&build),
+        std::move(pk), std::move(bk)));
+    ExecContext ctx;
+    ctx.set_guard(&guard);
+    ctx.set_spill_manager(&spill);
+    ctx.set_worker_pool(pool.get());
+    StatusOr<std::vector<Row>> rows = TryCollectRows(&plan, &ctx);
+    ASSERT_TRUE(rows.ok()) << rows.status();
+    EXPECT_EQ(rows.value().size(), 200u * 8);
+    EXPECT_GT(spill.stats().runs_created,
+              static_cast<uint64_t>(2 * HashJoin::kSpillFanout))
+        << "no recursive re-split happened";
+    EXPECT_EQ(ctx.buffered_rows(), 0u) << "buffered-row account not drained";
+    EXPECT_EQ(spill.live_runs(), 0u) << "live spill runs leaked";
+    EXPECT_EQ(CountSpillFiles(dir.string()), 0) << "temp spill files leaked";
+    if (expected.empty()) {
+      expected = testutil::RowsToString(rows.value());
+    } else {
+      EXPECT_EQ(testutil::RowsToString(rows.value()), expected)
+          << "parallel recursion changed the result";
+    }
+    std::filesystem::remove_all(dir);
+  }
 }
 
 }  // namespace
