@@ -1,0 +1,172 @@
+// Multi-tenant server throughput and admission latency (DESIGN.md §12): a
+// fixed batch of spill-prone queries over three templates is pushed through
+// the QueryServer at 1, 4, and 16 concurrent sessions, under a governor pool
+// small enough that sessions contend for memory (revocations at the wider
+// fleets). Reported per fleet width: batch wall time, queries/second,
+// speedup vs. one session, p50/p95 admission latency (the Submit call — the
+// fingerprint + prediction + decision path a client blocks on), and how
+// often the governor revoked headroom.
+//
+// Results are printed and written to BENCH_server.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "server/query_server.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace qprog {
+namespace {
+
+constexpr int64_t kRows = 20000;
+constexpr int kBatch = 48;  // queries per fleet width
+const int kSessions[] = {1, 4, 16};
+
+// Group keys arrive gradually so aggregates keep charging buffered rows
+// across the whole scan — under the shared pool that means spills and, at
+// the wider fleets, revocation-induced earlier spills.
+Table MakeTable() {
+  Table table("t", Schema({Field("k", TypeId::kInt64),
+                           Field("v", TypeId::kInt64)}));
+  for (int64_t i = 0; i < kRows; ++i) {
+    table.AppendRow({Value::Int64(i / 16), Value::Int64(i % 997)});
+  }
+  return table;
+}
+
+const char* kTemplates[] = {
+    "SELECT k, count(*), sum(v) FROM t GROUP BY k",
+    "SELECT sum(v), min(v), max(v) FROM t",
+    "SELECT count(*) FROM t a JOIN t b ON a.k = b.k AND a.v = b.v",
+};
+
+struct Result {
+  int sessions = 0;
+  double wall_ms = 0;
+  double qps = 0;
+  double speedup = 1.0;  // vs. sessions=1
+  double admit_p50_us = 0;
+  double admit_p95_us = 0;
+  uint64_t revocations = 0;
+  uint64_t shed = 0;
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+Result RunFleet(const Database* db, int sessions) {
+  ServerOptions opts;
+  opts.sessions = static_cast<size_t>(sessions);
+  opts.checkpoint_interval = 512;
+  opts.admission.max_queue = kBatch;  // measure throughput, not shedding
+  opts.admission.fallback_peak_rows = 512;
+  opts.governor.pool_rows = 2048;  // fleets wider than ~4 contend
+  opts.governor.min_grant_rows = 64;
+  QueryServer server(db, opts);
+
+  std::vector<double> admit_us;
+  admit_us.reserve(kBatch);
+  std::vector<uint64_t> tickets;
+  tickets.reserve(kBatch);
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kBatch; ++i) {
+    auto s0 = std::chrono::steady_clock::now();
+    uint64_t id = server.Submit("bench", kTemplates[i % std::size(kTemplates)]);
+    auto s1 = std::chrono::steady_clock::now();
+    admit_us.push_back(
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(s1 - s0)
+                .count()) /
+        1e3);
+    tickets.push_back(id);
+  }
+  for (uint64_t id : tickets) {
+    QueryResult r = server.Wait(id);
+    QPROG_CHECK_MSG(r.status.ok(), "%s", r.status.ToString().c_str());
+  }
+  auto end = std::chrono::steady_clock::now();
+
+  Result res;
+  res.sessions = sessions;
+  res.wall_ms = static_cast<double>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        end - start)
+                        .count()) /
+                1e3;
+  res.qps = static_cast<double>(kBatch) / (res.wall_ms / 1e3);
+  res.admit_p50_us = Percentile(admit_us, 0.50);
+  res.admit_p95_us = Percentile(admit_us, 0.95);
+  res.revocations = server.governor().revocations();
+  res.shed = server.shed_total();
+  server.Shutdown();
+  return res;
+}
+
+}  // namespace
+}  // namespace qprog
+
+int main() {
+  using namespace qprog;  // NOLINT(build/namespaces)
+  std::printf("=== micro_server: fleet throughput x admission latency ===\n");
+  std::printf("rows=%lld, batch=%d queries over %zu templates\n\n",
+              static_cast<long long>(kRows), kBatch, std::size(kTemplates));
+
+  Database db;
+  QPROG_CHECK(db.AddTable(MakeTable()).ok());
+
+  std::vector<Result> results;
+  double base_ms = 0;
+  for (int sessions : kSessions) {
+    Result r = RunFleet(&db, sessions);
+    if (sessions == 1) base_ms = r.wall_ms;
+    r.speedup = base_ms / r.wall_ms;
+    results.push_back(r);
+  }
+
+  std::printf("%-10s %-10s %-9s %-9s %-13s %-13s %-7s %-5s\n", "sessions",
+              "wall_ms", "qps", "speedup", "admit_p50_us", "admit_p95_us",
+              "revoke", "shed");
+  for (const Result& r : results) {
+    std::printf("%-10d %-10.1f %-9.1f %-9.2f %-13.1f %-13.1f %-7llu %-5llu\n",
+                r.sessions, r.wall_ms, r.qps, r.speedup, r.admit_p50_us,
+                r.admit_p95_us,
+                static_cast<unsigned long long>(r.revocations),
+                static_cast<unsigned long long>(r.shed));
+  }
+
+  std::string json =
+      "{\"bench\":\"micro_server\",\"rows\":" +
+      StringPrintf("%lld", static_cast<long long>(kRows)) +
+      StringPrintf(",\"batch\":%d", kBatch) + ",\"scenarios\":{";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    if (i > 0) json += ',';
+    json += StringPrintf(
+        "\"s%d\":{\"wall_ms\":%.1f,\"qps\":%.1f,\"speedup_vs_s1\":%.3f,"
+        "\"admit_p50_us\":%.1f,\"admit_p95_us\":%.1f,\"revocations\":%llu,"
+        "\"shed\":%llu}",
+        r.sessions, r.wall_ms, r.qps, r.speedup, r.admit_p50_us,
+        r.admit_p95_us, static_cast<unsigned long long>(r.revocations),
+        static_cast<unsigned long long>(r.shed));
+  }
+  json += "}}\n";
+  std::FILE* out = std::fopen("BENCH_server.json", "w");
+  if (out != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_server.json\n");
+  }
+  return 0;
+}

@@ -232,6 +232,8 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   report.status = ctx.status();
   report.termination = TerminationFromStatus(report.status);
   report.total_work = ctx.work();
+  report.spill_work = ctx.total_spill_work();
+  report.peak_buffered_rows = ctx.peak_buffered_rows();
   if (registry != nullptr) registry->IncrementCounter("runs");
   if (!report.completed()) {
     // The true total is unknowable for an unfinished query: keep the partial
@@ -272,6 +274,8 @@ ProgressReport ProgressMonitor::MakeAbortedReport(const ExecContext& ctx) const 
   report.status = ctx.status();
   report.termination = TerminationFromStatus(report.status);
   report.total_work = ctx.work();
+  report.spill_work = ctx.total_spill_work();
+  report.peak_buffered_rows = ctx.peak_buffered_rows();
   return report;
 }
 

@@ -92,6 +92,12 @@ struct ProgressReport {
   uint64_t total_work = 0;              // total(Q); for an aborted run, the
                                         // work performed up to the stop
   uint64_t root_rows = 0;               // rows the query returned
+  uint64_t spill_work = 0;              // spill I/O units performed
+  /// High-water mark of buffered rows over the run — the query's observed
+  /// peak memory in the engine's buffered-row proxy. Together with the
+  /// template fingerprint this is the admission predictor's training signal
+  /// (obs/workload_stats.h).
+  uint64_t peak_buffered_rows = 0;
   double mu = 0;                        // total(Q) / sum of scanned leaves
                                         // (0 when the run did not complete)
   double scanned_leaf_cardinality = 0;

@@ -121,10 +121,17 @@ Row ResultRow(const Row& key, const std::vector<AggAccumulator>& states) {
   return out;
 }
 
-// Task key for the parallel partition replay (DESIGN.md §10): the partition
-// index alone is the task's full data identity — one replay task per
-// partition, at most once per execution.
+// Task-key layout for the parallel partition replay, mirroring the join's
+// (DESIGN.md §10): the leaf's recursion depth (bits 48..55) and partition
+// path (3 bits per level, level 0 lowest) are the task's full data identity
+// — one replay task per leaf, at most once per execution. A depth-0 leaf's
+// key equals the pre-refinement kAggReplayTaskTag | p, so executions that
+// never re-split keep their exact PR-4 fault schedules.
 constexpr uint64_t kAggReplayTaskTag = 0x54ULL << 56;
+
+uint64_t AggLeafTaskKey(int depth, uint64_t path) {
+  return kAggReplayTaskTag | (static_cast<uint64_t>(depth) << 48) | path;
+}
 
 }  // namespace
 
@@ -154,6 +161,7 @@ void HashAggregate::DoOpen(ExecContext* ctx) {
   cursor_ = 0;
   spilled_ = false;
   parts_.clear();
+  leaves_.clear();
   part_next_ = 0;
   prior_groups_ = 0;
   agg_rows_spilled_ = 0;
@@ -177,7 +185,7 @@ bool HashAggregate::SpillRow(ExecContext* ctx, const Row& key,
       parts_.push_back(std::move(run));
     }
   }
-  size_t part = RowHash()(key) % static_cast<size_t>(kSpillFanout);
+  size_t part = GracePartitionIndex(RowHash()(key), 0, kSpillFanout);
   if (!parts_[part]->Append(ctx, node_id(), row)) return false;
   ++agg_rows_spilled_;
   return true;
@@ -228,6 +236,7 @@ void HashAggregate::Build(ExecContext* ctx) {
     for (auto& run : parts_) {
       if (!run->FinishWrite(ctx, node_id())) return;
     }
+    if (!RefinePartitions(ctx)) return;
   }
   // A scalar aggregate produces one row even over empty input.
   if (group_exprs_.empty() && !any_input) {
@@ -235,6 +244,100 @@ void HashAggregate::Build(ExecContext* ctx) {
     group_states_.push_back(MakeStates(aggregates_));
   }
   built_ = true;
+}
+
+bool HashAggregate::RefinePartitions(ExecContext* ctx) {
+  // Capacity is the kill headroom above what the plan already holds at this
+  // instant — the geometry the serial LoadNextPartition enforces per group
+  // and the parallel replay admits against. A leaf at or under it cannot
+  // trip the kill threshold even if every row opens its own group; anything
+  // larger is re-split so the replay never *has* to rely on the tripwire.
+  const QueryGuard* guard = ctx->guard();
+  const uint64_t kill = guard != nullptr ? guard->max_buffered_rows_kill()
+                                         : QueryGuard::kNoLimit;
+  uint64_t capacity = QueryGuard::kNoLimit;
+  if (kill != QueryGuard::kNoLimit) {
+    capacity = kill - std::min(kill, ctx->buffered_rows());
+  }
+  leaves_.clear();
+  leaves_.reserve(static_cast<size_t>(kSpillFanout));
+  for (int p = 0; p < kSpillFanout; ++p) {
+    if (!RefineOne(ctx, std::move(parts_[static_cast<size_t>(p)]), 0,
+                   static_cast<uint64_t>(p), capacity)) {
+      return false;
+    }
+  }
+  parts_.clear();
+  return ctx->ok();
+}
+
+bool HashAggregate::RefineOne(ExecContext* ctx, SpillRunPtr run, int depth,
+                              uint64_t path, uint64_t capacity) {
+  // Admit-alone fallback at the depth cap: a partition still oversized after
+  // kMaxGraceDepth salted passes is emitted as a leaf rather than aborted —
+  // its memory need is its *group* count, which may be far under its row
+  // count, and the per-group kill-threshold charge remains the tripwire.
+  if (run->rows_written() <= capacity || depth >= kMaxGraceDepth) {
+    leaves_.push_back(AggLeaf{std::move(run), depth, path});
+    return true;
+  }
+  // Redistribute into kSpillFanout children under the next level's salt.
+  // Query thread only: run creation order (and the spill_begin events
+  // carrying the new depth) must stay part of the deterministic trace. Every
+  // re-read and re-write below is accounted spill work, so total(Q) grows by
+  // exactly two units per re-partitioned row and the 2*spilled-done pending
+  // identity holds at every checkpoint mid-refinement.
+  const int child_depth = depth + 1;
+  const uint64_t parent_rows = run->rows_written();
+  std::vector<SpillRunPtr> children;
+  children.reserve(static_cast<size_t>(kSpillFanout));
+  for (int i = 0; i < kSpillFanout; ++i) {
+    SpillRunPtr child = ctx->spill_manager()->CreateRun(
+        ctx, node_id(), "hashagg.build", child_depth);
+    if (child == nullptr) return false;
+    children.push_back(std::move(child));
+  }
+  Row row;
+  if (!run->OpenRead(ctx, node_id())) return false;
+  while (run->ReadNext(ctx, node_id(), &row)) {
+    Row key;
+    key.reserve(group_exprs_.size());
+    for (const ExprPtr& e : group_exprs_) key.push_back(e->Eval(row));
+    ++agg_rows_replayed_;
+    size_t part = GracePartitionIndex(RowHash()(key), child_depth,
+                                      kSpillFanout);
+    if (!children[part]->Append(ctx, node_id(), row)) return false;
+    ++agg_rows_spilled_;
+  }
+  if (!ctx->ok()) return false;
+  run.reset();  // parent temp file gone before the tree grows further
+  uint64_t biggest_child = 0;
+  for (auto& child : children) {
+    biggest_child = std::max(biggest_child, child->rows_written());
+    if (!child->FinishWrite(ctx, node_id())) return false;
+  }
+  if (biggest_child >= parent_rows) {
+    // The salt moved nothing: every row shares one key (or one hash value).
+    // No recursion depth will ever spread this partition, so emit the
+    // children as leaves directly — one group (or few) may well fit, and if
+    // not, the kill tripwire catches it during replay (the join must abort
+    // here because it materializes *rows*, not groups).
+    for (int i = 0; i < kSpillFanout; ++i) {
+      leaves_.push_back(
+          AggLeaf{std::move(children[static_cast<size_t>(i)]), child_depth,
+                  path | (static_cast<uint64_t>(i) << (3 * child_depth))});
+    }
+    return true;
+  }
+  for (int i = 0; i < kSpillFanout; ++i) {
+    if (!RefineOne(ctx, std::move(children[static_cast<size_t>(i)]),
+                   child_depth,
+                   path | (static_cast<uint64_t>(i) << (3 * child_depth)),
+                   capacity)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool HashAggregate::LoadNextPartition(ExecContext* ctx) {
@@ -245,7 +348,7 @@ bool HashAggregate::LoadNextPartition(ExecContext* ctx) {
   ctx->ReleaseBufferedRows(charged_);
   charged_ = 0;
   cursor_ = 0;
-  SpillRun* run = parts_[part_next_].get();
+  SpillRun* run = leaves_[part_next_].run.get();
   if (!run->OpenRead(ctx, node_id())) return false;
   Row row;
   while (run->ReadNext(ctx, node_id(), &row)) {
@@ -264,7 +367,7 @@ bool HashAggregate::LoadNextPartition(ExecContext* ctx) {
     ++agg_rows_replayed_;
   }
   if (!ctx->ok()) return false;
-  parts_[part_next_].reset();  // delete this partition's temp file
+  leaves_[part_next_].run.reset();  // delete this partition's temp file
   ++part_next_;
   return true;
 }
@@ -284,7 +387,7 @@ bool HashAggregate::ParallelReplayPartitions(ExecContext* ctx,
   const bool unlimited = kill == QueryGuard::kNoLimit;
   const uint64_t base = ctx->buffered_rows();
   const uint64_t capacity = unlimited ? 0 : kill - std::min(kill, base);
-  const size_t num_parts = parts_.size();
+  const size_t num_parts = leaves_.size();
   const uint64_t allowance =
       unlimited ? std::numeric_limits<uint64_t>::max()
                 : capacity / (2 * std::max<uint64_t>(num_parts, 1));
@@ -297,9 +400,9 @@ bool HashAggregate::ParallelReplayPartitions(ExecContext* ctx,
     TaskGroup group(pool);
     for (size_t p = 0; p < num_parts; ++p) {
       auto tc = std::make_unique<TaskContext>(
-          ctx, kAggReplayTaskTag | static_cast<uint64_t>(p));
+          ctx, AggLeafTaskKey(leaves_[p].depth, leaves_[p].path));
       TaskContext* tcp = tc.get();
-      SpillRun* run = parts_[p].get();
+      SpillRun* run = leaves_[p].run.get();
       PartitionAggOut* out = &agg_outs_[p];
       out->part = p;
       // The run sealed on the query thread, so its row count is exact and
@@ -324,7 +427,7 @@ bool HashAggregate::ParallelReplayPartitions(ExecContext* ctx,
       if (!ctx->ok()) break;
       par_groups_ += agg_outs_[p].groups;
       agg_rows_replayed_ += agg_outs_[p].rows_read;
-      parts_[p].reset();  // delete this partition's temp file
+      leaves_[p].run.reset();  // delete this partition's temp file
     }
     if (ctx->ok() && !escaped.ok()) ctx->RaiseError(std::move(escaped));
   }
@@ -457,7 +560,7 @@ bool HashAggregate::DoNext(ExecContext* ctx, Row* out) {
       return true;
     }
     if (parallel_replayed_) return NextReplayOutput(ctx, out);
-    if (!spilled_ || part_next_ >= parts_.size()) {
+    if (!spilled_ || part_next_ >= leaves_.size()) {
       finished_ = true;
       return false;
     }
@@ -476,6 +579,7 @@ void HashAggregate::DoClose(ExecContext* ctx) {
   group_keys_.clear();
   group_states_.clear();
   parts_.clear();     // deletes any remaining spill temp files
+  leaves_.clear();    // ... and any refined leaves not yet replayed
   agg_outs_.clear();  // deletes any remaining overflow side runs
   ctx->ReleaseBufferedRows(charged_);
   charged_ = 0;
@@ -494,9 +598,10 @@ void HashAggregate::FillProgressState(const ExecContext& ctx,
   state->build_done = built_ && !spilled_;
   state->groups_so_far = prior_groups_ + group_keys_.size() + par_groups_;
   state->scalar_aggregate = group_exprs_.empty();
-  // Every spilled row is written once and read back exactly once, so this
-  // node's total spill work is 2x the rows spilled so far; deriving pending
-  // from the same work counter the checkpoint just advanced keeps
+  // Every row appended to a partition run — the initial spill plus each
+  // re-partitioning rewrite — is written once and read back exactly once, so
+  // this node's total spill work is 2x the rows appended so far; deriving
+  // pending from the same work counter the checkpoint just advanced keeps
   // (done + pending) consistent at every sampling instant, and never reads
   // SpillRun counters a replay task may be mutating (see sort.cc, join.cc).
   uint64_t spill_total = 2 * agg_rows_spilled_;
@@ -504,9 +609,11 @@ void HashAggregate::FillProgressState(const ExecContext& ctx,
                                   ? spill_total - state->spill_work_done
                                   : 0;
   // Row count for the group-cardinality bound: spilled rows that have not
-  // been re-aggregated yet (each may still open a fresh group). Distinct
-  // from spill_rows_pending, which is in *work units* and would overstate
-  // the unseen rows by the unfinished write pass.
+  // been re-aggregated yet (each may still open a fresh group). Appends
+  // minus reads — a re-partitioned row moves both counters, so this is
+  // exactly the rows sitting unread in leaves. Distinct from
+  // spill_rows_pending, which is in *work units* and would overstate the
+  // unseen rows by the unfinished write pass.
   state->spill_rows_unread =
       agg_rows_spilled_ > agg_rows_replayed_
           ? agg_rows_spilled_ - agg_rows_replayed_

@@ -75,9 +75,16 @@ class AggAccumulator {
 /// Memory-adaptive: when the group table would exceed the guard's soft
 /// budget and a SpillManager is attached, rows for *unseen* keys are routed
 /// raw to kSpillFanout hash partitions on disk (groups already in memory
-/// keep accumulating there — no work is thrown away). After the in-memory
-/// groups are emitted, each partition is re-read and aggregated in turn.
-/// Keys never straddle memory and disk, so no group is double-counted.
+/// keep accumulating there — no work is thrown away). After the build, any
+/// partition whose row count exceeds the kill headroom is recursively
+/// re-split with the depth-salted GracePartitionIndex (depth <=
+/// kMaxGraceDepth, the join's Grace recursion transplanted here); then, after
+/// the in-memory groups are emitted, each leaf partition is re-read and
+/// aggregated in turn. Keys never straddle memory and disk, so no group is
+/// double-counted. Unlike the join, an unsplittable (single-key skew) or
+/// depth-capped partition is *not* an abort: aggregate memory is #groups,
+/// not #rows, so such a partition may still fit — it is admitted alone and
+/// the per-group kill-threshold charge stays the tripwire if it does not.
 ///
 /// With a WorkerPool attached, the partition replay runs as one task per
 /// partition instead of the serial loop: tasks admit their exact memory need
@@ -108,8 +115,21 @@ class HashAggregate : public PhysicalOperator {
   bool spilled() const { return spilled_; }
 
   static constexpr int kSpillFanout = 8;
+  /// Maximum Grace re-split depth for oversized spilled partitions.
+  static constexpr int kMaxGraceDepth = 4;
 
  private:
+  /// One replayable spilled partition after Grace refinement: the run plus
+  /// its position in the recursion tree (depth 0, path p = the original
+  /// fanout partition p when no re-split was needed; deeper leaves are
+  /// minted by RefineOne). depth and path are the replay task's full data
+  /// identity — the same leaf gets the same forked fault schedule whether it
+  /// came from a depth-0 pass or a depth-3 re-split.
+  struct AggLeaf {
+    SpillRunPtr run;
+    int depth = 0;
+    uint64_t path = 0;
+  };
   /// One parallel partition replay's results, filled by a worker task.
   /// Result rows up to the budget's allowance stay in `rows`; the remainder
   /// overflows to an unaccounted side run, so a high-cardinality partition's
@@ -129,7 +149,16 @@ class HashAggregate : public PhysicalOperator {
   /// Routes one raw input row to its hash partition (creating the partition
   /// runs on first use).
   bool SpillRow(ExecContext* ctx, const Row& key, const Row& row);
-  /// Aggregates partition `part_next_` into a fresh group table and resets
+  /// Moves the build-phase partitions into leaves_, recursively re-splitting
+  /// any whose row count exceeds the current kill headroom. Query thread
+  /// only (run creation order is part of the deterministic trace).
+  bool RefinePartitions(ExecContext* ctx);
+  /// Emits `run` as a leaf if small enough (or unsplittable, or at the depth
+  /// cap — admit-alone fallback), else redistributes it into kSpillFanout
+  /// children under the next level's salt and recurses.
+  bool RefineOne(ExecContext* ctx, SpillRunPtr run, int depth, uint64_t path,
+                 uint64_t capacity);
+  /// Aggregates leaf `part_next_` into a fresh group table and resets
   /// the emit cursor over it.
   bool LoadNextPartition(ExecContext* ctx);
   /// Replays all spilled partitions on the pool, folding results into
@@ -161,12 +190,15 @@ class HashAggregate : public PhysicalOperator {
 
   // Partition-spill state (unused until the group table overflows).
   bool spilled_ = false;
-  std::vector<SpillRunPtr> parts_;
-  size_t part_next_ = 0;
+  std::vector<SpillRunPtr> parts_;  // build-phase fanout; drained by Refine
+  std::vector<AggLeaf> leaves_;    // replayable leaves after refinement
+  size_t part_next_ = 0;           // next leaf to replay serially
   uint64_t prior_groups_ = 0;  // groups emitted before the current table
   // Query-thread spill accounting (never read from SpillRun counters — a
-  // task may own the runs). Rows appended to partition runs, and rows
-  // re-aggregated from them (serially or via folded tasks).
+  // task may own the runs). Rows appended to partition runs (initial spill
+  // plus every re-partitioning rewrite), and rows read back from them
+  // (re-aggregated or re-partitioned); 2x the former is this node's total
+  // spill work, and their difference is the rows still sitting in leaves.
   uint64_t agg_rows_spilled_ = 0;
   uint64_t agg_rows_replayed_ = 0;
 

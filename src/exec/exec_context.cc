@@ -58,6 +58,7 @@ bool ExecContext::ChargeBufferedRows(uint64_t n) {
     return false;
   }
   buffered_rows_ += n;
+  if (buffered_rows_ > peak_buffered_rows_) peak_buffered_rows_ = buffered_rows_;
   return true;
 }
 
@@ -93,6 +94,7 @@ bool ExecContext::ChargeBufferedRowsPostSpill(uint64_t n) {
     return false;
   }
   buffered_rows_ += n;
+  if (buffered_rows_ > peak_buffered_rows_) peak_buffered_rows_ = buffered_rows_;
   return true;
 }
 

@@ -95,6 +95,7 @@ class ExecContext final : public WorkContext {
     spill_work_.assign(num_nodes, 0);
     work_ = 0;
     buffered_rows_ = 0;
+    peak_buffered_rows_ = 0;
     failed_.store(false, std::memory_order_relaxed);
     status_ = OkStatus();
     next_observation_ = observer_ ? observation_interval_ : kNever;
@@ -260,6 +261,12 @@ class ExecContext final : public WorkContext {
   /// Rows currently buffered by blocking operators, plan-wide.
   uint64_t buffered_rows() const { return buffered_rows_; }
 
+  /// High-water mark of `buffered_rows()` over this execution — the query's
+  /// observed peak memory in the engine's buffered-row proxy. Reset() clears
+  /// it; the ProgressMonitor copies it onto the ProgressReport, where it
+  /// seeds the per-template admission priors (obs/workload_stats.h).
+  uint64_t peak_buffered_rows() const { return peak_buffered_rows_; }
+
   // -- work observation -------------------------------------------------------
 
   /// Installs a callback fired once per `interval` units of work, with the
@@ -338,6 +345,7 @@ class ExecContext final : public WorkContext {
   std::vector<uint64_t> spill_work_;
   uint64_t work_ = 0;
   uint64_t buffered_rows_ = 0;
+  uint64_t peak_buffered_rows_ = 0;
 
   uint64_t observation_interval_ = 0;
   uint64_t next_observation_ = kNever;

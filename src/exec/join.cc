@@ -41,22 +41,12 @@ uint64_t JoinLeafTaskKey(int depth, uint64_t path) {
 constexpr size_t kBatchRows = 256;
 constexpr size_t kMaxInflightBatches = 16;
 
-// Depth-salted Grace partition routing. Level 0 uses the raw row hash (the
-// single-level routing of PR 3); each deeper level remixes the hash with a
-// level-dependent increment and a 64-bit finalizer so rows that collided
-// into one partition at level d spread across children at level d+1 —
-// unless they literally share a hash (single-key skew), which no salt can
-// separate and RefineOne detects as an ineffective split.
-size_t GracePartitionIndex(size_t hash, int level) {
-  uint64_t x = static_cast<uint64_t>(hash);
-  if (level > 0) {
-    x += 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(level);
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdULL;
-    x ^= x >> 33;
-  }
-  return static_cast<size_t>(x %
-                             static_cast<uint64_t>(HashJoin::kSpillFanout));
+// Depth-salted Grace partition routing (exec/spill.h), bound to this join's
+// fanout. Level 0 uses the raw row hash (the single-level routing of PR 3);
+// deeper levels remix so colliding rows spread — unless they literally share
+// a hash (single-key skew), which RefineOne detects as an ineffective split.
+size_t JoinPartitionIndex(size_t hash, int level) {
+  return GracePartitionIndex(hash, level, HashJoin::kSpillFanout);
 }
 
 Row ConcatRows(const Row& left, const Row& right) {
@@ -464,7 +454,7 @@ bool HashJoin::AppendToPartition(ExecContext* ctx,
                                  const char* phase, const Row& key,
                                  const Row& row, PartitionWriter* writer) {
   if (!EnsureRuns(ctx, parts, phase)) return false;
-  size_t part = GracePartitionIndex(RowHash()(key), 0);
+  size_t part = JoinPartitionIndex(RowHash()(key), 0);
   if (writer != nullptr) return writer->Add(part, row);
   if (!(*parts)[part]->Append(ctx, node_id(), row)) return false;
   ++grace_rows_written_;
@@ -648,7 +638,7 @@ bool HashJoin::RefineOne(ExecContext* ctx, SpillRunPtr build, SpillRunPtr probe,
     bool has_null = false;
     Row key = KeyOf(row, build_keys_, &has_null);
     QPROG_DCHECK(!has_null);  // NULL build keys were never spilled
-    size_t part = GracePartitionIndex(RowHash()(key), child_depth);
+    size_t part = JoinPartitionIndex(RowHash()(key), child_depth);
     if (!child_build[part]->Append(ctx, node_id(), row)) return false;
     ++grace_rows_written_;
   }
@@ -675,7 +665,7 @@ bool HashJoin::RefineOne(ExecContext* ctx, SpillRunPtr build, SpillRunPtr probe,
   while (probe->ReadNext(ctx, node_id(), &row)) {
     bool has_null = false;
     Row key = KeyOf(row, probe_keys_, &has_null);
-    size_t part = GracePartitionIndex(RowHash()(key), child_depth);
+    size_t part = JoinPartitionIndex(RowHash()(key), child_depth);
     if (!child_probe[part]->Append(ctx, node_id(), row)) return false;
     ++grace_rows_written_;
   }

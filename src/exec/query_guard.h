@@ -5,10 +5,14 @@
 // (one integer compare on the fast path) and converts violations into sticky
 // execution errors (kCancelled / kDeadlineExceeded / kResourceExhausted).
 //
-// RequestCancel() is the only member safe to call concurrently with the
-// executing query (a monitoring thread flips the token; the executor observes
-// it within one guard-check interval). Budgets and the deadline must be
-// configured before execution starts.
+// Two members are safe to call concurrently with the executing query:
+// RequestCancel() (a monitoring thread flips the token; the executor observes
+// it within one guard-check interval) and set_max_buffered_rows() (a memory
+// governor revokes spill headroom mid-run by shrinking the *soft* budget; the
+// executor observes the new value at its next buffered-row charge and spills
+// instead of buffering — see server/memory_governor.h). All other budgets,
+// the kill threshold, and the deadline must be configured before execution
+// starts.
 
 #ifndef QPROG_EXEC_QUERY_GUARD_H_
 #define QPROG_EXEC_QUERY_GUARD_H_
@@ -63,10 +67,19 @@ class QueryGuard {
   /// with one attached it is the *soft* threshold that triggers a spill pass
   /// instead (graceful degradation), and only the separate kill threshold
   /// below aborts.
+  ///
+  /// Atomic (relaxed): a memory governor may *shrink* this concurrently with
+  /// execution to revoke spill headroom from a victim query — the executor
+  /// reads it per charge, so a revocation takes effect at the victim's next
+  /// buffered-row charge and manifests as an earlier spill, never as an
+  /// abort. Growing it mid-run is also safe (a grant-back merely delays the
+  /// next spill).
   void set_max_buffered_rows(uint64_t max_rows) {
-    max_buffered_rows_ = max_rows;
+    max_buffered_rows_.store(max_rows, std::memory_order_relaxed);
   }
-  uint64_t max_buffered_rows() const { return max_buffered_rows_; }
+  uint64_t max_buffered_rows() const {
+    return max_buffered_rows_.load(std::memory_order_relaxed);
+  }
 
   /// Hard ceiling on buffered rows once spilling is engaged: exceeding it
   /// aborts with kResourceExhausted even though a SpillManager is attached
@@ -114,7 +127,7 @@ class QueryGuard {
  private:
   std::atomic<bool> cancel_{false};
   uint64_t max_work_ = kNoLimit;
-  uint64_t max_buffered_rows_ = kNoLimit;
+  std::atomic<uint64_t> max_buffered_rows_{kNoLimit};
   uint64_t max_buffered_rows_kill_ = kNoLimit;
   Clock::time_point deadline_{};
   bool has_deadline_ = false;

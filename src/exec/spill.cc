@@ -1,6 +1,8 @@
 #include "exec/spill.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -17,18 +19,33 @@ constexpr uint64_t kDeviceSleepChunkNs = 100 * 1000;
 
 }  // namespace
 
+size_t GracePartitionIndex(size_t hash, int level, int fanout) {
+  uint64_t x = static_cast<uint64_t>(hash);
+  if (level > 0) {
+    x += 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(level);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+  }
+  return static_cast<size_t>(x % static_cast<uint64_t>(fanout));
+}
+
 // --------------------------------------------------------------------------
 // SpillRun
 
 SpillRun::SpillRun(SpillManager* manager, std::unique_ptr<SpillFile> file,
                    std::string phase)
-    : manager_(manager), file_(std::move(file)), phase_(std::move(phase)) {}
+    : manager_(manager),
+      file_(std::move(file)),
+      path_(file_->path()),
+      phase_(std::move(phase)) {}
 
 SpillRun::~SpillRun() { Discard(); }
 
 void SpillRun::Discard() {
   if (file_ != nullptr) {
     file_.reset();  // closes and deletes the temp file
+    manager_->UnregisterLiveFile(path_);
     ++manager_->stats_.runs_deleted;
   }
 }
@@ -146,6 +163,35 @@ SpillManager::SpillManager(std::string dir, SpillRetryPolicy policy)
   QPROG_CHECK(policy_.max_attempts >= 1);
 }
 
+SpillManager::~SpillManager() {
+  // Backstop sweep: anything still registered belongs to a run whose
+  // destructor never fired. Unlink it here so an abnormal termination (task
+  // death mid-write, dropped ownership on an abort path) cannot leak a
+  // qprog-spill-* temp file past the manager. No lock contention is possible
+  // — destruction means no runs are live to race with.
+  for (const std::string& path : live_files_) {
+    std::remove(path.c_str());
+  }
+  live_files_.clear();
+}
+
+std::vector<std::string> SpillManager::live_files() const {
+  std::lock_guard<std::mutex> lock(live_files_mu_);
+  std::vector<std::string> paths(live_files_.begin(), live_files_.end());
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+void SpillManager::RegisterLiveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(live_files_mu_);
+  live_files_.insert(path);
+}
+
+void SpillManager::UnregisterLiveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(live_files_mu_);
+  live_files_.erase(path);
+}
+
 SpillRunPtr SpillManager::CreateRun(ExecContext* ctx, int node,
                                     const char* phase, int depth) {
   if (!ctx->ok()) return nullptr;
@@ -162,6 +208,7 @@ SpillRunPtr SpillManager::CreateRun(ExecContext* ctx, int node,
     return nullptr;
   }
   ++stats_.runs_created;
+  RegisterLiveFile(file->path());
   if (ctx->telemetry() != nullptr) {
     ctx->telemetry()->RecordSpillBegin(node, ctx->work(), phase, depth);
   }
@@ -187,6 +234,7 @@ SpillRunPtr SpillManager::CreateSideRun(WorkContext* wc, int node) {
     return nullptr;
   }
   ++stats_.runs_created;
+  RegisterLiveFile(file->path());
   SpillRunPtr run(new SpillRun(this, std::move(file), "side"));
   run->accounted_ = false;
   return run;

@@ -23,7 +23,12 @@
 // Cleanup is structural: a SpillRun deletes its temp file on destruction and
 // operators own their runs, so DoClose — which the plan driver invokes even
 // on an aborted run — is all it takes to guarantee zero leaked temp files on
-// cancel, deadline, guard trip or injected fault.
+// cancel, deadline, guard trip or injected fault. As a backstop against runs
+// whose destructor never fires (a worker task dying mid-write with ownership
+// of a run, or an abort path that drops a run on the floor), the manager
+// keeps a registry of every live temp-file path: CreateRun/CreateSideRun
+// register, Discard unregisters, live_files() lets tests audit for leaks,
+// and ~SpillManager unlinks anything still registered.
 //
 // Threading: runs perform their I/O against a WorkContext — the ExecContext
 // itself on the serial path, a per-task TaskContext (exec/worker_pool.h) on
@@ -46,7 +51,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "exec/exec_context.h"
 #include "exec/work_context.h"
@@ -56,6 +64,16 @@
 namespace qprog {
 
 class SpillManager;
+
+/// Depth-salted Grace partition routing, shared by every operator that
+/// recursively re-splits oversized spilled partitions (hash join since PR 5,
+/// hash aggregate since PR 6). Level 0 uses the raw row hash; each deeper
+/// level remixes the hash with a level-dependent increment and a 64-bit
+/// finalizer so rows that collided into one partition at level d spread
+/// across children at level d+1 — unless they literally share a hash
+/// (single-key skew), which no salt can separate and which callers detect as
+/// an ineffective split (biggest child as large as the parent).
+size_t GracePartitionIndex(size_t hash, int level, int fanout);
 
 /// Retry behavior for transient spill I/O failures.
 struct SpillRetryPolicy {
@@ -159,6 +177,7 @@ class SpillRun {
 
   SpillManager* manager_;
   std::unique_ptr<SpillFile> file_;
+  std::string path_;  // retained past file_'s death to unregister it
   std::string phase_;
   bool accounted_ = true;
   uint64_t rows_written_ = 0;
@@ -181,6 +200,11 @@ class SpillManager {
   /// `dir` is where temp files go (empty = $TMPDIR, else /tmp).
   explicit SpillManager(std::string dir = "",
                         SpillRetryPolicy policy = SpillRetryPolicy());
+
+  /// Sweeps orphans: any registered temp file whose run never ran its
+  /// destructor is unlinked here, so even a task that died mid-write cannot
+  /// leak a qprog-spill-* file past the manager's lifetime.
+  ~SpillManager();
 
   SpillManager(const SpillManager&) = delete;
   SpillManager& operator=(const SpillManager&) = delete;
@@ -207,6 +231,11 @@ class SpillManager {
 
   /// Runs created but not yet destroyed (each owns one live temp file).
   uint64_t live_runs() const { return stats_.runs_created - stats_.runs_deleted; }
+
+  /// Paths of every temp file currently registered (sorted, for stable test
+  /// output). Empty after all runs are destroyed — the soak leak audit.
+  /// Thread-safe snapshot.
+  std::vector<std::string> live_files() const;
 
   const SpillStats& stats() const { return stats_; }
   const std::string& dir() const { return dir_; }
@@ -240,11 +269,16 @@ class SpillManager {
   void RaiseIoError(WorkContext* wc, int node, const char* site,
                     Status status);
 
+  void RegisterLiveFile(const std::string& path);
+  void UnregisterLiveFile(const std::string& path);
+
   std::string dir_;
   SpillRetryPolicy policy_;
   SpillStats stats_;
   SpillFileOptions file_options_;
   SpillDeviceModel device_model_;
+  mutable std::mutex live_files_mu_;
+  std::unordered_set<std::string> live_files_;
 };
 
 }  // namespace qprog

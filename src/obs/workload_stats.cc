@@ -1,0 +1,51 @@
+#include "obs/workload_stats.h"
+
+#include <algorithm>
+
+namespace qprog {
+
+void WorkloadStatsRegistry::Record(uint64_t fingerprint,
+                                   const WorkloadObservation& obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkloadStats& stats = by_template_[fingerprint];
+  ++stats.runs;
+  if (obs.completed) ++stats.completed_runs;
+  stats.total_work += obs.work;
+  stats.total_spill_work += obs.spill_work;
+  stats.total_root_rows += obs.root_rows;
+  stats.total_wall_ns += obs.wall_ns;
+  stats.total_peak_buffered_rows += obs.peak_buffered_rows;
+  stats.max_peak_buffered_rows =
+      std::max(stats.max_peak_buffered_rows, obs.peak_buffered_rows);
+  stats.max_work = std::max(stats.max_work, obs.work);
+}
+
+WorkloadStats WorkloadStatsRegistry::Lookup(uint64_t fingerprint,
+                                            bool* found) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_template_.find(fingerprint);
+  if (found != nullptr) *found = it != by_template_.end();
+  return it != by_template_.end() ? it->second : WorkloadStats();
+}
+
+size_t WorkloadStatsRegistry::num_templates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_template_.size();
+}
+
+std::vector<WorkloadStatsRegistry::SnapshotEntry>
+WorkloadStatsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SnapshotEntry> entries;
+  entries.reserve(by_template_.size());
+  for (const auto& [fingerprint, stats] : by_template_) {
+    entries.push_back({fingerprint, stats});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  return entries;
+}
+
+}  // namespace qprog

@@ -1,0 +1,91 @@
+// Per-template workload statistics — the admission predictor's priors.
+//
+// LearnedWMP (PAPERS.md) shows a workload's memory demand is predictable
+// from per-template features; this registry is the engine's minimal version
+// of that idea: every monitored run records its template fingerprint
+// (sql/fingerprint.h) together with the resource figures the engine already
+// measures — peak buffered rows (the memory proxy), total work, spill work,
+// result rows, wall time — and the admission controller (server/admission.h)
+// reads the aggregate back as the prior for the next query of the same
+// template.
+//
+// The registry is deliberately *below* core in the layer order (obs does not
+// see ProgressReport); callers pass the plain figures. Thread-safe: sessions
+// on different threads record concurrently, and the governor's admission
+// path reads while runs record.
+
+#ifndef QPROG_OBS_WORKLOAD_STATS_H_
+#define QPROG_OBS_WORKLOAD_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qprog {
+
+/// One finished (or aborted) run's resource figures.
+struct WorkloadObservation {
+  bool completed = false;
+  uint64_t work = 0;
+  uint64_t spill_work = 0;
+  uint64_t peak_buffered_rows = 0;
+  uint64_t root_rows = 0;
+  uint64_t wall_ns = 0;
+};
+
+/// Aggregate over every observation of one template.
+struct WorkloadStats {
+  uint64_t runs = 0;           // observations recorded (completed + aborted)
+  uint64_t completed_runs = 0;
+  uint64_t total_work = 0;
+  uint64_t total_spill_work = 0;
+  uint64_t total_root_rows = 0;
+  uint64_t total_wall_ns = 0;
+  uint64_t total_peak_buffered_rows = 0;
+  uint64_t max_peak_buffered_rows = 0;
+  uint64_t max_work = 0;
+
+  /// Mean peak buffered rows over all observations (0 with no runs).
+  uint64_t MeanPeakBufferedRows() const {
+    return runs > 0 ? total_peak_buffered_rows / runs : 0;
+  }
+  /// Mean wall time per run in nanoseconds (0 with no runs).
+  uint64_t MeanWallNanos() const {
+    return runs > 0 ? total_wall_ns / runs : 0;
+  }
+};
+
+class WorkloadStatsRegistry {
+ public:
+  WorkloadStatsRegistry() = default;
+  WorkloadStatsRegistry(const WorkloadStatsRegistry&) = delete;
+  WorkloadStatsRegistry& operator=(const WorkloadStatsRegistry&) = delete;
+
+  /// Folds one run's figures into the template's aggregate.
+  void Record(uint64_t fingerprint, const WorkloadObservation& obs);
+
+  /// The aggregate for `fingerprint`; `found` (optional) reports whether any
+  /// observation exists. An unseen template returns a zero aggregate.
+  WorkloadStats Lookup(uint64_t fingerprint, bool* found = nullptr) const;
+
+  /// Number of distinct templates observed.
+  size_t num_templates() const;
+
+  struct SnapshotEntry {
+    uint64_t fingerprint = 0;
+    WorkloadStats stats;
+  };
+  /// Every template's aggregate, sorted by fingerprint (deterministic order
+  /// for reports and tests).
+  std::vector<SnapshotEntry> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, WorkloadStats> by_template_;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_OBS_WORKLOAD_STATS_H_

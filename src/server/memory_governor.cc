@@ -1,0 +1,143 @@
+#include "server/memory_governor.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace qprog {
+
+MemoryGovernor::MemoryGovernor(GovernorOptions options)
+    : options_(options) {
+  QPROG_CHECK(options_.min_grant_rows > 0);
+  if (options_.pool_rows != QueryGuard::kNoLimit) {
+    QPROG_CHECK(options_.pool_rows >= options_.min_grant_rows);
+  }
+}
+
+MemoryGovernor::Grant MemoryGovernor::Acquire(QueryGuard* guard,
+                                              uint64_t want) {
+  QPROG_CHECK(guard != nullptr);
+  if (options_.pool_rows == QueryGuard::kNoLimit) {
+    // Arbitration disabled: unlimited ask stays unlimited, a concrete ask is
+    // honored verbatim.
+    std::lock_guard<std::mutex> lock(mu_);
+    Grant grant{next_id_++, want};
+    guard->set_max_buffered_rows(want);
+    ++grants_issued_;
+    return grant;
+  }
+
+  want = std::min(want, options_.pool_rows);
+  want = std::max(want, options_.min_grant_rows);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (guard->cancel_requested()) return Grant{};
+
+    uint64_t free = options_.pool_rows - granted_total_;
+    if (free >= want) {
+      Grant grant{next_id_++, want};
+      granted_total_ += want;
+      active_.emplace(grant.id, Active{guard, want});
+      guard->set_max_buffered_rows(want);
+      ++grants_issued_;
+      cv_.notify_all();
+      return grant;
+    }
+
+    // Short: how much headroom could revocation reclaim?
+    uint64_t reclaimable = 0;
+    for (const auto& [id, a] : active_) {
+      if (a.rows > options_.min_grant_rows) {
+        reclaimable += a.rows - options_.min_grant_rows;
+      }
+    }
+    if (free + reclaimable >= options_.min_grant_rows) {
+      uint64_t target = std::min(want, free + reclaimable);
+      uint64_t needed = target - free;
+      // Victims largest-grant-first; ties broken by earliest id so the
+      // arbitration is a pure function of the call sequence.
+      std::vector<std::pair<uint64_t, Active*>> victims;
+      victims.reserve(active_.size());
+      for (auto& [id, a] : active_) victims.emplace_back(id, &a);
+      std::stable_sort(victims.begin(), victims.end(),
+                       [](const auto& x, const auto& y) {
+                         return x.second->rows > y.second->rows;
+                       });
+      for (auto& [id, a] : victims) {
+        if (needed == 0) break;
+        if (a->rows <= options_.min_grant_rows) continue;
+        uint64_t take = std::min(needed, a->rows - options_.min_grant_rows);
+        a->rows -= take;
+        granted_total_ -= take;
+        needed -= take;
+        ++revocations_;
+        // The victim observes the shrink at its next buffered-row charge
+        // and spills earlier; its kill threshold is untouched.
+        a->guard->set_max_buffered_rows(a->rows);
+      }
+      Grant grant{next_id_++, target};
+      granted_total_ += target;
+      active_.emplace(grant.id, Active{guard, target});
+      guard->set_max_buffered_rows(target);
+      ++grants_issued_;
+      cv_.notify_all();
+      return grant;
+    }
+
+    // Even full revocation cannot seat another query: every active grant
+    // already sits at the floor. Wait for a release (or cancellation).
+    cv_.wait(lock);
+  }
+}
+
+void MemoryGovernor::Release(const Grant& grant) {
+  if (grant.id == 0) return;
+  if (options_.pool_rows == QueryGuard::kNoLimit) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = active_.find(grant.id);
+  QPROG_CHECK(it != active_.end());
+  // Return what the grant currently holds (revocation may have shrunk it
+  // below grant.rows).
+  granted_total_ -= it->second.rows;
+  active_.erase(it);
+  cv_.notify_all();
+}
+
+void MemoryGovernor::Poke() {
+  // Taking the lock orders the caller's cancel store before any waiter's
+  // re-check: a waiter is either inside wait() (woken here) or will observe
+  // the cancellation on its next predicate evaluation.
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
+
+uint64_t MemoryGovernor::granted_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return granted_total_;
+}
+
+uint64_t MemoryGovernor::free_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.pool_rows == QueryGuard::kNoLimit) return QueryGuard::kNoLimit;
+  return options_.pool_rows - granted_total_;
+}
+
+uint64_t MemoryGovernor::active_grants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+uint64_t MemoryGovernor::revocations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return revocations_;
+}
+
+uint64_t MemoryGovernor::grants_issued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grants_issued_;
+}
+
+}  // namespace qprog

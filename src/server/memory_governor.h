@@ -1,0 +1,104 @@
+// MemoryGovernor: global arbitration of buffered-row (spill) budgets across
+// concurrently executing queries.
+//
+// The engine's memory proxy is buffered rows (exec/query_guard.h): each
+// query's *soft* budget decides when its blocking operators spill, and its
+// separate kill threshold decides when it aborts. The governor owns one
+// shared pool of soft-budget rows for the whole server and hands each
+// starting query a grant out of it. When the free pool cannot cover a new
+// arrival, the governor *revokes headroom* from the largest active grants —
+// shrinking each victim's grant toward a per-query floor and pushing the new
+// value into the victim's QueryGuard (atomic soft budget). A revoked victim
+// spills earlier than it would have solo; it never aborts, because the kill
+// threshold is untouched. This is the load-shaping half of multi-tenancy:
+// admission (server/admission.h) bounds what enters, the governor bounds
+// what admitted queries may buffer simultaneously.
+//
+// Determinism: grant sizes and victim choice are pure functions of the
+// sequence of Acquire/Release calls (victims ordered largest-grant-first,
+// ties by earliest grant id). Callers that serialize acquisitions — e.g. a
+// single-session server, or a test driving queries one at a time — therefore
+// see identical grants and revocations run to run. Under true concurrency
+// the *interleaving* of acquisitions is the only nondeterminism.
+//
+// Thread-safe. Acquire blocks (it is the backpressure point) until at least
+// min_grant_rows can be produced or the waiting query is cancelled.
+
+#ifndef QPROG_SERVER_MEMORY_GOVERNOR_H_
+#define QPROG_SERVER_MEMORY_GOVERNOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "exec/query_guard.h"
+
+namespace qprog {
+
+struct GovernorOptions {
+  /// Total soft-budget rows shared by all concurrent queries. kNoLimit
+  /// disables arbitration (every query gets its full ask).
+  uint64_t pool_rows = QueryGuard::kNoLimit;
+
+  /// Revocation floor: no active grant is shrunk below this, and no new
+  /// query starts with less. Keep pool_rows >= expected concurrency *
+  /// min_grant_rows or late arrivals block in Acquire until a release.
+  uint64_t min_grant_rows = 64;
+};
+
+class MemoryGovernor {
+ public:
+  struct Grant {
+    uint64_t id = 0;
+    uint64_t rows = 0;  // as granted; revocation later may shrink the guard
+  };
+
+  explicit MemoryGovernor(GovernorOptions options);
+  MemoryGovernor(const MemoryGovernor&) = delete;
+  MemoryGovernor& operator=(const MemoryGovernor&) = delete;
+
+  /// Blocks until min(want, pool) rows — but at least min_grant_rows — can
+  /// be carved out of the free pool plus revocable headroom, then installs
+  /// the grant as `guard`'s soft budget and returns it. Revokes headroom
+  /// from active grants (largest first, down to the floor) when the free
+  /// pool alone is short. If `guard` is cancelled while waiting, returns a
+  /// zero-row Grant (id 0) without touching the guard; the caller should
+  /// let the cancelled query run into its guard check and abort.
+  Grant Acquire(QueryGuard* guard, uint64_t want);
+
+  /// Returns a grant's rows to the pool and wakes waiters. The guard may
+  /// already be destroyed; Release never touches it. No-op for the zero
+  /// Grant{}.
+  void Release(const Grant& grant);
+
+  /// Wakes Acquire waiters so they can observe a cancellation.
+  void Poke();
+
+  uint64_t pool_rows() const { return options_.pool_rows; }
+  uint64_t granted_rows() const;
+  uint64_t free_rows() const;
+  uint64_t active_grants() const;
+  /// Individual victim shrinks performed (one per victim per arbitration).
+  uint64_t revocations() const;
+  uint64_t grants_issued() const;
+
+ private:
+  struct Active {
+    QueryGuard* guard;
+    uint64_t rows;
+  };
+
+  GovernorOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Active> active_;  // grant id -> live grant (id-ordered)
+  uint64_t granted_total_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t revocations_ = 0;
+  uint64_t grants_issued_ = 0;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_SERVER_MEMORY_GOVERNOR_H_

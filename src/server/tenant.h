@@ -1,0 +1,30 @@
+// Per-tenant quotas for the multi-tenant query server. A tenant is a named
+// principal (customer, team, workload class) whose queries share one slice
+// of the server's resources; quotas bound how much of the fleet a single
+// tenant can occupy, so one tenant's burst degrades its own queries before
+// anyone else's (cross-tenant isolation, enforced at admission time).
+
+#ifndef QPROG_SERVER_TENANT_H_
+#define QPROG_SERVER_TENANT_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace qprog {
+
+struct TenantQuota {
+  static constexpr uint64_t kUnlimited = std::numeric_limits<uint64_t>::max();
+
+  /// Queries this tenant may have in flight (queued + running) at once.
+  /// Submissions beyond it are shed with kResourceExhausted, not queued —
+  /// a tenant over its quota must not occupy global queue slots.
+  uint64_t max_concurrent = kUnlimited;
+
+  /// Cap on the sum of *predicted* peak buffered rows across this tenant's
+  /// in-flight queries — the admission-time view of its memory footprint.
+  uint64_t max_inflight_predicted_rows = kUnlimited;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_SERVER_TENANT_H_

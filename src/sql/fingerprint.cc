@@ -1,0 +1,51 @@
+#include "sql/fingerprint.h"
+
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace qprog {
+namespace sql {
+
+namespace {
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+StatusOr<std::string> QueryTemplate(const std::string& query) {
+  StatusOr<std::vector<Token>> tokens = Lex(query);
+  if (!tokens.ok()) return tokens.status();
+  std::string out;
+  out.reserve(query.size());
+  for (const Token& tok : tokens.value()) {
+    if (tok.Is(TokenType::kEnd)) break;
+    if (!out.empty()) out.push_back(' ');
+    switch (tok.type) {
+      case TokenType::kInteger:
+      case TokenType::kFloat:
+      case TokenType::kString:
+        out.push_back('?');
+        break;
+      default:
+        out.append(tok.text);
+        break;
+    }
+  }
+  return out;
+}
+
+uint64_t TemplateFingerprint(const std::string& query) {
+  StatusOr<std::string> tmpl = QueryTemplate(query);
+  return Fnv1a64(tmpl.ok() ? tmpl.value() : query);
+}
+
+}  // namespace sql
+}  // namespace qprog

@@ -1,0 +1,89 @@
+#include "sql/session.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/macros.h"
+#include "obs/telemetry.h"
+#include "sql/fingerprint.h"
+
+namespace qprog {
+namespace sql {
+
+SqlSession::SqlSession(const Database* db, SessionOptions options)
+    : db_(db), options_(std::move(options)) {
+  QPROG_CHECK(db_ != nullptr);
+  QPROG_CHECK(options_.checkpoint_interval > 0);
+}
+
+void SqlSession::RecordWorkload(uint64_t fingerprint, bool completed,
+                                uint64_t work, uint64_t spill_work,
+                                uint64_t peak_buffered_rows,
+                                uint64_t root_rows, uint64_t wall_ns) {
+  if (options_.workload_stats == nullptr) return;
+  WorkloadObservation obs;
+  obs.completed = completed;
+  obs.work = work;
+  obs.spill_work = spill_work;
+  obs.peak_buffered_rows = peak_buffered_rows;
+  obs.root_rows = root_rows;
+  obs.wall_ns = wall_ns;
+  options_.workload_stats->Record(fingerprint, obs);
+}
+
+StatusOr<std::vector<Row>> SqlSession::Execute(const std::string& query) {
+  QPROG_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanSql(query, *db_));
+  ExecContext ctx;
+  ctx.set_guard(options_.guard);
+  ctx.set_fault_injector(options_.fault_injector);
+  ctx.set_spill_manager(options_.spill_manager);
+  ctx.set_worker_pool(options_.worker_pool);
+  ctx.set_telemetry(options_.telemetry);
+  if (options_.fault_injector != nullptr) options_.fault_injector->Reset();
+  ++queries_run_;
+  uint64_t start_ns = MonotonicNanos();
+  StatusOr<std::vector<Row>> rows = TryCollectRows(&plan, &ctx);
+  RecordWorkload(TemplateFingerprint(query), rows.ok(), ctx.work(),
+                 ctx.total_spill_work(), ctx.peak_buffered_rows(),
+                 rows.ok() ? rows.value().size() : 0,
+                 MonotonicNanos() - start_ns);
+  return rows;
+}
+
+StatusOr<ProgressReport> SqlSession::ExecuteMonitored(const std::string& query,
+                                                      const QueryOptions& q) {
+  QPROG_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanSql(query, *db_));
+  // Resolve estimator specs before touching the plan: a malformed per-query
+  // spec ("hybrid:nope") must fail the query, not crash the session.
+  const std::vector<std::string>& specs =
+      q.estimators.empty() ? options_.estimators : q.estimators;
+  std::vector<std::unique_ptr<ProgressEstimator>> estimators;
+  estimators.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    QPROG_ASSIGN_OR_RETURN(std::unique_ptr<ProgressEstimator> e,
+                           CreateEstimator(spec));
+    estimators.push_back(std::move(e));
+  }
+  MonitorOptions mopts;
+  mopts.guard = options_.guard;
+  mopts.fault_injector = options_.fault_injector;
+  mopts.spill_manager = options_.spill_manager;
+  mopts.worker_pool = options_.worker_pool;
+  mopts.telemetry = options_.telemetry;
+  mopts.metrics_registry = options_.metrics_registry;
+  mopts.checkpoint_listener = q.checkpoint_listener;
+  ProgressMonitor monitor(&plan, std::move(estimators), std::move(mopts));
+  uint64_t interval = q.checkpoint_interval > 0 ? q.checkpoint_interval
+                                                : options_.checkpoint_interval;
+  ++queries_run_;
+  uint64_t start_ns = MonotonicNanos();
+  ProgressReport report = monitor.Run(interval);
+  RecordWorkload(TemplateFingerprint(query), report.completed(),
+                 report.total_work, report.spill_work,
+                 report.peak_buffered_rows, report.root_rows,
+                 MonotonicNanos() - start_ns);
+  return report;
+}
+
+}  // namespace sql
+}  // namespace qprog

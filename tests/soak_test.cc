@@ -196,6 +196,8 @@ TEST_F(SoakTest, DisruptionMatrixLeavesNoResidue) {
           EXPECT_EQ(ctx.buffered_rows(), 0u)
               << "buffered-row account not drained";
           EXPECT_EQ(spill.live_runs(), 0u) << "live spill runs leaked";
+          EXPECT_TRUE(spill.live_files().empty())
+              << "live-file registry not drained: " << spill.live_files()[0];
           EXPECT_EQ(CountSpillFiles(dir.string()), 0)
               << "temp spill files leaked";
           guard.ResetCancel();
@@ -230,6 +232,8 @@ TEST_F(SoakTest, DisruptionMatrixLeavesNoResidue) {
             }
           }
           EXPECT_EQ(spill.live_runs(), 0u);
+          EXPECT_TRUE(spill.live_files().empty())
+              << "live-file registry not drained: " << spill.live_files()[0];
           EXPECT_EQ(CountSpillFiles(dir.string()), 0);
           guard.ResetCancel();
         }
@@ -300,6 +304,8 @@ TEST(SoakRecursionTest, TightMemoryRecursiveGraceLeavesNoResidue) {
         << "no recursive re-split happened";
     EXPECT_EQ(ctx.buffered_rows(), 0u) << "buffered-row account not drained";
     EXPECT_EQ(spill.live_runs(), 0u) << "live spill runs leaked";
+    EXPECT_TRUE(spill.live_files().empty())
+        << "live-file registry not drained: " << spill.live_files()[0];
     EXPECT_EQ(CountSpillFiles(dir.string()), 0) << "temp spill files leaked";
     if (expected.empty()) {
       expected = testutil::RowsToString(rows.value());
