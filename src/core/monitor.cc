@@ -5,6 +5,8 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "exec/spill.h"
+#include "obs/eta_model.h"
 
 namespace qprog {
 
@@ -139,6 +141,18 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   BoundsTracker tracker(plan_);
   std::vector<Pipeline> pipelines = DecomposePipelines(*plan_);
 
+  if (options_.eta_model != nullptr) {
+    options_.eta_model->OnRunStart(plan_->nodes().size());
+    if (options_.spill_manager != nullptr) {
+      const SpillDeviceModel& dm = options_.spill_manager->device_model();
+      if (dm.enabled()) {
+        options_.eta_model->SeedSpillDeviceRates(
+            static_cast<double>(dm.write_ns_per_byte),
+            static_cast<double>(dm.read_ns_per_byte));
+      }
+    }
+  }
+
   if (telemetry != nullptr) {
     TraceEvent begin;
     begin.kind = TraceEventKind::kRunBegin;
@@ -191,6 +205,29 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
         cp.estimates.push_back(SanitizeEstimate(e->Estimate(pc)));
       }
     }
+    if (options_.eta_model != nullptr) {
+      // Pending spill bytes: the re-read debt in bytes, estimated from the
+      // manager-wide observed bytes/row. Only priced into the band when a
+      // spill device model is seeded (see EtaModel::OnCheckpoint).
+      double pending_bytes = 0;
+      if (spill_snapshot.spill_rows_pending > 0 &&
+          options_.spill_manager != nullptr) {
+        const SpillStats& ss = options_.spill_manager->stats();
+        uint64_t rows = ss.rows_written.load(std::memory_order_relaxed);
+        uint64_t bytes = ss.bytes_written.load(std::memory_order_relaxed);
+        if (rows > 0) {
+          pending_bytes =
+              static_cast<double>(spill_snapshot.spill_rows_pending) *
+              (static_cast<double>(bytes) / static_cast<double>(rows));
+        }
+      }
+      EtaBand band = options_.eta_model->OnCheckpoint(
+          work, bounds.work_lb, bounds.work_ub,
+          spill_snapshot.spill_rows_pending, pending_bytes, telemetry);
+      cp.eta_seconds = band.eta_s;
+      cp.eta_lo_seconds = band.eta_lo_s;
+      cp.eta_hi_seconds = band.eta_hi_s;
+    }
     if (telemetry != nullptr) {
       // Bounds history first (refinement events carry this checkpoint's
       // work), then the checkpoint, then the estimates it was scored with.
@@ -213,6 +250,19 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
         est.a = cp.estimates[i];
         telemetry->Emit(std::move(est));
       }
+      // ETA band last (schema v4), opt-in per model: wall-clock values only
+      // trace byte-reproducibly under a deterministic clock, so the engine's
+      // byte-identical-trace contracts stay intact for ETA-less traces.
+      if (options_.eta_model != nullptr &&
+          options_.eta_model->trace_enabled()) {
+        TraceEvent eta;
+        eta.kind = TraceEventKind::kEtaSample;
+        eta.work = work;
+        eta.a = cp.eta_seconds;
+        eta.b = cp.eta_lo_seconds;
+        eta.c = cp.eta_hi_seconds;
+        telemetry->Emit(std::move(eta));
+      }
     }
     report.checkpoints.push_back(std::move(cp));
     pc.bounds = nullptr;
@@ -234,6 +284,14 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   report.total_work = ctx.work();
   report.spill_work = ctx.total_spill_work();
   report.peak_buffered_rows = ctx.peak_buffered_rows();
+  if (!report.checkpoints.empty()) {
+    // Latest ETA band — also on partial (cancelled/deadline/budget) reports,
+    // where it is the claim standing at the last sample before the stop.
+    const Checkpoint& last = report.checkpoints.back();
+    report.eta_seconds = last.eta_seconds;
+    report.eta_lo_seconds = last.eta_lo_seconds;
+    report.eta_hi_seconds = last.eta_hi_seconds;
+  }
   if (registry != nullptr) registry->IncrementCounter("runs");
   if (!report.completed()) {
     // The true total is unknowable for an unfinished query: keep the partial

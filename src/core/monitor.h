@@ -7,6 +7,7 @@
 #define QPROG_CORE_MONITOR_H_
 
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@ namespace qprog {
 
 class SpillManager;
 class WorkerPool;
+class EtaModel;
 
 /// One sampling instant.
 struct Checkpoint;
@@ -48,16 +50,27 @@ struct MonitorOptions {
   TelemetryCollector* telemetry = nullptr;
   /// Metrics registry: checkpoint latency and estimator-cost histograms.
   MetricsRegistry* metrics_registry = nullptr;
+  /// Wall-clock ETA model (obs/eta_model.h): when attached, every checkpoint
+  /// additionally carries a sanitized [eta_lo, eta, eta_hi] band, and — if
+  /// the model's trace option is on — a v4 kEtaSample trace event.
+  EtaModel* eta_model = nullptr;
   /// Called after each checkpoint is recorded — the hook a kill-or-wait
   /// policy uses to watch estimates and, e.g., RequestCancel() on the guard.
   std::function<void(const Checkpoint&)> checkpoint_listener;
 };
 struct Checkpoint {
   uint64_t work = 0;            // Curr
-  double true_progress = 0;     // work / total(Q), filled in after the run
+  double true_progress = 0;     // work / true total(Q), filled in after the run
   double work_lb = 0;           // bounds snapshot
   double work_ub = 0;
   std::vector<double> estimates;  // parallel to ProgressReport::names
+  /// Wall-clock ETA band (seconds) sampled by an attached EtaModel
+  /// (obs/eta_model.h). Sanitized: either all three are finite with
+  /// 0 <= eta_lo <= eta <= eta_hi, or all three are +infinity — no model
+  /// attached, or no rate sample yet. Renderers show "--" for infinity.
+  double eta_seconds = std::numeric_limits<double>::infinity();
+  double eta_lo_seconds = std::numeric_limits<double>::infinity();
+  double eta_hi_seconds = std::numeric_limits<double>::infinity();
 };
 
 /// Why a monitored run stopped. Everything except kCompleted describes an
@@ -101,6 +114,16 @@ struct ProgressReport {
   double mu = 0;                        // total(Q) / sum of scanned leaves
                                         // (0 when the run did not complete)
   double scanned_leaf_cardinality = 0;
+
+  /// Latest wall-clock ETA band (seconds), copied from the last checkpoint —
+  /// including on cancellation/deadline partial reports, where it is the
+  /// band claimed at the last sample before the stop. Invariant (enforced by
+  /// EtaModel sanitization, unit-tested): 0 <= eta_lo <= eta <= eta_hi, all
+  /// finite once one checkpoint has landed with a model attached, all
+  /// +infinity otherwise.
+  double eta_seconds = std::numeric_limits<double>::infinity();
+  double eta_lo_seconds = std::numeric_limits<double>::infinity();
+  double eta_hi_seconds = std::numeric_limits<double>::infinity();
 
   /// How the run ended. On an abort, `checkpoints` holds everything sampled
   /// before the stop and `true_progress` stays 0 (the true total is

@@ -1,0 +1,64 @@
+#include "obs/eta_model.h"
+
+#include "common/strings.h"
+
+namespace qprog {
+
+void EtaCalibration::Add(const EtaCalibrationSample& sample) {
+  if (!sample.band.finite()) {
+    ++infinite_bands_;
+    return;
+  }
+  double p = sample.progress;
+  if (p < 0.0) p = 0.0;
+  size_t d = static_cast<size_t>(p * 10.0);
+  if (d > 9) d = 9;
+  DecileStats& s = deciles_[d];
+  ++s.samples;
+  if (sample.actual_remaining_s >= sample.band.eta_lo_s &&
+      sample.actual_remaining_s <= sample.band.eta_hi_s) {
+    ++s.covered;
+  }
+  s.abs_err_sum_s += std::fabs(sample.band.eta_s - sample.actual_remaining_s);
+  s.rel_width_sum += (sample.band.eta_hi_s - sample.band.eta_lo_s) /
+                     std::max(sample.actual_remaining_s, 1e-3);
+}
+
+EtaCalibration::DecileStats EtaCalibration::Overall() const {
+  DecileStats total;
+  for (const DecileStats& s : deciles_) {
+    total.samples += s.samples;
+    total.covered += s.covered;
+    total.abs_err_sum_s += s.abs_err_sum_s;
+    total.rel_width_sum += s.rel_width_sum;
+  }
+  return total;
+}
+
+namespace {
+
+std::string DecileJson(const EtaCalibration::DecileStats& s) {
+  return StringPrintf(
+      "{\"samples\":%llu,\"covered\":%llu,\"coverage\":%.4f,"
+      "\"mean_abs_err_s\":%.6f,\"mean_rel_width\":%.4f}",
+      static_cast<unsigned long long>(s.samples),
+      static_cast<unsigned long long>(s.covered), s.coverage(),
+      s.mean_abs_err_s(), s.mean_rel_width());
+}
+
+}  // namespace
+
+std::string EtaCalibration::ToJson() const {
+  std::string out = "{\"claimed\":0.9,\"overall\":";
+  out += DecileJson(Overall());
+  out += ",\"deciles\":[";
+  for (size_t d = 0; d < 10; ++d) {
+    if (d > 0) out += ',';
+    out += DecileJson(deciles_[d]);
+  }
+  out += StringPrintf("],\"infinite_bands\":%llu}",
+                      static_cast<unsigned long long>(infinite_bands_));
+  return out;
+}
+
+}  // namespace qprog

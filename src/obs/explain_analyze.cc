@@ -109,6 +109,12 @@ std::string ExplainAnalyze(const PhysicalPlan& plan, const ExecContext& ctx,
               .c_str());
     }
   }
+  if (opts.show_eta) {
+    out += StringPrintf("  eta=%s band=[%s,%s]",
+                        FormatRemainingSeconds(opts.eta_seconds).c_str(),
+                        FormatRemainingSeconds(opts.eta_lo_seconds).c_str(),
+                        FormatRemainingSeconds(opts.eta_hi_seconds).c_str());
+  }
   if (opts.telemetry != nullptr && opts.include_timing) {
     out += StringPrintf(
         "  elapsed=%s",

@@ -9,6 +9,7 @@
 #ifndef QPROG_OBS_EXPLAIN_ANALYZE_H_
 #define QPROG_OBS_EXPLAIN_ANALYZE_H_
 
+#include <limits>
 #include <string>
 
 #include "exec/plan.h"
@@ -30,6 +31,16 @@ struct ExplainAnalyzeOptions {
   /// EstimateRemainingSeconds (rendered "--" when not computable).
   double progress_estimate = -1;
   double elapsed_seconds = -1;
+
+  /// When true, the header adds the EtaModel's calibrated band:
+  /// `eta=1.2s band=[0.9s,1.8s]`. Infinite components (no model sample yet,
+  /// e.g. before the first checkpoint) render "--" exactly like the
+  /// remaining-work column. Fill the three figures from a Checkpoint or
+  /// ProgressReport (eta_seconds / eta_lo_seconds / eta_hi_seconds).
+  bool show_eta = false;
+  double eta_seconds = std::numeric_limits<double>::infinity();
+  double eta_lo_seconds = std::numeric_limits<double>::infinity();
+  double eta_hi_seconds = std::numeric_limits<double>::infinity();
 };
 
 /// Renders "12.3s", "450ms" style durations; "--" for +/-inf and NaN (an

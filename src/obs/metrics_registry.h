@@ -125,7 +125,45 @@ class MetricsRegistry {
     return out;
   }
 
+  /// Prometheus text exposition (one scrapeable page): counters as
+  /// `<prefix><name> <value>` counter metrics, histograms as summaries with
+  /// p50/p99 quantile gauges plus `_sum`/`_count`. Metric names are
+  /// sanitized to [a-zA-Z0-9_]; key order is deterministic (sorted), so the
+  /// dump is golden-testable.
+  std::string DumpPrometheus(const std::string& prefix = "qprog_") const {
+    std::string out;
+    for (const auto& [name, value] : counters_) {
+      std::string metric = prefix + SanitizeMetricName(name);
+      out += StringPrintf("# TYPE %s counter\n%s %llu\n", metric.c_str(),
+                          metric.c_str(),
+                          static_cast<unsigned long long>(value));
+    }
+    for (const auto& [name, h] : histograms_) {
+      std::string metric = prefix + SanitizeMetricName(name);
+      out += StringPrintf(
+          "# TYPE %s summary\n"
+          "%s{quantile=\"0.5\"} %.6g\n"
+          "%s{quantile=\"0.99\"} %.6g\n"
+          "%s_sum %.6g\n"
+          "%s_count %llu\n",
+          metric.c_str(), metric.c_str(), h.ApproxPercentile(0.5),
+          metric.c_str(), h.ApproxPercentile(0.99), metric.c_str(), h.sum(),
+          metric.c_str(), static_cast<unsigned long long>(h.count()));
+    }
+    return out;
+  }
+
  private:
+  static std::string SanitizeMetricName(const std::string& name) {
+    std::string out = name;
+    for (char& c : out) {
+      bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_';
+      if (!ok) c = '_';
+    }
+    return out;
+  }
+
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, LatencyHistogram> histograms_;
 };

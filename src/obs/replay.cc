@@ -72,6 +72,18 @@ StatusOr<ReplayResult> ReplayTrace(const std::vector<TraceEvent>& events) {
         report.checkpoints.back().estimates.push_back(ev.a);
         break;
       }
+      case TraceEventKind::kEtaSample: {
+        if (report.checkpoints.empty()) {
+          return InvalidArgument("eta event before the first checkpoint event");
+        }
+        // v4: the recorded band round-trips bit-identically (17 significant
+        // digits), so replayed ETA triples equal the live checkpoint's.
+        Checkpoint& cp = report.checkpoints.back();
+        cp.eta_seconds = ev.a;
+        cp.eta_lo_seconds = ev.b;
+        cp.eta_hi_seconds = ev.c;
+        break;
+      }
       case TraceEventKind::kRunEnd: {
         saw_end = true;
         report.total_work = ev.work;
@@ -99,6 +111,13 @@ StatusOr<ReplayResult> ReplayTrace(const std::vector<TraceEvent>& events) {
       case TraceEventKind::kIoRetry:
         break;  // not needed to rebuild the report
     }
+  }
+  if (!report.checkpoints.empty()) {
+    // Mirror the monitor: the report-level band is the last checkpoint's.
+    const Checkpoint& last = report.checkpoints.back();
+    report.eta_seconds = last.eta_seconds;
+    report.eta_lo_seconds = last.eta_lo_seconds;
+    report.eta_hi_seconds = last.eta_hi_seconds;
   }
   if (!saw_begin) {
     return InvalidArgument("trace has no run_begin event; nothing to replay");

@@ -206,6 +206,8 @@ const char* TraceEventKindToString(TraceEventKind kind) {
       return "spill_end";
     case TraceEventKind::kIoRetry:
       return "io_retry";
+    case TraceEventKind::kEtaSample:
+      return "eta";
   }
   return "?";
 }
@@ -271,6 +273,11 @@ std::string TraceEventToJson(const TraceEvent& event) {
       AppendField(&out, "site", event.name);
       AppendField(&out, "attempt", event.a);
       break;
+    case TraceEventKind::kEtaSample:
+      AppendField(&out, "eta", event.a);
+      AppendField(&out, "eta_lo", event.b);
+      AppendField(&out, "eta_hi", event.c);
+      break;
   }
   out += '}';
   return out;
@@ -284,7 +291,7 @@ StatusOr<TraceEvent> ParseTraceEvent(const std::string& line) {
     return InvalidArgument("trace line missing schema version \"v\"");
   }
   int version = static_cast<int>(json.num("v"));
-  if (version < kMinTraceSchemaVersion || version > kTraceSchemaVersion) {
+  if (!TraceSchemaAccepted(version)) {
     return InvalidArgument(StringPrintf(
         "unsupported trace schema version %d (reader supports %d..%d)",
         version, kMinTraceSchemaVersion, kTraceSchemaVersion));
@@ -348,6 +355,11 @@ StatusOr<TraceEvent> ParseTraceEvent(const std::string& line) {
     event.kind = TraceEventKind::kIoRetry;
     event.name = json.str("site");
     event.a = json.num("attempt");
+  } else if (kind_name == "eta") {
+    event.kind = TraceEventKind::kEtaSample;
+    event.a = json.num("eta");
+    event.b = json.num("eta_lo");
+    event.c = json.num("eta_hi");
   } else {
     return InvalidArgument(
         StringPrintf("unknown trace event \"%s\"", kind_name.c_str()));

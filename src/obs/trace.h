@@ -7,11 +7,14 @@
 // golden-trace tests and the replay-equals-live invariant possible. Wall-time
 // lives in OperatorStats (obs/telemetry.h), never in the trace.
 //
-// Schema versioning: every JSONL line carries `"v":3`. Additions to a schema
-// bump the version; TraceReader accepts any version it knows how to parse
-// (currently 1 through 3 — v2 added the spill/io-retry events, v3 added the
-// Grace recursion `depth` field on spill_begin) and rejects the rest with a
-// clear Status (see DESIGN.md section 8).
+// Schema versioning: every JSONL line carries `"v":N` with
+// N = kTraceSchemaVersion. Bumping a schema is ONE edit — raise
+// kTraceSchemaVersion — because every reader consults the single
+// TraceSchemaAccepted() range predicate below instead of literal version
+// lists. History: v2 added the spill/io-retry events, v3 the Grace recursion
+// `depth` field on spill_begin, v4 the per-checkpoint `eta` event
+// (obs/eta_model.h). Each version is a strict superset of the previous one,
+// so the reader parses the full accepted range (see DESIGN.md section 8).
 
 #ifndef QPROG_OBS_TRACE_H_
 #define QPROG_OBS_TRACE_H_
@@ -25,14 +28,21 @@
 
 namespace qprog {
 
-/// Current trace schema version written by the serializer.
-inline constexpr int kTraceSchemaVersion = 3;
+/// Current trace schema version written by the serializer. A schema bump
+/// edits this constant and nothing else on the reader side.
+inline constexpr int kTraceSchemaVersion = 4;
 
-/// Oldest schema version the reader still parses. Version 1 traces are a
-/// strict subset of version 2 (no spill events), and version 2 is a strict
-/// subset of version 3 (spill_begin without `depth`, which parses as depth
-/// 0), so replay handles all three.
+/// Oldest schema version the reader still parses. Every version since is a
+/// strict superset of its predecessor (absent fields parse as zero values),
+/// so the reader handles the whole range.
 inline constexpr int kMinTraceSchemaVersion = 1;
+
+/// The single accepted-range predicate every reader consults. No code may
+/// compare against version literals directly — this is what makes a version
+/// bump a one-line change that cannot miss a reader.
+inline constexpr bool TraceSchemaAccepted(int version) {
+  return version >= kMinTraceSchemaVersion && version <= kTraceSchemaVersion;
+}
 
 /// Every event type the engine can emit. One enumerator per row in the
 /// DESIGN.md section-8 event taxonomy; serialized under stable string names
@@ -51,6 +61,7 @@ enum class TraceEventKind : uint8_t {
                         // v3 adds the Grace recursion depth in `a`
   kSpillEnd,            // v2: one spill run sealed: rows + bytes written
   kIoRetry,             // v2: transient spill I/O failure, attempt retried
+  kEtaSample,           // v4: sanitized wall-clock ETA band at a checkpoint
 };
 
 const char* TraceEventKindToString(TraceEventKind kind);
@@ -71,6 +82,7 @@ const char* TraceEventKindToString(TraceEventKind kind);
 ///   kSpillBegin         spill phase       -               depth       -
 ///   kSpillEnd           spill phase       -               rows        bytes
 ///   kIoRetry            fault site        -               attempt     -
+///   kEtaSample          -                 -               eta_s       eta_lo_s   (`c` = eta_hi_s)
 struct TraceEvent {
   TraceEventKind kind = TraceEventKind::kRunBegin;
   uint64_t seq = 0;   // collector-assigned, strictly increasing
@@ -80,6 +92,7 @@ struct TraceEvent {
   std::string detail;
   double a = 0.0;
   double b = 0.0;
+  double c = 0.0;  // third payload double (v4: eta_hi); 0 for older kinds
 
   bool operator==(const TraceEvent& other) const = default;
 };

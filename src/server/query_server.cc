@@ -1,10 +1,13 @@
 #include "server/query_server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/macros.h"
 #include "exec/spill.h"
+#include "obs/eta_model.h"
+#include "obs/telemetry.h"
 #include "sql/fingerprint.h"
 
 namespace qprog {
@@ -46,6 +49,7 @@ std::vector<std::string> QueryServer::ResolveEstimatorNames(
 uint64_t QueryServer::Submit(const std::string& tenant,
                              const std::string& query, SubmitOptions opts) {
   std::lock_guard<std::mutex> lock(mu_);
+  metrics_.IncrementCounter("queries_submitted");
   uint64_t id = next_ticket_++;
   auto owned = std::make_unique<Ticket>();
   Ticket* t = owned.get();
@@ -94,6 +98,7 @@ uint64_t QueryServer::Submit(const std::string& tenant,
     t->done = true;
     ++ten.shed;
     ++shed_count_;
+    metrics_.IncrementCounter("queries_shed");
     done_cv_.notify_all();
     return id;
   }
@@ -116,6 +121,7 @@ void QueryServer::FinishLocked(Ticket* t, FleetQueryInfo::State state) {
   inflight_predicted_rows_ -= t->admission.predicted_peak_rows;
   ++ten.completed;
   ++done_count_;
+  metrics_.IncrementCounter("queries_done");
   done_cv_.notify_all();
 }
 
@@ -204,6 +210,9 @@ void QueryServer::RunTicket(Ticket* t) {
   // fault, abort, or leaked spill state in this query cannot leak into any
   // other session's run.
   SpillManager spill(options_.spill_dir);
+  // Per-ticket ETA model: real clock, trace off (the fleet never records
+  // wall-clock events into a query's byte-identical trace).
+  EtaModel eta;
   sql::SessionOptions so;
   so.estimators = options_.estimators;
   so.checkpoint_interval = options_.checkpoint_interval;
@@ -213,8 +222,10 @@ void QueryServer::RunTicket(Ticket* t) {
   so.worker_pool = t->opts.worker_pool;
   so.telemetry = t->opts.telemetry;
   so.workload_stats = &priors_;
+  so.eta_model = &eta;
   sql::SqlSession session(db_, so);
 
+  uint64_t run_start_ns = MonotonicNanos();
   if (t->opts.monitored) {
     sql::QueryOptions qo;
     qo.estimators = t->opts.estimators;
@@ -226,6 +237,9 @@ void QueryServer::RunTicket(Ticket* t) {
         t->latest_estimates = cp.estimates;
         t->latest_lb = cp.work_lb;
         t->latest_ub = cp.work_ub;
+        t->latest_eta_s = cp.eta_seconds;
+        t->latest_eta_lo_s = cp.eta_lo_seconds;
+        t->latest_eta_hi_s = cp.eta_hi_seconds;
       }
       // User listener outside the lock: it may call back into the server
       // (e.g. Cancel for deterministic work-indexed cancellation).
@@ -256,6 +270,8 @@ void QueryServer::RunTicket(Ticket* t) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     t->running_guard = nullptr;
+    metrics_.histogram("query_wall_ns")
+        ->Record(static_cast<double>(MonotonicNanos() - run_start_ns));
   }
   governor_.Release(grant);
 }
@@ -299,6 +315,8 @@ FleetReport QueryServer::Fleet() const {
   std::map<uint64_t, size_t> position;
   for (size_t i = 0; i < queue_.size(); ++i) position[queue_[i]] = i;
 
+  double running_drain_s = 0;   // slowest running query's eta_hi
+  double queued_work_s = 0;     // queued work at historical mean wall time
   fleet.queries.reserve(tickets_.size());
   for (const auto& [id, owned] : tickets_) {
     const Ticket& t = *owned;
@@ -322,6 +340,7 @@ FleetReport QueryServer::Fleet() const {
         uint64_t mean_ns = found ? stats.MeanWallNanos() : 0;
         info.predicted_wait_ns =
             mean_ns * (info.queue_position / options_.sessions + 1);
+        queued_work_s += static_cast<double>(mean_ns) / 1e9;
         break;
       }
       case FleetQueryInfo::State::kRunning:
@@ -329,6 +348,12 @@ FleetReport QueryServer::Fleet() const {
         info.estimates = t.latest_estimates;
         info.work_lb = t.latest_lb;
         info.work_ub = t.latest_ub;
+        info.eta_seconds = t.latest_eta_s;
+        info.eta_lo_seconds = t.latest_eta_lo_s;
+        info.eta_hi_seconds = t.latest_eta_hi_s;
+        if (std::isfinite(t.latest_eta_hi_s)) {
+          running_drain_s = std::max(running_drain_s, t.latest_eta_hi_s);
+        }
         break;
       case FleetQueryInfo::State::kDone:
         info.status = t.result.status;
@@ -336,6 +361,11 @@ FleetReport QueryServer::Fleet() const {
     }
     fleet.queries.push_back(std::move(info));
   }
+  // Drain hint: running work bounded by the slowest upper band; queued work
+  // spread across the session threads at its historical mean wall time.
+  fleet.predicted_drain_seconds =
+      running_drain_s + queued_work_s / static_cast<double>(options_.sessions);
+  fleet.metrics_text = metrics_.DumpPrometheus();
   return fleet;
 }
 

@@ -41,6 +41,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -49,6 +50,7 @@
 #include <vector>
 
 #include "core/monitor.h"
+#include "obs/metrics_registry.h"
 #include "obs/workload_stats.h"
 #include "server/admission.h"
 #include "server/memory_governor.h"
@@ -143,6 +145,11 @@ struct FleetQueryInfo {
   std::vector<double> estimates;
   double work_lb = 0;
   double work_ub = 0;
+  /// Latest calibrated wall-clock band from the ticket's EtaModel; all
+  /// +infinity before the first checkpoint (renderers show "--").
+  double eta_seconds = std::numeric_limits<double>::infinity();
+  double eta_lo_seconds = std::numeric_limits<double>::infinity();
+  double eta_hi_seconds = std::numeric_limits<double>::infinity();
 
   // kDone:
   Status status;
@@ -158,6 +165,15 @@ struct FleetReport {
   uint64_t pool_rows = 0;
   uint64_t granted_rows = 0;
   uint64_t revocations = 0;
+  /// Fleet drain projection, a display hint only: the slowest running
+  /// query's eta_hi plus the queued work priced at each template's
+  /// historical mean wall time spread over the session threads. 0 when the
+  /// fleet is idle or nothing has a finite projection yet.
+  double predicted_drain_seconds = 0;
+  /// Prometheus text exposition of the server's own counters/latencies
+  /// (MetricsRegistry::DumpPrometheus) — one scrape-ready page per
+  /// Fleet() call.
+  std::string metrics_text;
 };
 
 class QueryServer {
@@ -225,6 +241,9 @@ class QueryServer {
     std::vector<double> latest_estimates;
     double latest_lb = 0;
     double latest_ub = 0;
+    double latest_eta_s = std::numeric_limits<double>::infinity();
+    double latest_eta_lo_s = std::numeric_limits<double>::infinity();
+    double latest_eta_hi_s = std::numeric_limits<double>::infinity();
     std::vector<std::string> estimator_names;
     QueryResult result;
   };
@@ -245,6 +264,10 @@ class QueryServer {
   AdmissionController admission_;
 
   mutable std::mutex mu_;
+  /// Server-wide counters + latency histograms (queries submitted / shed /
+  /// done, query wall time). MetricsRegistry is not thread-safe; every
+  /// access is under mu_.
+  MetricsRegistry metrics_;
   std::condition_variable work_cv_;  // session threads: queue / drain
   std::condition_variable done_cv_;  // Wait(): ticket completion
   std::map<uint64_t, std::unique_ptr<Ticket>> tickets_;  // id order

@@ -71,6 +71,7 @@ StatusOr<ProgressReport> SqlSession::ExecuteMonitored(const std::string& query,
   mopts.worker_pool = options_.worker_pool;
   mopts.telemetry = options_.telemetry;
   mopts.metrics_registry = options_.metrics_registry;
+  mopts.eta_model = options_.eta_model;
   mopts.checkpoint_listener = q.checkpoint_listener;
   ProgressMonitor monitor(&plan, std::move(estimators), std::move(mopts));
   uint64_t interval = q.checkpoint_interval > 0 ? q.checkpoint_interval

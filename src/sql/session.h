@@ -54,6 +54,11 @@ struct SessionOptions {
   MetricsRegistry* metrics_registry = nullptr;
   /// Per-template priors sink; shared across sessions (thread-safe).
   WorkloadStatsRegistry* workload_stats = nullptr;
+  /// Wall-clock ETA model for monitored runs; each checkpoint then carries
+  /// a calibrated [eta_lo, eta, eta_hi] band. Like the rest of the
+  /// environment, borrowed — and single-threaded, so one model serves one
+  /// session (the server wires a fresh model per ticket).
+  EtaModel* eta_model = nullptr;
 };
 
 /// Per-query overrides for one ExecuteMonitored call.

@@ -154,24 +154,24 @@ TEST(TraceSchemaTest, GoldenJsonlForFixedPlan) {
   m.set_telemetry(&collector);
   ProgressReport r = m.Run(60);
   ASSERT_TRUE(r.completed());
-  EXPECT_EQ(sink.data(), R"json({"v":3,"seq":0,"event":"run_begin","work":0,"estimators":"dne,pmax","leaf_cardinality":100,"interval":60}
-{"v":3,"seq":1,"event":"operator_open","work":0,"node":2,"op":"SeqScan(t)"}
-{"v":3,"seq":2,"event":"operator_open","work":0,"node":1,"op":"Filter(($0 < 50))"}
-{"v":3,"seq":3,"event":"operator_open","work":0,"node":0,"op":"HashAggregate(0 groups cols, 1 aggs)"}
-{"v":3,"seq":4,"event":"bound_refined","work":60,"node":0,"lb":1,"ub":1}
-{"v":3,"seq":5,"event":"bound_refined","work":60,"node":1,"lb":30,"ub":101}
-{"v":3,"seq":6,"event":"bound_refined","work":60,"node":2,"lb":100,"ub":100}
-{"v":3,"seq":7,"event":"checkpoint","work":60,"work_lb":130,"work_ub":201}
-{"v":3,"seq":8,"event":"estimator","work":60,"name":"dne","estimate":0.29702970297029702}
-{"v":3,"seq":9,"event":"estimator","work":60,"name":"pmax","estimate":0.46153846153846156}
-{"v":3,"seq":10,"event":"bound_refined","work":120,"node":1,"lb":50,"ub":82}
-{"v":3,"seq":11,"event":"checkpoint","work":120,"work_lb":150,"work_ub":182}
-{"v":3,"seq":12,"event":"estimator","work":120,"name":"dne","estimate":0.69306930693069302}
-{"v":3,"seq":13,"event":"estimator","work":120,"name":"pmax","estimate":0.80000000000000004}
-{"v":3,"seq":14,"event":"operator_close","work":150,"node":2,"op":"SeqScan(t)"}
-{"v":3,"seq":15,"event":"operator_close","work":150,"node":1,"op":"Filter(($0 < 50))"}
-{"v":3,"seq":16,"event":"operator_close","work":150,"node":0,"op":"HashAggregate(0 groups cols, 1 aggs)"}
-{"v":3,"seq":17,"event":"run_end","work":150,"termination":"completed","message":"","root_rows":1,"mu":1.5}
+  EXPECT_EQ(sink.data(), R"json({"v":4,"seq":0,"event":"run_begin","work":0,"estimators":"dne,pmax","leaf_cardinality":100,"interval":60}
+{"v":4,"seq":1,"event":"operator_open","work":0,"node":2,"op":"SeqScan(t)"}
+{"v":4,"seq":2,"event":"operator_open","work":0,"node":1,"op":"Filter(($0 < 50))"}
+{"v":4,"seq":3,"event":"operator_open","work":0,"node":0,"op":"HashAggregate(0 groups cols, 1 aggs)"}
+{"v":4,"seq":4,"event":"bound_refined","work":60,"node":0,"lb":1,"ub":1}
+{"v":4,"seq":5,"event":"bound_refined","work":60,"node":1,"lb":30,"ub":101}
+{"v":4,"seq":6,"event":"bound_refined","work":60,"node":2,"lb":100,"ub":100}
+{"v":4,"seq":7,"event":"checkpoint","work":60,"work_lb":130,"work_ub":201}
+{"v":4,"seq":8,"event":"estimator","work":60,"name":"dne","estimate":0.29702970297029702}
+{"v":4,"seq":9,"event":"estimator","work":60,"name":"pmax","estimate":0.46153846153846156}
+{"v":4,"seq":10,"event":"bound_refined","work":120,"node":1,"lb":50,"ub":82}
+{"v":4,"seq":11,"event":"checkpoint","work":120,"work_lb":150,"work_ub":182}
+{"v":4,"seq":12,"event":"estimator","work":120,"name":"dne","estimate":0.69306930693069302}
+{"v":4,"seq":13,"event":"estimator","work":120,"name":"pmax","estimate":0.80000000000000004}
+{"v":4,"seq":14,"event":"operator_close","work":150,"node":2,"op":"SeqScan(t)"}
+{"v":4,"seq":15,"event":"operator_close","work":150,"node":1,"op":"Filter(($0 < 50))"}
+{"v":4,"seq":16,"event":"operator_close","work":150,"node":0,"op":"HashAggregate(0 groups cols, 1 aggs)"}
+{"v":4,"seq":17,"event":"run_end","work":150,"termination":"completed","message":"","root_rows":1,"mu":1.5}
 )json");
 }
 
@@ -578,6 +578,26 @@ TEST(ExplainAnalyzeTest, GoldenTpchQ1) {
     #2 Filter(($10 <= DATE '1998-09-02'))  rows=11886 work=49.7% calls=11887
       #3 SeqScan(lineitem)  rows=12048 (est=12048 logerr=0.00) work=50.3% calls=12049
 )golden");
+
+  // With the ETA column enabled but no model sample yet (the options' bands
+  // default to +inf, as before the first checkpoint), every component
+  // renders "--" exactly like the remaining-work column.
+  opts.show_eta = true;
+  EXPECT_EQ(ExplainAnalyze(plan.value(), ctx, opts),
+            R"golden(work=23938  root_rows=4  eta=-- band=[--,--]
+#0 Sort($0, $1)  rows=4 (est=6 logerr=0.41) calls=5  (root, excluded from work)
+  #1 HashAggregate(2 groups cols, 8 aggs)  rows=4 (est=6 logerr=0.41) work=0.0% calls=5
+    #2 Filter(($10 <= DATE '1998-09-02'))  rows=11886 work=49.7% calls=11887
+      #3 SeqScan(lineitem)  rows=12048 (est=12048 logerr=0.00) work=50.3% calls=12049
+)golden");
+
+  // A finite band renders in duration units.
+  opts.eta_seconds = 1.5;
+  opts.eta_lo_seconds = 0.9;
+  opts.eta_hi_seconds = 2.25;
+  std::string with_band = ExplainAnalyze(plan.value(), ctx, opts);
+  EXPECT_NE(with_band.find("eta=1.5s band=[900ms,2.2s]"), std::string::npos)
+      << with_band;
 }
 
 TEST(RunSummaryTest, SummarizeReportDelegatesToSharedFormatter) {

@@ -589,5 +589,126 @@ TEST_F(QueryServerTest, MidRunRevocationKeepsBoundsAndResult) {
   EXPECT_TRUE(spill.live_files().empty());
 }
 
+// ---------------------------------------------------------------------------
+// WorkloadStatsRegistry under concurrency (run under TSan in CI)
+
+TEST(WorkloadStatsConcurrencyTest, SnapshotIsConsistentUnderConcurrentFeedback) {
+  // Sessions record feedback while the admission path snapshots: every
+  // Snapshot() must observe internally consistent aggregates (no torn
+  // WorkloadStats), and the final state must contain every record.
+  WorkloadStatsRegistry registry;
+  constexpr int kWriters = 4;
+  constexpr int kRecordsPerWriter = 500;
+  constexpr uint64_t kTemplates = 8;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, w] {
+      for (int i = 0; i < kRecordsPerWriter; ++i) {
+        WorkloadObservation obs;
+        obs.completed = (i % 3) != 0;
+        obs.work = 100;
+        obs.peak_buffered_rows = 10;
+        obs.wall_ns = 1000;
+        registry.Record(static_cast<uint64_t>(w * kRecordsPerWriter + i) %
+                            kTemplates,
+                        obs);
+      }
+    });
+  }
+  std::thread reader([&registry, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<WorkloadStatsRegistry::SnapshotEntry> snap =
+          registry.Snapshot();
+      uint64_t prev_fp = 0;
+      bool first = true;
+      for (const auto& entry : snap) {
+        // Sorted, and every aggregate self-consistent: a torn read would
+        // break runs >= completed_runs or the fixed per-record figures.
+        if (!first) EXPECT_GT(entry.fingerprint, prev_fp);
+        first = false;
+        prev_fp = entry.fingerprint;
+        EXPECT_GE(entry.stats.runs, entry.stats.completed_runs);
+        EXPECT_EQ(entry.stats.total_work, entry.stats.runs * 100);
+        EXPECT_EQ(entry.stats.total_peak_buffered_rows,
+                  entry.stats.runs * 10);
+      }
+      registry.Lookup(0);  // concurrent point reads too
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  std::vector<WorkloadStatsRegistry::SnapshotEntry> final_snap =
+      registry.Snapshot();
+  ASSERT_EQ(final_snap.size(), kTemplates);
+  uint64_t total_runs = 0;
+  for (const auto& entry : final_snap) total_runs += entry.stats.runs;
+  EXPECT_EQ(total_runs, static_cast<uint64_t>(kWriters) * kRecordsPerWriter);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet ETA + metrics exposition
+
+TEST_F(QueryServerTest, FleetCarriesEtaBandsMetricsAndDrainHint) {
+  ServerOptions opts;
+  opts.sessions = 1;
+  opts.checkpoint_interval = 64;
+  QueryServer server(db_, opts);
+
+  FaultInjector slow(1);
+  FaultSpec spec;
+  spec.site = faults::kSeqScanNext;
+  spec.latency_spins = 20000;
+  slow.Arm(std::move(spec));
+  SubmitOptions blocker;
+  blocker.fault_injector = &slow;
+  uint64_t t1 = server.Submit("acme", kGroupQuery, blocker);
+  uint64_t t2 = server.Submit("acme", kGroupQuery);
+
+  // Wait until t1 is running with a checkpointed (finite) ETA band.
+  FleetReport fleet;
+  bool saw_band = false;
+  for (int spins = 0; spins < 10000 && !saw_band; ++spins) {
+    fleet = server.Fleet();
+    for (const FleetQueryInfo& q : fleet.queries) {
+      if (q.state == FleetQueryInfo::State::kRunning &&
+          std::isfinite(q.eta_seconds)) {
+        saw_band = true;
+        // The fleet mirror preserves the sanitized invariant.
+        EXPECT_GE(q.eta_lo_seconds, 0.0);
+        EXPECT_LE(q.eta_lo_seconds, q.eta_seconds);
+        EXPECT_LE(q.eta_seconds, q.eta_hi_seconds);
+        // A finite running band feeds the drain projection.
+        EXPECT_GE(fleet.predicted_drain_seconds, q.eta_hi_seconds);
+      }
+    }
+    if (!saw_band) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  EXPECT_TRUE(saw_band) << "no running query ever exposed a finite ETA band";
+
+  server.Wait(t1);
+  server.Wait(t2);
+  fleet = server.Fleet();
+  // Done queries drop out of the projection; an idle fleet drains in ~0.
+  EXPECT_EQ(fleet.predicted_drain_seconds, 0.0);
+  // The Prometheus page reflects the server's own counters.
+  EXPECT_NE(fleet.metrics_text.find(
+                "# TYPE qprog_queries_submitted counter\n"
+                "qprog_queries_submitted 2\n"),
+            std::string::npos)
+      << fleet.metrics_text;
+  EXPECT_NE(fleet.metrics_text.find("qprog_queries_done 2"),
+            std::string::npos)
+      << fleet.metrics_text;
+  EXPECT_NE(fleet.metrics_text.find("qprog_query_wall_ns_count 2"),
+            std::string::npos)
+      << fleet.metrics_text;
+}
+
 }  // namespace
 }  // namespace qprog
