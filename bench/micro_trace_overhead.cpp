@@ -111,9 +111,10 @@ int main() {
 
   // Monitored run with a registry, for the checkpoint/estimator histograms.
   MetricsRegistry registry;
+  MonitorOptions mon_opts;
+  mon_opts.metrics_registry = &registry;
   ProgressMonitor monitor =
-      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax", "safe"});
-  monitor.set_metrics_registry(&registry);
+      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax", "safe"}, mon_opts);
   ProgressReport report = monitor.Run(10000);
   QPROG_CHECK(report.completed());
 

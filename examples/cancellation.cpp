@@ -65,9 +65,9 @@ int main() {
   //    the query is less than a quarter done after 100k getnext calls — a
   //    kill-or-wait policy expressed as a checkpoint listener.
   QueryGuard guard;
-  ProgressMonitor monitor = ProgressMonitor::WithEstimators(&plan, {"safe"});
-  monitor.set_guard(&guard);
-  monitor.set_checkpoint_listener([&](const Checkpoint& cp) {
+  MonitorOptions watch_opts;
+  watch_opts.guard = &guard;
+  watch_opts.checkpoint_listener = [&](const Checkpoint& cp) {
     double est = cp.estimates[0];
     std::printf("  work=%-8llu safe=%.3f\n",
                 static_cast<unsigned long long>(cp.work), est);
@@ -75,16 +75,25 @@ int main() {
       std::printf("  -> too slow, cancelling\n");
       guard.RequestCancel();
     }
-  });
+  };
   std::printf("-- kill-or-wait run --\n");
-  ProgressReport cancelled = monitor.Run(50000);
-  PrintOutcome("listener cancel:", cancelled);
+  {
+    ProgressMonitor monitor =
+        ProgressMonitor::WithEstimators(&plan, {"safe"}, watch_opts);
+    PrintOutcome("listener cancel:", monitor.Run(50000));
+  }
 
-  // 2. The same query under a hard work budget.
+  // 2. The same query under a hard work budget. The environment is fixed at
+  //    construction, so each phase builds its own monitor.
+  MonitorOptions guard_opts;
+  guard_opts.guard = &guard;
   guard.ResetCancel();
   guard.set_max_work(200000);
-  monitor.set_checkpoint_listener(nullptr);
-  PrintOutcome("work budget:", monitor.Run(50000));
+  {
+    ProgressMonitor monitor =
+        ProgressMonitor::WithEstimators(&plan, {"safe"}, guard_opts);
+    PrintOutcome("work budget:", monitor.Run(50000));
+  }
   guard.set_max_work(QueryGuard::kNoLimit);
 
   // 3. Deterministic fault injection: the scan dies at row 300000; the
@@ -95,11 +104,18 @@ int main() {
   fault.fail_on_hit = 300000;
   fault.message = "simulated I/O error";
   injector.Arm(std::move(fault));
-  monitor.set_fault_injector(&injector);
-  PrintOutcome("injected fault:", monitor.Run(50000));
-  monitor.set_fault_injector(nullptr);
+  MonitorOptions fault_opts;
+  fault_opts.guard = &guard;
+  fault_opts.fault_injector = &injector;
+  {
+    ProgressMonitor monitor =
+        ProgressMonitor::WithEstimators(&plan, {"safe"}, fault_opts);
+    PrintOutcome("injected fault:", monitor.Run(50000));
+  }
 
   // 4. Untouched, the query completes and the report carries true progress.
+  ProgressMonitor monitor =
+      ProgressMonitor::WithEstimators(&plan, {"safe"}, guard_opts);
   PrintOutcome("clean run:", monitor.Run(50000));
   return 0;
 }

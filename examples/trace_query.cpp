@@ -42,9 +42,10 @@ int main(int argc, char** argv) {
   // --- 1. Live run, tracing every event to a JSONL file. ------------------
   JsonlFileSink sink(trace_path);
   TelemetryCollector collector(&sink);
+  MonitorOptions mon_opts;
+  mon_opts.telemetry = &collector;
   ProgressMonitor monitor = ProgressMonitor::WithEstimators(
-      &plan.value(), {"dne", "pmax", "safe"});
-  monitor.set_telemetry(&collector);
+      &plan.value(), {"dne", "pmax", "safe"}, mon_opts);
   ProgressReport live = monitor.RunWithApproxCheckpoints(50);
   sink.Close();
   QPROG_CHECK_MSG(sink.ok(), "%s", sink.status().ToString().c_str());

@@ -169,14 +169,42 @@ bool ParseFullSize(const std::string& text, size_t* out) {
 
 }  // namespace
 
+AutoEstimator::AutoEstimator(std::unique_ptr<ProgressEstimator> inner)
+    : inner_(std::move(inner)) {
+  QPROG_CHECK(inner_ != nullptr);
+  pick_ = inner_->name();
+}
+
+double AutoEstimator::Estimate(const ProgressContext& pc) const {
+  return inner_->Estimate(pc);
+}
+
 StatusOr<std::unique_ptr<ProgressEstimator>> CreateEstimator(
     const std::string& spec) {
-  // "name" or "name:param" — only hybrid and window take a parameter.
+  // "name" or "name:param" — only hybrid, window and auto take a parameter.
   const size_t colon = spec.find(':');
   const bool has_param = colon != std::string::npos;
   const std::string name = has_param ? spec.substr(0, colon) : spec;
   const std::string param = has_param ? spec.substr(colon + 1) : std::string();
 
+  if (name == "auto") {
+    // "auto" = the cold fallback; "auto:<spec>" wraps the resolved pick.
+    // Only fixed estimators may be wrapped — nesting auto would hide which
+    // concrete estimator a report column came from.
+    const std::string inner_spec = has_param ? param : "dne_bounded";
+    if (inner_spec == "auto" || inner_spec.rfind("auto:", 0) == 0) {
+      return InvalidArgument(StringPrintf(
+          "estimator spec '%s': auto cannot wrap auto", spec.c_str()));
+    }
+    auto inner = CreateEstimator(inner_spec);
+    if (!inner.ok()) {
+      return InvalidArgument(StringPrintf(
+          "estimator spec '%s': bad inner spec: %s", spec.c_str(),
+          inner.status().message().c_str()));
+    }
+    return std::unique_ptr<ProgressEstimator>(
+        new AutoEstimator(std::move(inner).value()));
+  }
   if (name == "hybrid") {
     double mu_threshold = 3.0;
     if (has_param &&

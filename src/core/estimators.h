@@ -147,14 +147,37 @@ class WindowEstimator : public ProgressEstimator {
   mutable std::vector<std::pair<double, double>> history_;
 };
 
+/// The König-style robust choice (PAPERS.md: "A Statistical Approach Towards
+/// Robust Progress Estimation"): a named wrapper around whichever fixed
+/// estimator the cross-run registry picked for the query's template. The
+/// wrapper reports name() "auto" — the report column stays stable across
+/// queries whose pick differs — while pick() exposes the inner estimator for
+/// fleet display. With no history (cold template, or no registry attached)
+/// the deterministic fallback is dne_bounded: bounded error on scan-based
+/// plans, never the unbounded dne tail.
+class AutoEstimator : public ProgressEstimator {
+ public:
+  /// Wraps `inner` (must be non-null); `inner->name()` becomes pick().
+  explicit AutoEstimator(std::unique_ptr<ProgressEstimator> inner);
+  double Estimate(const ProgressContext& pc) const override;
+  std::string name() const override { return "auto"; }
+  /// The wrapped estimator's name ("dne_bounded" when cold).
+  const std::string& pick() const { return pick_; }
+
+ private:
+  std::unique_ptr<ProgressEstimator> inner_;
+  std::string pick_;
+};
+
 /// Factory. `spec` is an estimator name — "dne", "pmax", "safe",
-/// "dne_bounded", "dne_pessimistic", "hybrid", "window" — optionally
+/// "dne_bounded", "dne_pessimistic", "hybrid", "window", "auto" — optionally
 /// followed by ":" and a constructor parameter for the estimators that take
 /// one: "hybrid:2.5" sets the mu threshold (a positive double), "window:32"
-/// the history length (a positive integer). A bare name uses the default
-/// parameter. Returns kInvalidArgument for unknown names, malformed or
-/// out-of-range parameters, and parameters passed to estimators that take
-/// none ("dne:2").
+/// the history length (a positive integer), "auto:pmax" the inner estimator
+/// an AutoEstimator wraps (any non-auto spec; bare "auto" wraps the
+/// dne_bounded cold fallback). A bare name uses the default parameter.
+/// Returns kInvalidArgument for unknown names, malformed or out-of-range
+/// parameters, and parameters passed to estimators that take none ("dne:2").
 StatusOr<std::unique_ptr<ProgressEstimator>> CreateEstimator(
     const std::string& spec);
 

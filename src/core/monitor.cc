@@ -284,6 +284,18 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
   report.total_work = ctx.work();
   report.spill_work = ctx.total_spill_work();
   report.peak_buffered_rows = ctx.peak_buffered_rows();
+  report.plan_signature = PlanSignature(*plan_);
+  report.node_stats.reserve(plan_->num_nodes());
+  for (const PhysicalOperator* op : plan_->nodes()) {
+    NodeRunStat ns;
+    ns.node_id = op->node_id();
+    ProgressState state;
+    op->FillProgressState(ctx, &state);
+    ns.actual_rows = state.rows_produced;
+    ns.estimated_rows = op->estimated_rows();
+    if (telemetry != nullptr) ns.next_ns = telemetry->stats(ns.node_id).next_ns;
+    report.node_stats.push_back(ns);
+  }
   if (!report.checkpoints.empty()) {
     // Latest ETA band — also on partial (cancelled/deadline/budget) reports,
     // where it is the claim standing at the last sample before the stop.

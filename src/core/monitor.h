@@ -29,8 +29,9 @@ struct Checkpoint;
 
 /// Everything a ProgressMonitor borrows, gathered into one construction-time
 /// options struct. All pointers are borrowed and may be null; the listener
-/// may be empty. Prefer passing this to the constructor over the individual
-/// set_* methods, which survive only as deprecated forwarders.
+/// may be empty. This is the only way to wire the environment: the options
+/// are fixed at construction, so a monitor's borrowed pointers never change
+/// mid-lifetime.
 struct MonitorOptions {
   /// Resource guard enforced during monitored runs: cancellation is honored
   /// within one checkpoint interval, and budget / deadline violations end
@@ -99,6 +100,17 @@ struct EstimatorMetrics {
   double avg_ratio_err = 1;
 };
 
+/// Per-node cardinality outcome of one monitored run — the raw material of
+/// cross-run priors (obs/cross_run_registry.h). Filled by the monitor at run
+/// end from the execution counters, so consumers need no access to the
+/// internal ExecContext.
+struct NodeRunStat {
+  int node_id = -1;
+  uint64_t actual_rows = 0;    // rows handed to the parent
+  double estimated_rows = -1;  // planner estimate; < 0 when unknown
+  uint64_t next_ns = 0;        // inclusive getnext time (0 without telemetry)
+};
+
 struct ProgressReport {
   std::vector<std::string> names;       // estimator names
   std::vector<Checkpoint> checkpoints;  // in work order
@@ -124,6 +136,12 @@ struct ProgressReport {
   double eta_seconds = std::numeric_limits<double>::infinity();
   double eta_lo_seconds = std::numeric_limits<double>::infinity();
   double eta_hi_seconds = std::numeric_limits<double>::infinity();
+
+  /// Structural fingerprint of the executed plan (PlanSignature); guards
+  /// cross-run priors against plan-shape drift within a template.
+  uint64_t plan_signature = 0;
+  /// Per-node cardinality outcomes, indexed by node id.
+  std::vector<NodeRunStat> node_stats;
 
   /// How the run ended. On an abort, `checkpoints` holds everything sampled
   /// before the stop and `true_progress` stays 0 (the true total is
@@ -156,35 +174,6 @@ class ProgressMonitor {
   static ProgressMonitor WithEstimators(PhysicalPlan* plan,
                                         const std::vector<std::string>& names,
                                         MonitorOptions options = MonitorOptions());
-
-  // Deprecated setters, kept as thin forwarders into the options struct for
-  // callers predating MonitorOptions. Prefer passing MonitorOptions at
-  // construction; these may be removed once no caller remains.
-
-  /// \deprecated Use MonitorOptions::guard.
-  void set_guard(QueryGuard* guard) { options_.guard = guard; }
-  /// \deprecated Use MonitorOptions::fault_injector.
-  void set_fault_injector(FaultInjector* injector) {
-    options_.fault_injector = injector;
-  }
-  /// \deprecated Use MonitorOptions::spill_manager.
-  void set_spill_manager(SpillManager* spill) {
-    options_.spill_manager = spill;
-  }
-  /// \deprecated Use MonitorOptions::worker_pool.
-  void set_worker_pool(WorkerPool* pool) { options_.worker_pool = pool; }
-  /// \deprecated Use MonitorOptions::checkpoint_listener.
-  void set_checkpoint_listener(std::function<void(const Checkpoint&)> listener) {
-    options_.checkpoint_listener = std::move(listener);
-  }
-  /// \deprecated Use MonitorOptions::telemetry.
-  void set_telemetry(TelemetryCollector* telemetry) {
-    options_.telemetry = telemetry;
-  }
-  /// \deprecated Use MonitorOptions::metrics_registry.
-  void set_metrics_registry(MetricsRegistry* registry) {
-    options_.metrics_registry = registry;
-  }
 
   /// Executes the plan to completion (or until a guardrail stops it),
   /// checkpointing every `checkpoint_interval` units of work (getnext

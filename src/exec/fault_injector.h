@@ -53,6 +53,13 @@ inline constexpr char kStreamAggregateNext[] = "streamagg.next";
 inline constexpr char kSpillOpen[] = "spill.open";
 inline constexpr char kSpillWrite[] = "spill.write";
 inline constexpr char kSpillRead[] = "spill.read";
+// Cross-run registry persistence sites (storage/registry_log.h), consulted
+// through the log's fault hook once per open / append / compact. Transient
+// faults exercise the deterministic retry path; permanent ones must surface
+// as clean errors with no partial on-disk state.
+inline constexpr char kRegistryOpen[] = "registry.open";
+inline constexpr char kRegistryAppend[] = "registry.append";
+inline constexpr char kRegistryCompact[] = "registry.compact";
 }  // namespace faults
 
 /// Failure taxonomy. A permanent fault latches: once fired, every later hit

@@ -96,4 +96,20 @@ bool PlanSupportsRewind(const PhysicalPlan& plan) {
   return true;
 }
 
+uint64_t PlanSignature(const PhysicalPlan& plan) {
+  // FNV-1a 64 over the pre-order (kind, child-count) byte stream. nodes()
+  // is pre-order, so the sequence plus per-node child counts pins down the
+  // tree shape exactly.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t byte) {
+    h ^= byte & 0xFF;
+    h *= 1099511628211ULL;
+  };
+  for (const PhysicalOperator* op : plan.nodes()) {
+    mix(static_cast<uint64_t>(op->kind()));
+    mix(op->num_children());
+  }
+  return h;
+}
+
 }  // namespace qprog

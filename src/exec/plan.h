@@ -74,6 +74,15 @@ uint64_t MeasureTotalWork(PhysicalPlan* plan);
 /// (see PhysicalOperator::SupportsRewind).
 bool PlanSupportsRewind(const PhysicalPlan& plan);
 
+/// Structural fingerprint of the plan: FNV-1a 64 over the pre-order
+/// (kind, child-count) sequence. Two plans share a signature iff they have
+/// the same operator tree shape, independent of literals, estimates, and
+/// runtime state. Cross-run priors (obs/cross_run_registry.h) are keyed by
+/// (template fingerprint, node id) and guarded by this signature: a template
+/// whose plan shape changed — new index picked, join reordered — must not
+/// re-seed node estimates from the old shape's history.
+uint64_t PlanSignature(const PhysicalPlan& plan);
+
 }  // namespace qprog
 
 #endif  // QPROG_EXEC_PLAN_H_

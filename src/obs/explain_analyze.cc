@@ -19,7 +19,8 @@ std::string FormatNanos(uint64_t ns) {
 }
 
 void RenderNode(const PhysicalOperator* op, const ExecContext& ctx,
-                const ExplainAnalyzeOptions& opts, int depth,
+                const ExplainAnalyzeOptions& opts,
+                const CrossRunTemplateStats* xrun, int depth,
                 std::string* out) {
   int id = op->node_id();
   ProgressState state;
@@ -34,6 +35,14 @@ void RenderNode(const PhysicalOperator* op, const ExecContext& ctx,
                                op->estimated_rows());
     out->append(StringPrintf(" (est=%.0f logerr=%.2f)", op->estimated_rows(),
                              err));
+  }
+  if (xrun != nullptr) {
+    auto it = xrun->nodes.find(id);
+    if (it != xrun->nodes.end() && it->second.runs > 0) {
+      out->append(StringPrintf(
+          " xrun_err=%.2f runs=%llu", it->second.RmsLogError(),
+          static_cast<unsigned long long>(it->second.runs)));
+    }
   }
   // Work attribution uses the raw getnext counter: for a merged-predicate
   // scan that counts examined rows, which is what the work model charges.
@@ -76,7 +85,7 @@ void RenderNode(const PhysicalOperator* op, const ExecContext& ctx,
   if (op->is_root()) out->append("  (root, excluded from work)");
   out->push_back('\n');
   for (size_t i = 0; i < op->num_children(); ++i) {
-    RenderNode(op->child(i), ctx, opts, depth + 1, out);
+    RenderNode(op->child(i), ctx, opts, xrun, depth + 1, out);
   }
 }
 
@@ -125,7 +134,13 @@ std::string ExplainAnalyze(const PhysicalPlan& plan, const ExecContext& ctx,
   }
   out += '\n';
   if (!plan.nodes().empty()) {
-    RenderNode(plan.root(), ctx, opts, 0, &out);
+    // One registry lookup for the whole tree; nodes render from the copy.
+    CrossRunTemplateStats xrun;
+    bool have_xrun = false;
+    if (opts.cross_run != nullptr) {
+      xrun = opts.cross_run->Lookup(opts.fingerprint, &have_xrun);
+    }
+    RenderNode(plan.root(), ctx, opts, have_xrun ? &xrun : nullptr, 0, &out);
   }
   return out;
 }

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "exec/plan.h"
+#include "obs/cross_run_registry.h"
 #include "obs/telemetry.h"
 
 namespace qprog {
@@ -41,6 +42,13 @@ struct ExplainAnalyzeOptions {
   double eta_seconds = std::numeric_limits<double>::infinity();
   double eta_lo_seconds = std::numeric_limits<double>::infinity();
   double eta_hi_seconds = std::numeric_limits<double>::infinity();
+
+  /// Cross-run history column: with both set, nodes whose (fingerprint,
+  /// node id) pair has recorded history gain `xrun_err=<rms> runs=<n>` —
+  /// this template's historical RMS cardinality log-error at that node
+  /// (obs/cross_run_registry.h). Deterministic given the registry state.
+  const CrossRunRegistry* cross_run = nullptr;
+  uint64_t fingerprint = 0;
 };
 
 /// Renders "12.3s", "450ms" style durations; "--" for +/-inf and NaN (an

@@ -20,6 +20,22 @@ void WorkloadStatsRegistry::Record(uint64_t fingerprint,
   stats.max_work = std::max(stats.max_work, obs.work);
 }
 
+void WorkloadStatsRegistry::Merge(uint64_t fingerprint,
+                                  const WorkloadStats& incoming) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkloadStats& stats = by_template_[fingerprint];
+  stats.runs += incoming.runs;
+  stats.completed_runs += incoming.completed_runs;
+  stats.total_work += incoming.total_work;
+  stats.total_spill_work += incoming.total_spill_work;
+  stats.total_root_rows += incoming.total_root_rows;
+  stats.total_wall_ns += incoming.total_wall_ns;
+  stats.total_peak_buffered_rows += incoming.total_peak_buffered_rows;
+  stats.max_peak_buffered_rows =
+      std::max(stats.max_peak_buffered_rows, incoming.max_peak_buffered_rows);
+  stats.max_work = std::max(stats.max_work, incoming.max_work);
+}
+
 WorkloadStats WorkloadStatsRegistry::Lookup(uint64_t fingerprint,
                                             bool* found) const {
   std::lock_guard<std::mutex> lock(mu_);

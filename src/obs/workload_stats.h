@@ -66,6 +66,12 @@ class WorkloadStatsRegistry {
   /// Folds one run's figures into the template's aggregate.
   void Record(uint64_t fingerprint, const WorkloadObservation& obs);
 
+  /// Folds a whole precomputed aggregate into the template's entry — the
+  /// restore path when priors are reloaded from the cross-run registry's
+  /// crash-safe log (obs/cross_run_registry.h). Sums add, maxima max-merge;
+  /// merging into a fresh registry reproduces the saved aggregates exactly.
+  void Merge(uint64_t fingerprint, const WorkloadStats& stats);
+
   /// The aggregate for `fingerprint`; `found` (optional) reports whether any
   /// observation exists. An unseen template returns a zero aggregate.
   WorkloadStats Lookup(uint64_t fingerprint, bool* found = nullptr) const;

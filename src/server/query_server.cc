@@ -20,6 +20,12 @@ QueryServer::QueryServer(const Database* db, ServerOptions options)
   QPROG_CHECK(db_ != nullptr);
   QPROG_CHECK(options_.sessions > 0);
   QPROG_CHECK(options_.checkpoint_interval > 0);
+  if (options_.cross_run != nullptr) {
+    // Rehydrate the admission priors from the crash-safe registry: the
+    // controller predicts from the same per-template aggregates it had
+    // before the restart.
+    options_.cross_run->ExportWorkloadStats(&priors_);
+  }
   threads_.reserve(options_.sessions);
   for (size_t i = 0; i < options_.sessions; ++i) {
     threads_.emplace_back(&QueryServer::SessionLoop, this);
@@ -59,6 +65,27 @@ uint64_t QueryServer::Submit(const std::string& tenant,
   t->opts = std::move(opts);
   t->fingerprint = sql::TemplateFingerprint(query);
   t->estimator_names = ResolveEstimatorNames(t->opts.estimators);
+  if (options_.cross_run != nullptr) {
+    // Resolve "auto" once, here, from the registry state at submission: the
+    // pick rides on the ticket into the session (QueryOptions::auto_pick),
+    // so the fleet row and the run agree even though concurrent runs keep
+    // updating the registry between Submit and execution.
+    const std::vector<std::string>& specs =
+        t->opts.estimators.empty() ? options_.estimators : t->opts.estimators;
+    for (const std::string& spec : specs) {
+      if (spec != "auto") continue;
+      t->auto_pick = options_.cross_run->SelectEstimator(
+          t->fingerprint, options_.cross_run_min_runs);
+      CrossRunTemplateStats stats =
+          options_.cross_run->Lookup(t->fingerprint);
+      auto es = stats.estimators.find(t->auto_pick);
+      if (es != stats.estimators.end() &&
+          es->second.runs >= options_.cross_run_min_runs) {
+        t->auto_rms_error = es->second.RmsError();
+      }
+      break;
+    }
+  }
   tickets_.emplace(id, std::move(owned));
 
   if (draining_) {
@@ -222,6 +249,9 @@ void QueryServer::RunTicket(Ticket* t) {
   so.worker_pool = t->opts.worker_pool;
   so.telemetry = t->opts.telemetry;
   so.workload_stats = &priors_;
+  so.cross_run = options_.cross_run;
+  so.cross_run_feedback = options_.cross_run_feedback;
+  so.cross_run_min_runs = options_.cross_run_min_runs;
   so.eta_model = &eta;
   sql::SqlSession session(db_, so);
 
@@ -230,6 +260,7 @@ void QueryServer::RunTicket(Ticket* t) {
     sql::QueryOptions qo;
     qo.estimators = t->opts.estimators;
     qo.checkpoint_interval = t->opts.checkpoint_interval;
+    qo.auto_pick = t->auto_pick;
     qo.checkpoint_listener = [this, t](const Checkpoint& cp) {
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -328,6 +359,8 @@ FleetReport QueryServer::Fleet() const {
     info.predicted_peak_rows = t.admission.predicted_peak_rows;
     info.granted_rows = t.granted_rows;
     info.estimator_names = t.estimator_names;
+    info.auto_pick = t.auto_pick;
+    info.auto_rms_error = t.auto_rms_error;
     switch (t.state) {
       case FleetQueryInfo::State::kQueued: {
         auto pos = position.find(t.id);

@@ -78,6 +78,18 @@ struct ServerOptions {
 
   /// Quota for tenants never registered explicitly.
   TenantQuota default_quota;
+
+  /// Cross-run estimator registry (obs/cross_run_registry.h), shared and
+  /// caller-owned. When attached: its persisted workload aggregates seed the
+  /// admission priors at construction (predictions survive a restart),
+  /// every session threads it through for recording and prior feedback, and
+  /// an "auto" estimator spec is resolved per ticket at Submit time — the
+  /// pick rides on the ticket, so the fleet display and the run agree even
+  /// while concurrent runs keep learning.
+  CrossRunRegistry* cross_run = nullptr;
+  /// Forwarded to each session's SessionOptions (see sql/session.h).
+  bool cross_run_feedback = true;
+  uint64_t cross_run_min_runs = 3;
 };
 
 /// Per-submission overrides. All pointers are borrowed and must outlive the
@@ -138,6 +150,13 @@ struct FleetQueryInfo {
   /// Hint only (wall-clock prior x position / sessions); never feeds any
   /// decision.
   uint64_t predicted_wait_ns = 0;
+
+  /// Auto-selection (only when an "auto" spec was submitted with a cross-run
+  /// registry attached): the fixed estimator picked for this template at
+  /// Submit time, and its historical RMS terminal error (-1 for a cold
+  /// template running the fallback).
+  std::string auto_pick;
+  double auto_rms_error = -1;
 
   // kRunning (latest checkpoint, if any yet):
   uint64_t work = 0;
@@ -231,6 +250,8 @@ class QueryServer {
     uint64_t fingerprint = 0;
     SubmitOptions opts;
     AdmissionDecision admission;
+    std::string auto_pick;       // Submit-time auto resolution ("" = no auto)
+    double auto_rms_error = -1;  // pick's historical RMS error (-1 = cold)
     FleetQueryInfo::State state = FleetQueryInfo::State::kQueued;
     bool done = false;
     bool cancel_requested = false;

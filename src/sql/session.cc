@@ -53,10 +53,47 @@ StatusOr<std::vector<Row>> SqlSession::Execute(const std::string& query) {
 StatusOr<ProgressReport> SqlSession::ExecuteMonitored(const std::string& query,
                                                       const QueryOptions& q) {
   QPROG_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanSql(query, *db_));
+  const uint64_t fingerprint = TemplateFingerprint(query);
+  // Cross-run prior feedback: re-seed the plan's estimated_rows from the
+  // template's observed cardinalities before any estimator sees the plan.
+  // Guarded inside ApplyPriors (plan-signature match, static-bound clamp);
+  // rejected priors leave a metrics breadcrumb instead of touching the plan.
+  if (options_.cross_run != nullptr && options_.cross_run_feedback) {
+    CrossRunPriorReport priors = options_.cross_run->ApplyPriors(
+        fingerprint, &plan, options_.cross_run_min_runs);
+    if (options_.metrics_registry != nullptr) {
+      MetricsRegistry* m = options_.metrics_registry;
+      if (priors.nodes_reseeded > 0) {
+        m->IncrementCounter("cross_run.nodes_reseeded",
+                            static_cast<uint64_t>(priors.nodes_reseeded));
+      }
+      if (priors.priors_rejected > 0) {
+        m->IncrementCounter("cross_run.priors_rejected",
+                            static_cast<uint64_t>(priors.priors_rejected));
+      }
+      if (priors.signature_mismatch) {
+        m->IncrementCounter("cross_run.signature_mismatch");
+      }
+    }
+  }
   // Resolve estimator specs before touching the plan: a malformed per-query
-  // spec ("hybrid:nope") must fail the query, not crash the session.
-  const std::vector<std::string>& specs =
+  // spec ("hybrid:nope") must fail the query, not crash the session. A bare
+  // "auto" spec resolves here: the server's Submit-time pick wins when
+  // provided; otherwise the registry selects (deterministically, given its
+  // state), falling back to dne_bounded for cold templates.
+  std::vector<std::string> specs =
       q.estimators.empty() ? options_.estimators : q.estimators;
+  for (std::string& spec : specs) {
+    if (spec != "auto") continue;
+    if (!q.auto_pick.empty()) {
+      spec = "auto:" + q.auto_pick;
+    } else if (options_.cross_run != nullptr) {
+      spec = "auto:" + options_.cross_run->SelectEstimator(
+                           fingerprint, options_.cross_run_min_runs);
+    }
+    // With no registry, bare "auto" stays — CreateEstimator wraps the
+    // dne_bounded cold fallback.
+  }
   std::vector<std::unique_ptr<ProgressEstimator>> estimators;
   estimators.reserve(specs.size());
   for (const std::string& spec : specs) {
@@ -79,10 +116,19 @@ StatusOr<ProgressReport> SqlSession::ExecuteMonitored(const std::string& query,
   ++queries_run_;
   uint64_t start_ns = MonotonicNanos();
   ProgressReport report = monitor.Run(interval);
-  RecordWorkload(TemplateFingerprint(query), report.completed(),
-                 report.total_work, report.spill_work,
-                 report.peak_buffered_rows, report.root_rows,
-                 MonotonicNanos() - start_ns);
+  uint64_t wall_ns = MonotonicNanos() - start_ns;
+  RecordWorkload(fingerprint, report.completed(), report.total_work,
+                 report.spill_work, report.peak_buffered_rows,
+                 report.root_rows, wall_ns);
+  if (options_.cross_run != nullptr) {
+    // Recording is best-effort: a log I/O failure must not fail the query —
+    // the report is already in hand. The error is surfaced as a breadcrumb.
+    Status recorded = options_.cross_run->RecordRun(
+        BuildCrossRunObservation(fingerprint, report, wall_ns));
+    if (!recorded.ok() && options_.metrics_registry != nullptr) {
+      options_.metrics_registry->IncrementCounter("cross_run.record_errors");
+    }
+  }
   return report;
 }
 

@@ -29,6 +29,7 @@
 
 #include "common/statusor.h"
 #include "core/monitor.h"
+#include "obs/cross_run_registry.h"
 #include "obs/workload_stats.h"
 #include "sql/planner.h"
 #include "storage/catalog.h"
@@ -54,6 +55,18 @@ struct SessionOptions {
   MetricsRegistry* metrics_registry = nullptr;
   /// Per-template priors sink; shared across sessions (thread-safe).
   WorkloadStatsRegistry* workload_stats = nullptr;
+  /// Cross-run estimator registry (obs/cross_run_registry.h); shared across
+  /// sessions (thread-safe). When attached, every monitored run records a
+  /// CrossRunObservation, plans are re-seeded from observed cardinality
+  /// priors before execution (unless cross_run_feedback is off), and an
+  /// "auto" estimator spec resolves to the template's historically-best
+  /// fixed estimator.
+  CrossRunRegistry* cross_run = nullptr;
+  /// Re-seed estimated_rows from cross-run priors on plan construction.
+  bool cross_run_feedback = true;
+  /// Completed runs a template needs before its priors are trusted — the k
+  /// of both prior feedback and auto-selection warmth.
+  uint64_t cross_run_min_runs = 3;
   /// Wall-clock ETA model for monitored runs; each checkpoint then carries
   /// a calibrated [eta_lo, eta, eta_hi] band. Like the rest of the
   /// environment, borrowed — and single-threaded, so one model serves one
@@ -69,6 +82,12 @@ struct QueryOptions {
   uint64_t checkpoint_interval = 0;
   /// Forwarded to MonitorOptions::checkpoint_listener.
   std::function<void(const Checkpoint&)> checkpoint_listener;
+  /// Pre-resolved pick for "auto" estimator specs (an estimator spec like
+  /// "pmax"). The server resolves the selection once at Submit time and
+  /// passes it here, so the fleet display and the run agree even while
+  /// concurrent runs update the registry. Empty = the session resolves the
+  /// selection itself at execution time.
+  std::string auto_pick;
 };
 
 class SqlSession {

@@ -79,12 +79,13 @@ TEST(GuardrailsTest, CancelHonoredAtEveryCheckpoint) {
   for (size_t cancel_at = 0; cancel_at < kCheckpoints; ++cancel_at) {
     PhysicalPlan plan = ScanFilterPlan(&t);
     QueryGuard guard;
-    ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"safe"});
-    m.set_guard(&guard);
     size_t seen = 0;
-    m.set_checkpoint_listener([&](const Checkpoint&) {
+    MonitorOptions mo;
+    mo.guard = &guard;
+    mo.checkpoint_listener = [&](const Checkpoint&) {
       if (seen++ == cancel_at) guard.RequestCancel();
-    });
+    };
+    ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"safe"}, mo);
     ProgressReport r = m.Run(kInterval);
     EXPECT_EQ(r.termination, TerminationReason::kCancelled);
     EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
@@ -125,8 +126,10 @@ TEST(GuardrailsTest, WorkBudgetTripsExactlyAtLimit) {
   PhysicalPlan plan = ScanFilterPlan(&t);
   QueryGuard guard;
   guard.set_max_work(500);
-  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"dne", "safe"});
-  m.set_guard(&guard);
+  MonitorOptions mo;
+  mo.guard = &guard;
+  ProgressMonitor m =
+      ProgressMonitor::WithEstimators(&plan, {"dne", "safe"}, mo);
   ProgressReport r = m.Run(100);
   EXPECT_EQ(r.termination, TerminationReason::kBudgetExhausted);
   EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
@@ -421,8 +424,10 @@ TEST(GuardrailsTest, ProbabilisticFaultReplaysByteIdentically) {
   spec.latency_spins = 50;  // deterministic busy-wait, no clock reads
   fi.Arm(std::move(spec));
 
-  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"dne", "safe"});
-  m.set_fault_injector(&fi);
+  MonitorOptions mo;
+  mo.fault_injector = &fi;
+  ProgressMonitor m =
+      ProgressMonitor::WithEstimators(&plan, {"dne", "safe"}, mo);
   ProgressReport r1 = m.Run(64);
   ProgressReport r2 = m.Run(64);  // monitor resets the injector per run
   EXPECT_EQ(r1.ToTsv(), r2.ToTsv());
@@ -498,9 +503,10 @@ TEST(GuardrailsTest, AllEstimatesInRangeOnAbortedRun) {
   PhysicalPlan plan = CountAggPlan(&t);
   QueryGuard guard;
   guard.set_max_work(1100);
+  MonitorOptions mo;
+  mo.guard = &guard;
   ProgressMonitor m =
-      ProgressMonitor::WithEstimators(&plan, AllEstimatorNames());
-  m.set_guard(&guard);
+      ProgressMonitor::WithEstimators(&plan, AllEstimatorNames(), mo);
   ProgressReport r = m.Run(97);
   EXPECT_EQ(r.termination, TerminationReason::kBudgetExhausted);
   ASSERT_FALSE(r.checkpoints.empty());
@@ -602,8 +608,9 @@ TEST(GuardrailsTest, ApproxCheckpointsHonorsGuardDuringLearningRun) {
   PhysicalPlan plan = ScanFilterPlan(&t);
   QueryGuard guard;
   guard.set_max_work(300);
-  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"safe"});
-  m.set_guard(&guard);
+  MonitorOptions mo;
+  mo.guard = &guard;
+  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"safe"}, mo);
   ProgressReport r = m.RunWithApproxCheckpoints(10);
   EXPECT_EQ(r.termination, TerminationReason::kBudgetExhausted);
   EXPECT_TRUE(r.checkpoints.empty());  // the learning run itself was stopped
@@ -676,10 +683,15 @@ TEST(GuardrailsTest, SummarizeReportNamesTheTermination) {
   EXPECT_NE(done.find("completed"), std::string::npos) << done;
   EXPECT_NE(done.find("work=300"), std::string::npos) << done;
 
+  // The environment is fixed at construction, so the budgeted run gets its
+  // own monitor.
   QueryGuard guard;
   guard.set_max_work(100);
-  m.set_guard(&guard);
-  std::string stopped = SummarizeReport(m.Run(100));
+  MonitorOptions mo;
+  mo.guard = &guard;
+  ProgressMonitor budgeted =
+      ProgressMonitor::WithEstimators(&plan, {"safe"}, mo);
+  std::string stopped = SummarizeReport(budgeted.Run(100));
   EXPECT_NE(stopped.find("budget"), std::string::npos) << stopped;
   EXPECT_NE(stopped.find("ResourceExhausted"), std::string::npos) << stopped;
 }

@@ -150,8 +150,10 @@ TEST(TraceSchemaTest, GoldenJsonlForFixedPlan) {
   PhysicalPlan plan = SmallPlan(&t);
   JsonlStringSink sink;
   TelemetryCollector collector(&sink);
-  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"dne", "pmax"});
-  m.set_telemetry(&collector);
+  MonitorOptions mo;
+  mo.telemetry = &collector;
+  ProgressMonitor m =
+      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax"}, mo);
   ProgressReport r = m.Run(60);
   ASSERT_TRUE(r.completed());
   EXPECT_EQ(sink.data(), R"json({"v":4,"seq":0,"event":"run_begin","work":0,"estimators":"dne,pmax","leaf_cardinality":100,"interval":60}
@@ -184,9 +186,10 @@ TEST(ReplayTest, ReplayEqualsLiveBitForBit) {
   PhysicalPlan plan = SmallPlan(&t);
   JsonlStringSink sink;
   TelemetryCollector collector(&sink);
+  MonitorOptions mo;
+  mo.telemetry = &collector;
   ProgressMonitor m =
-      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax", "safe"});
-  m.set_telemetry(&collector);
+      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax", "safe"}, mo);
   ProgressReport live = m.Run(97);
   ASSERT_TRUE(live.completed());
   ASSERT_FALSE(live.checkpoints.empty());
@@ -232,8 +235,10 @@ TEST(ReplayTest, ReevaluatedBoundEstimatorsMatchRecorded) {
   PhysicalPlan plan = SmallPlan(&t);
   JsonlStringSink sink;
   TelemetryCollector collector(&sink);
-  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"pmax", "safe"});
-  m.set_telemetry(&collector);
+  MonitorOptions mo;
+  mo.telemetry = &collector;
+  ProgressMonitor m =
+      ProgressMonitor::WithEstimators(&plan, {"pmax", "safe"}, mo);
   ProgressReport live = m.Run(111);
   ASSERT_TRUE(live.completed());
 
@@ -256,8 +261,9 @@ TEST(ReplayTest, RejectsTruncatedTrace) {
   PhysicalPlan plan = SmallPlan(&t);
   JsonlStringSink sink;
   TelemetryCollector collector(&sink);
-  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"dne"});
-  m.set_telemetry(&collector);
+  MonitorOptions mo;
+  mo.telemetry = &collector;
+  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"dne"}, mo);
   (void)m.Run(60);
 
   auto events = ParseTraceJsonl(sink.data());
@@ -276,8 +282,9 @@ TEST(ReplayTest, FileSinkRoundTrip) {
     JsonlFileSink file(path);
     ASSERT_TRUE(file.ok()) << file.status();
     TelemetryCollector collector(&file);
-    ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"safe"});
-    m.set_telemetry(&collector);
+    MonitorOptions mo;
+    mo.telemetry = &collector;
+    ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"safe"}, mo);
     ProgressReport live = m.Run(100);
     ASSERT_TRUE(live.completed());
     file.Close();
@@ -430,8 +437,10 @@ TEST(MetricsRegistryTest, MonitorRecordsCheckpointAndEstimatorCost) {
   Table t = Numbers(1000);
   PhysicalPlan plan = SmallPlan(&t);
   MetricsRegistry registry;
-  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"dne", "pmax"});
-  m.set_metrics_registry(&registry);
+  MonitorOptions mo;
+  mo.metrics_registry = &registry;
+  ProgressMonitor m =
+      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax"}, mo);
   ProgressReport r = m.Run(100);
   ASSERT_TRUE(r.completed());
 
@@ -479,8 +488,10 @@ TEST(AccuracyTest, RunTelemetryRanksWorstOffenders) {
   Table t = Numbers(1000);
   PhysicalPlan plan = SmallPlan(&t);
   TelemetryCollector collector;
-  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"dne", "pmax"});
-  m.set_telemetry(&collector);
+  MonitorOptions mo;
+  mo.telemetry = &collector;
+  ProgressMonitor m =
+      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax"}, mo);
   ProgressReport r = m.Run(100);
   ASSERT_TRUE(r.completed());
 

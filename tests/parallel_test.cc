@@ -249,12 +249,13 @@ TEST(ParallelDeterminismTest, TracesAndScoresAreByteIdenticalAcrossPoolSizes) {
     PhysicalPlan plan = SortPlan(&t);
     JsonlStringSink sink;
     TelemetryCollector collector(&sink);
+    MonitorOptions mo;
+    mo.guard = &guard;
+    mo.spill_manager = &spill;
+    mo.worker_pool = &pool;
+    mo.telemetry = &collector;
     ProgressMonitor m =
-        ProgressMonitor::WithEstimators(&plan, {"dne", "pmax", "safe"});
-    m.set_guard(&guard);
-    m.set_spill_manager(&spill);
-    m.set_worker_pool(&pool);
-    m.set_telemetry(&collector);
+        ProgressMonitor::WithEstimators(&plan, {"dne", "pmax", "safe"}, mo);
     ProgressReport r = m.Run(100);
     ASSERT_TRUE(r.completed()) << r.status.ToString();
     EXPECT_GT(spill.stats().runs_created, 0u);
@@ -280,11 +281,12 @@ TEST(ParallelDeterminismTest, BoundsStayConsistentAndMonotoneUnderPool) {
   guard.set_max_buffered_rows(50);
   WorkerPool pool(4);
   PhysicalPlan plan = SortPlan(&t);
+  MonitorOptions mo;
+  mo.guard = &guard;
+  mo.spill_manager = &spill;
+  mo.worker_pool = &pool;
   ProgressMonitor m =
-      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax", "safe"});
-  m.set_guard(&guard);
-  m.set_spill_manager(&spill);
-  m.set_worker_pool(&pool);
+      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax", "safe"}, mo);
   ProgressReport r = m.Run(64);
   ASSERT_TRUE(r.completed()) << r.status.ToString();
   ASSERT_FALSE(r.checkpoints.empty());

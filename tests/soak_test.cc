@@ -207,17 +207,18 @@ TEST_F(SoakTest, DisruptionMatrixLeavesNoResidue) {
         {
           StatusOr<PhysicalPlan> plan = tpch::BuildQuery(q, *db_);
           ASSERT_TRUE(plan.ok()) << plan.status();
-          ProgressMonitor m = ProgressMonitor::WithEstimators(
-              &plan.value(), {"dne", "pmax", "safe"});
-          m.set_guard(&guard);
-          m.set_spill_manager(&spill);
-          m.set_fault_injector(&fi);
-          m.set_worker_pool(pool.get());
+          MonitorOptions mo;
+          mo.guard = &guard;
+          mo.spill_manager = &spill;
+          mo.fault_injector = &fi;
+          mo.worker_pool = pool.get();
           if (cancel_at > 0) {
-            m.set_checkpoint_listener([&](const Checkpoint& cp) {
+            mo.checkpoint_listener = [&](const Checkpoint& cp) {
               if (cp.work >= cancel_at) guard.RequestCancel();
-            });
+            };
           }
+          ProgressMonitor m = ProgressMonitor::WithEstimators(
+              &plan.value(), {"dne", "pmax", "safe"}, mo);
           ProgressReport r = m.Run(64);
           EXPECT_TRUE(allowed.count(r.completed() ? StatusCode::kOk
                                                   : r.status.code()))

@@ -344,10 +344,11 @@ TEST(SpillTest, TotalWorkStrictlyIncreasesUnderForcedSpill) {
   QueryGuard guard;
   guard.set_max_buffered_rows(100);
   PhysicalPlan plan = SortPlan(&t);
+  MonitorOptions mo;
+  mo.guard = &guard;
+  mo.spill_manager = &spill;
   ProgressMonitor m =
-      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax", "safe"});
-  m.set_guard(&guard);
-  m.set_spill_manager(&spill);
+      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax", "safe"}, mo);
   ProgressReport r = m.Run(100);
   ASSERT_TRUE(r.completed()) << r.status.ToString();
   EXPECT_EQ(r.root_rows, base_report.root_rows);
@@ -365,10 +366,11 @@ TEST(SpillTest, BoundsStayValidWhileTotalGrows) {
   QueryGuard guard;
   guard.set_max_buffered_rows(50);
   PhysicalPlan plan = GroupCountPlan(&t);
+  MonitorOptions mo;
+  mo.guard = &guard;
+  mo.spill_manager = &spill;
   ProgressMonitor m =
-      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax", "safe"});
-  m.set_guard(&guard);
-  m.set_spill_manager(&spill);
+      ProgressMonitor::WithEstimators(&plan, {"dne", "pmax", "safe"}, mo);
   ProgressReport r = m.Run(64);
   ASSERT_TRUE(r.completed()) << r.status.ToString();
   ASSERT_FALSE(r.checkpoints.empty());
@@ -433,10 +435,11 @@ TEST(SpillTest, SpillTraceEventsAppearInOrder) {
   PhysicalPlan plan = SortPlan(&t);
   JsonlStringSink sink;
   TelemetryCollector collector(&sink);
-  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"safe"});
-  m.set_guard(&guard);
-  m.set_spill_manager(&spill);
-  m.set_telemetry(&collector);
+  MonitorOptions mo;
+  mo.guard = &guard;
+  mo.spill_manager = &spill;
+  mo.telemetry = &collector;
+  ProgressMonitor m = ProgressMonitor::WithEstimators(&plan, {"safe"}, mo);
   ProgressReport r = m.Run(100);
   ASSERT_TRUE(r.completed()) << r.status.ToString();
 
