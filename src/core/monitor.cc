@@ -276,7 +276,7 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
     }
   });
 
-  report.root_rows = ExecutePlan(plan_, &ctx);
+  report.root_rows = ExecutePlanBatched(plan_, &ctx, options_.batch_size);
   ctx.ClearWorkObserver();
 
   report.status = ctx.status();
@@ -371,7 +371,7 @@ ProgressReport ProgressMonitor::RunWithApproxCheckpoints(
   ctx.set_spill_manager(options_.spill_manager);
   ctx.set_worker_pool(options_.worker_pool);
   if (options_.fault_injector != nullptr) options_.fault_injector->Reset();
-  ExecutePlan(plan_, &ctx);
+  ExecutePlanBatched(plan_, &ctx, options_.batch_size);
   if (!ctx.ok()) return MakeAbortedReport(ctx);
   uint64_t total = ctx.work();
   uint64_t interval =

@@ -58,6 +58,11 @@ struct MonitorOptions {
   /// Called after each checkpoint is recorded — the hook a kill-or-wait
   /// policy uses to watch estimates and, e.g., RequestCancel() on the guard.
   std::function<void(const Checkpoint&)> checkpoint_listener;
+  /// Root pull granularity: 0 (default) drives the plan tuple-at-a-time;
+  /// any n > 0 pulls RowBatch-es of up to n rows via the batched drivers.
+  /// Rows, getnext counters, checkpoints, and traces are byte-identical
+  /// across batch sizes (DESIGN.md §15); only wall-clock overhead changes.
+  size_t batch_size = 0;
 };
 struct Checkpoint {
   uint64_t work = 0;            // Curr

@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "exec/row_batch.h"
 
 namespace qprog {
 
@@ -65,6 +66,37 @@ Status RunPlan(PhysicalPlan* plan, ExecContext* ctx,
   return ctx->status();
 }
 
+uint64_t ExecutePlanBatched(PhysicalPlan* plan, ExecContext* ctx,
+                            size_t batch_size,
+                            const std::function<void(const Row&)>& sink) {
+  if (batch_size == 0) return ExecutePlan(plan, ctx, sink);
+  ctx->Reset(plan->num_nodes());
+  PhysicalOperator* root = plan->root();
+  root->Open(ctx);
+  RowBatch batch(batch_size);
+  uint64_t produced = 0;
+  bool more = true;
+  // Same stop rule as the tuple driver: ok() is checked before each pull,
+  // and every row the root actually returned is delivered — a mid-batch
+  // error ends the batch at the exact row the tuple loop would stop at.
+  while (more && ctx->ok()) {
+    batch.Clear();
+    more = root->NextBatch(ctx, &batch);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ++produced;
+      if (sink) sink(batch.row(i));
+    }
+  }
+  root->Close(ctx);
+  return produced;
+}
+
+Status RunPlanBatched(PhysicalPlan* plan, ExecContext* ctx, size_t batch_size,
+                      const std::function<void(const Row&)>& sink) {
+  ExecutePlanBatched(plan, ctx, batch_size, sink);
+  return ctx->status();
+}
+
 std::vector<Row> CollectRows(PhysicalPlan* plan, ExecContext* ctx) {
   std::vector<Row> rows;
   ExecutePlan(plan, ctx, [&rows](const Row& row) { rows.push_back(row); });
@@ -79,6 +111,16 @@ std::vector<Row> CollectRows(PhysicalPlan* plan) {
 StatusOr<std::vector<Row>> TryCollectRows(PhysicalPlan* plan,
                                           ExecContext* ctx) {
   std::vector<Row> rows = CollectRows(plan, ctx);
+  if (!ctx->ok()) return ctx->status();
+  return rows;
+}
+
+StatusOr<std::vector<Row>> TryCollectRowsBatched(PhysicalPlan* plan,
+                                                 ExecContext* ctx,
+                                                 size_t batch_size) {
+  std::vector<Row> rows;
+  ExecutePlanBatched(plan, ctx, batch_size,
+                     [&rows](const Row& row) { rows.push_back(row); });
   if (!ctx->ok()) return ctx->status();
   return rows;
 }

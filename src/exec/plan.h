@@ -54,6 +54,23 @@ uint64_t ExecutePlan(PhysicalPlan* plan, ExecContext* ctx,
 Status RunPlan(PhysicalPlan* plan, ExecContext* ctx,
                const std::function<void(const Row&)>& sink = nullptr);
 
+/// Batched driver: pulls RowBatch-es of up to `batch_size` rows from the
+/// root instead of one row at a time. Produces byte-identical output,
+/// getnext counters, checkpoints, and error rows to ExecutePlan — operators
+/// advance work accounting per row at the exact tuple-at-a-time points, so
+/// a batch of k rows advances each crossed counter by k and any mid-batch
+/// fault/guard/cancel surfaces at the same row it would untuple-batched
+/// (the batch is split at the fault point). `batch_size == 0` falls back to
+/// the tuple driver.
+uint64_t ExecutePlanBatched(PhysicalPlan* plan, ExecContext* ctx,
+                            size_t batch_size,
+                            const std::function<void(const Row&)>& sink =
+                                nullptr);
+
+/// Status-propagating form of ExecutePlanBatched.
+Status RunPlanBatched(PhysicalPlan* plan, ExecContext* ctx, size_t batch_size,
+                      const std::function<void(const Row&)>& sink = nullptr);
+
 /// Runs the plan and collects the root's output. On an aborted run the
 /// returned rows are the prefix produced before the error (check
 /// `ctx->status()`); use TryCollectRows to get the Status instead.
@@ -65,6 +82,11 @@ std::vector<Row> CollectRows(PhysicalPlan* plan);
 /// Runs the plan and returns its full output, or the execution error (the
 /// partial prefix is discarded).
 StatusOr<std::vector<Row>> TryCollectRows(PhysicalPlan* plan, ExecContext* ctx);
+
+/// Batched form of TryCollectRows; `batch_size == 0` is the tuple path.
+StatusOr<std::vector<Row>> TryCollectRowsBatched(PhysicalPlan* plan,
+                                                 ExecContext* ctx,
+                                                 size_t batch_size);
 
 /// Total getnext calls of a complete execution of `plan` — total(Q) in the
 /// paper's notation. Runs the plan to completion on a fresh context.

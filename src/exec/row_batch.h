@@ -1,0 +1,90 @@
+// RowBatch: a fixed-capacity container of output rows, the unit of transfer
+// on the batched (vectorized) execution path (DESIGN.md §15).
+//
+// A batch amortizes per-row costs — virtual dispatch, the telemetry clock,
+// the driver loop — without changing the paper's work accounting: the
+// operators filling a batch still count every getnext through
+// ExecContext::CountRow, one row at a time, in exactly the order the
+// tuple-at-a-time engine would. The batch boundary only changes when control
+// returns to the driver, never what is counted or when.
+//
+// Row storage is reused across Clear(): the vector keeps its Rows (and the
+// Rows keep their element/string capacity), so a long scan settles into
+// zero-allocation steady state.
+
+#ifndef QPROG_EXEC_ROW_BATCH_H_
+#define QPROG_EXEC_ROW_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "types/value.h"
+
+namespace qprog {
+
+class RowBatch {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  /// Per-node telemetry delta for one NextBatch call, filled by batch
+  /// kernels when a TelemetryCollector is attached: `rows` produced at the
+  /// node and `calls` emulated getnext invocations (the counts a
+  /// tuple-at-a-time run would have recorded per-call, including the final
+  /// end-of-stream call). Consumed by NextBatchInstrumented.
+  struct NodeStats {
+    int node = -1;
+    uint64_t rows = 0;
+    uint64_t calls = 0;
+  };
+
+  explicit RowBatch(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    rows_.resize(capacity_);
+  }
+
+  RowBatch(const RowBatch&) = delete;
+  RowBatch& operator=(const RowBatch&) = delete;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ >= capacity_; }
+
+  const Row& row(size_t i) const {
+    QPROG_DCHECK(i < size_);
+    return rows_[i];
+  }
+
+  /// Claims the next slot for writing; the caller must fully overwrite it
+  /// (slots retain stale contents from previous batches by design).
+  Row* AppendSlot() {
+    QPROG_DCHECK(size_ < capacity_);
+    return &rows_[size_++];
+  }
+
+  /// Releases the most recently claimed slot (the produce attempt failed).
+  void PopLast() {
+    QPROG_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  /// Empties the batch without releasing Row storage.
+  void Clear() {
+    size_ = 0;
+    stats.clear();
+  }
+
+  /// Per-node telemetry deltas for the current batch (see NodeStats).
+  std::vector<NodeStats> stats;
+
+ private:
+  std::vector<Row> rows_;
+  size_t capacity_;
+  size_t size_ = 0;
+};
+
+}  // namespace qprog
+
+#endif  // QPROG_EXEC_ROW_BATCH_H_

@@ -1,6 +1,7 @@
 #include "exec/scan.h"
 
 #include "common/strings.h"
+#include "exec/batch.h"
 #include "exec/fault_injector.h"
 
 namespace qprog {
@@ -10,6 +11,8 @@ namespace qprog {
 
 SeqScan::SeqScan(const Table* table, ExprPtr predicate)
     : table_(table), predicate_(std::move(predicate)) {}
+
+SeqScan::~SeqScan() = default;
 
 void SeqScan::DoOpen(ExecContext* ctx) {
   cursor_ = 0;
@@ -40,6 +43,17 @@ bool SeqScan::DoNext(ExecContext* ctx, Row* out) {
   }
   finished_ = true;
   return false;
+}
+
+bool SeqScan::DoNextBatch(ExecContext* ctx, RowBatch* out) {
+  if (out->capacity() < kMinFusedCapacity) {
+    return PhysicalOperator::DoNextBatch(ctx, out);
+  }
+  if (!fused_checked_) {
+    fused_checked_ = true;
+    fused_ = FusedChain::TryBuild(this);
+  }
+  return fused_->Fill(ctx, out);
 }
 
 void SeqScan::DoClose(ExecContext*) {}

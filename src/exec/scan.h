@@ -21,9 +21,11 @@ class SeqScan : public PhysicalOperator {
  public:
   /// `table` must outlive the operator; `predicate` may be null.
   explicit SeqScan(const Table* table, ExprPtr predicate = nullptr);
+  ~SeqScan() override;
 
   void DoOpen(ExecContext* ctx) override;
   bool DoNext(ExecContext* ctx, Row* out) override;
+  bool DoNextBatch(ExecContext* ctx, RowBatch* out) override;
   void DoClose(ExecContext* ctx) override;
 
   OpKind kind() const override { return OpKind::kSeqScan; }
@@ -38,10 +40,14 @@ class SeqScan : public PhysicalOperator {
   bool has_predicate() const { return predicate_ != nullptr; }
 
  private:
+  friend class FusedChain;
+
   const Table* table_;
   ExprPtr predicate_;
   uint64_t cursor_ = 0;   // rows examined (== the node's work counter)
   uint64_t emitted_ = 0;  // rows produced to the parent
+  std::unique_ptr<FusedChain> fused_;  // lazily built batch kernel
+  bool fused_checked_ = false;
 };
 
 /// Index seek over an ordered index. Two modes:

@@ -43,18 +43,31 @@ class LatencyHistogram {
   }
   uint64_t bucket(size_t i) const { return buckets_[i]; }
 
-  /// Upper-bound estimate of the p-th percentile (p in [0, 1]) from the
-  /// bucket boundaries — good to a factor of 2, enough for latency triage.
+  /// Estimate of the p-th percentile (p in [0, 1]): finds the bucket holding
+  /// the target rank and linearly interpolates within it by rank, clamped to
+  /// the observed [min, max]. Reporting the bucket's upper bound would
+  /// overstate tail latency by up to 2x (a max of 41865 reads as a p99 of
+  /// 65536); interpolation keeps the estimate inside the observed range.
   double ApproxPercentile(double p) const {
     if (count_ == 0) return 0;
     uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count_));
     if (target >= count_) target = count_ - 1;
     uint64_t seen = 0;
     for (size_t i = 0; i < kNumBuckets; ++i) {
-      seen += buckets_[i];
-      if (seen > target) {
-        return static_cast<double>(1ULL << (i + 1 <= 63 ? i + 1 : 63));
+      if (buckets_[i] == 0) continue;
+      if (seen + buckets_[i] > target) {
+        double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << i);
+        double hi = static_cast<double>(1ULL << (i + 1 <= 63 ? i + 1 : 63));
+        // Rank position within the bucket, at the midpoint of the sample's
+        // unit slot so a single-sample bucket reads as its center.
+        double frac = (static_cast<double>(target - seen) + 0.5) /
+                      static_cast<double>(buckets_[i]);
+        double v = lo + frac * (hi - lo);
+        if (v < min_) v = min_;
+        if (v > max_) v = max_;
+        return v;
       }
+      seen += buckets_[i];
     }
     return max_;
   }

@@ -253,6 +253,7 @@ void QueryServer::RunTicket(Ticket* t) {
   so.cross_run_feedback = options_.cross_run_feedback;
   so.cross_run_min_runs = options_.cross_run_min_runs;
   so.eta_model = &eta;
+  so.batch_size = options_.batch_size;
   sql::SqlSession session(db_, so);
 
   uint64_t run_start_ns = MonotonicNanos();

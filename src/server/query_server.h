@@ -90,6 +90,9 @@ struct ServerOptions {
   /// Forwarded to each session's SessionOptions (see sql/session.h).
   bool cross_run_feedback = true;
   uint64_t cross_run_min_runs = 3;
+  /// Root pull granularity for every session (sql/session.h): 0 = tuple-at-
+  /// a-time, n > 0 = batches of up to n rows with identical results.
+  size_t batch_size = 0;
 };
 
 /// Per-submission overrides. All pointers are borrowed and must outlive the

@@ -42,7 +42,8 @@ StatusOr<std::vector<Row>> SqlSession::Execute(const std::string& query) {
   if (options_.fault_injector != nullptr) options_.fault_injector->Reset();
   ++queries_run_;
   uint64_t start_ns = MonotonicNanos();
-  StatusOr<std::vector<Row>> rows = TryCollectRows(&plan, &ctx);
+  StatusOr<std::vector<Row>> rows =
+      TryCollectRowsBatched(&plan, &ctx, options_.batch_size);
   RecordWorkload(TemplateFingerprint(query), rows.ok(), ctx.work(),
                  ctx.total_spill_work(), ctx.peak_buffered_rows(),
                  rows.ok() ? rows.value().size() : 0,
@@ -110,6 +111,7 @@ StatusOr<ProgressReport> SqlSession::ExecuteMonitored(const std::string& query,
   mopts.metrics_registry = options_.metrics_registry;
   mopts.eta_model = options_.eta_model;
   mopts.checkpoint_listener = q.checkpoint_listener;
+  mopts.batch_size = options_.batch_size;
   ProgressMonitor monitor(&plan, std::move(estimators), std::move(mopts));
   uint64_t interval = q.checkpoint_interval > 0 ? q.checkpoint_interval
                                                 : options_.checkpoint_interval;

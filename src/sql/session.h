@@ -72,6 +72,11 @@ struct SessionOptions {
   /// environment, borrowed — and single-threaded, so one model serves one
   /// session (the server wires a fresh model per ticket).
   EtaModel* eta_model = nullptr;
+  /// Root pull granularity for Execute and ExecuteMonitored: 0 = tuple-at-
+  /// a-time; n > 0 pulls batches of up to n rows. Results, counters,
+  /// checkpoints, and traces are byte-identical across batch sizes
+  /// (DESIGN.md §15).
+  size_t batch_size = 0;
 };
 
 /// Per-query overrides for one ExecuteMonitored call.
