@@ -52,7 +52,7 @@ int main() {
                               : 0.0;
       samples.push_back({work, {est_static, est_refined}});
     });
-    ExecutePlan(&plan.value(), &ctx);
+    exec::Drive(&plan.value(), {.ctx = &ctx});
     ctx.ClearWorkObserver();
 
     const double total = static_cast<double>(ctx.work());

@@ -65,7 +65,7 @@ double MeasureNsPerRow(PhysicalPlan* plan, size_t batch_size,
     ExecContext ctx;
     ctx.set_telemetry(collector);
     auto start = std::chrono::steady_clock::now();
-    ExecutePlanBatched(plan, &ctx, batch_size);
+    exec::Drive(plan, {.ctx = &ctx, .batch_size = batch_size});
     auto end = std::chrono::steady_clock::now();
     QPROG_CHECK(ctx.ok());
     work = ctx.work();

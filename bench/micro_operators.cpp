@@ -32,7 +32,7 @@ void BM_SeqScan(benchmark::State& state) {
   for (auto _ : state) {
     PhysicalPlan plan(std::make_unique<SeqScan>(&t));
     ExecContext ctx;
-    benchmark::DoNotOptimize(ExecutePlan(&plan, &ctx));
+    benchmark::DoNotOptimize(exec::Drive(&plan, {.ctx = &ctx}).root_rows);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -45,7 +45,7 @@ void BM_Filter(benchmark::State& state) {
     PhysicalPlan plan(std::make_unique<Filter>(
         std::move(scan), eb::Lt(eb::Col(0), eb::Int(500))));
     ExecContext ctx;
-    benchmark::DoNotOptimize(ExecutePlan(&plan, &ctx));
+    benchmark::DoNotOptimize(exec::Drive(&plan, {.ctx = &ctx}).root_rows);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -63,7 +63,7 @@ void BM_HashJoin(benchmark::State& state) {
                                            std::move(pk), std::move(bk));
     PhysicalPlan plan(std::move(join));
     ExecContext ctx;
-    benchmark::DoNotOptimize(ExecutePlan(&plan, &ctx));
+    benchmark::DoNotOptimize(exec::Drive(&plan, {.ctx = &ctx}).root_rows);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -79,7 +79,7 @@ void BM_IndexNestedLoopsJoin(benchmark::State& state) {
         eb::Col(0));
     PhysicalPlan plan(std::move(join));
     ExecContext ctx;
-    benchmark::DoNotOptimize(ExecutePlan(&plan, &ctx));
+    benchmark::DoNotOptimize(exec::Drive(&plan, {.ctx = &ctx}).root_rows);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -93,7 +93,7 @@ void BM_Sort(benchmark::State& state) {
     PhysicalPlan plan(std::make_unique<Sort>(std::make_unique<SeqScan>(&t),
                                              std::move(keys)));
     ExecContext ctx;
-    benchmark::DoNotOptimize(ExecutePlan(&plan, &ctx));
+    benchmark::DoNotOptimize(exec::Drive(&plan, {.ctx = &ctx}).root_rows);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -110,7 +110,7 @@ void BM_HashAggregate(benchmark::State& state) {
         std::make_unique<SeqScan>(&t), std::move(groups),
         std::vector<std::string>{"k"}, std::move(aggs)));
     ExecContext ctx;
-    benchmark::DoNotOptimize(ExecutePlan(&plan, &ctx));
+    benchmark::DoNotOptimize(exec::Drive(&plan, {.ctx = &ctx}).root_rows);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }

@@ -109,7 +109,7 @@ Result Measure(const std::string& name,
     ctx.set_spill_manager(&spill);
     ctx.set_worker_pool(&pool);
     auto start = std::chrono::steady_clock::now();
-    ExecutePlan(&plan, &ctx);
+    exec::Drive(&plan, {.ctx = &ctx});
     auto end = std::chrono::steady_clock::now();
     QPROG_CHECK_MSG(ctx.ok(), "%s", ctx.status().ToString().c_str());
     QPROG_CHECK(spill.live_runs() == 0);

@@ -111,7 +111,7 @@ Result Measure(const std::string& name,
       ctx.set_spill_manager(&spill);
     }
     auto start = std::chrono::steady_clock::now();
-    ExecutePlan(&plan, &ctx);
+    exec::Drive(&plan, {.ctx = &ctx});
     auto end = std::chrono::steady_clock::now();
     QPROG_CHECK_MSG(ctx.ok(), "%s", ctx.status().ToString().c_str());
     QPROG_CHECK(spill.live_runs() == 0);
@@ -175,8 +175,9 @@ double MeasureAggReplay(const Table* t, uint64_t soft_budget, int threads,
     }
     rows_out->clear();
     auto start = std::chrono::steady_clock::now();
-    ExecutePlan(&plan, &ctx,
-                [rows_out](const Row& row) { rows_out->push_back(row); });
+    exec::Drive(&plan,
+                {.ctx = &ctx,
+                 .sink = [rows_out](const Row& row) { rows_out->push_back(row); }});
     auto end = std::chrono::steady_clock::now();
     QPROG_CHECK_MSG(ctx.ok(), "%s", ctx.status().ToString().c_str());
     QPROG_CHECK(spill.live_runs() == 0);

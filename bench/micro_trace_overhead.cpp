@@ -61,7 +61,7 @@ double MeasureNsPerRow(PhysicalPlan* plan, TelemetryCollector* collector) {
     ExecContext ctx;
     ctx.set_telemetry(collector);
     auto start = std::chrono::steady_clock::now();
-    ExecutePlan(plan, &ctx);
+    exec::Drive(plan, {.ctx = &ctx});
     auto end = std::chrono::steady_clock::now();
     QPROG_CHECK(ctx.ok());
     work = ctx.work();

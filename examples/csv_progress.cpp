@@ -91,8 +91,9 @@ int main(int argc, char** argv) {
     }
   });
   std::vector<Row> results;
-  ExecutePlan(&plan.value(), &ctx,
-              [&results](const Row& r) { results.push_back(r); });
+  exec::Drive(&plan.value(),
+              {.ctx = &ctx,
+               .sink = [&results](const Row& r) { results.push_back(r); }});
 
   std::printf("\nresults:\n");
   for (const Row& r : results) std::printf("  %s\n", RowToString(r).c_str());

@@ -75,8 +75,9 @@ int main() {
   });
 
   std::vector<Row> results;
-  ExecutePlan(&plan.value(), &ctx,
-              [&results](const Row& row) { results.push_back(row); });
+  exec::Drive(&plan.value(),
+              {.ctx = &ctx,
+               .sink = [&results](const Row& row) { results.push_back(row); }});
   std::printf("\nresults:\n");
   for (const Row& row : results) {
     std::printf("  %s\n", RowToString(row).c_str());

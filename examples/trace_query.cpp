@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
   TelemetryCollector stats;
   ExecContext ctx;
   ctx.set_telemetry(&stats);
-  ExecutePlan(&plan.value(), &ctx);
+  exec::Drive(&plan.value(), {.ctx = &ctx});
   QPROG_CHECK(ctx.ok());
 
   ExplainAnalyzeOptions opts;

@@ -65,7 +65,7 @@ PerTupleWork CollectPerTupleWork(PhysicalPlan* plan, int driver_node_id) {
       last_work = work;
     }
   });
-  ExecutePlan(plan, &ctx);
+  exec::Drive(plan, {.ctx = &ctx});
   ctx.ClearWorkObserver();
 
   // Trailing work after the last driver arrival belongs to the last tuple;

@@ -247,13 +247,44 @@ StatusOr<std::unique_ptr<ProgressEstimator>> CreateEstimator(
   if (name == "dne_pessimistic") {
     return std::unique_ptr<ProgressEstimator>(new PessimisticDneEstimator());
   }
-  return InvalidArgument(
-      StringPrintf("unknown estimator '%s'", name.c_str()));
+  // Name the offending token explicitly: with parameterized specs the
+  // failing part of "hybird:2.5" is 'hybird', not the whole spec, and the
+  // valid-name list turns a typo into a one-glance fix.
+  std::string known;
+  for (const std::string& n : AllEstimatorNames()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return InvalidArgument(StringPrintf(
+      "estimator spec '%s': unknown estimator name '%s' (known: %s, auto)",
+      spec.c_str(), name.c_str(), known.c_str()));
 }
 
 std::vector<std::string> AllEstimatorNames() {
   return {"dne",    "pmax",   "safe", "dne_bounded", "dne_pessimistic",
           "hybrid", "window"};
+}
+
+std::vector<EstimatorSpecInfo> ListEstimatorSpecs() {
+  return {
+      {"dne", "dne",
+       "Driver-node estimator: work done over dynamically refined total(Q)"},
+      {"pmax", "pmax",
+       "Pessimistic per-pipeline maximum over driver completion fractions"},
+      {"safe", "safe",
+       "Conservative lower-bound estimator: Curr over the upper bound UB"},
+      {"dne_bounded", "dne_bounded",
+       "dne with its total clamped into the refined [LB, UB] interval"},
+      {"dne_pessimistic", "dne_pessimistic",
+       "dne against the upper bound UB alone (never overestimates progress)"},
+      {"hybrid", "hybrid[:mu]",
+       "dne_bounded until bounds widen past mu, then safe (default mu 3.0)"},
+      {"window", "window[:n]",
+       "Rate extrapolation over the last n checkpoints (default n 16)"},
+      {"auto", "auto[:spec]",
+       "Cross-run pick of the template's historically best fixed estimator "
+       "(cold fallback dne_bounded)"},
+  };
 }
 
 }  // namespace qprog

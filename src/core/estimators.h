@@ -184,6 +184,19 @@ StatusOr<std::unique_ptr<ProgressEstimator>> CreateEstimator(
 /// All estimator names, in canonical order (bare names, no parameters).
 std::vector<std::string> AllEstimatorNames();
 
+/// One row of the estimator catalog: the bare name, the spec syntax
+/// CreateEstimator accepts for it, and a one-line description.
+struct EstimatorSpecInfo {
+  std::string name;
+  std::string syntax;
+  std::string description;
+};
+
+/// The full estimator catalog (AllEstimatorNames plus "auto"), in canonical
+/// order. Surfaced by the server's fleet report so operators can discover
+/// valid `estimators` values without reading CreateEstimator's source.
+std::vector<EstimatorSpecInfo> ListEstimatorSpecs();
+
 }  // namespace qprog
 
 #endif  // QPROG_CORE_ESTIMATORS_H_

@@ -276,7 +276,10 @@ ProgressReport ProgressMonitor::Run(uint64_t checkpoint_interval) {
     }
   });
 
-  report.root_rows = ExecutePlanBatched(plan_, &ctx, options_.batch_size);
+  exec::DriveOptions drive;
+  drive.ctx = &ctx;
+  drive.batch_size = options_.batch_size;
+  report.root_rows = exec::Drive(plan_, drive).root_rows;
   ctx.ClearWorkObserver();
 
   report.status = ctx.status();
@@ -371,7 +374,10 @@ ProgressReport ProgressMonitor::RunWithApproxCheckpoints(
   ctx.set_spill_manager(options_.spill_manager);
   ctx.set_worker_pool(options_.worker_pool);
   if (options_.fault_injector != nullptr) options_.fault_injector->Reset();
-  ExecutePlanBatched(plan_, &ctx, options_.batch_size);
+  exec::DriveOptions drive;
+  drive.ctx = &ctx;
+  drive.batch_size = options_.batch_size;
+  exec::Drive(plan_, drive);
   if (!ctx.ok()) return MakeAbortedReport(ctx);
   uint64_t total = ctx.work();
   uint64_t interval =

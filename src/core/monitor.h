@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/estimators.h"
+#include "exec/execution_config.h"
 #include "exec/fault_injector.h"
 #include "exec/query_guard.h"
 #include "obs/metrics_registry.h"
@@ -32,7 +33,11 @@ struct Checkpoint;
 /// may be empty. This is the only way to wire the environment: the options
 /// are fixed at construction, so a monitor's borrowed pointers never change
 /// mid-lifetime.
-struct MonitorOptions {
+/// The engine-level knobs (worker_pool, batch_size, partitions) live on the
+/// shared ExecutionConfig base (exec/execution_config.h) — one spine that
+/// MonitorOptions, SessionOptions, and ServerOptions all embed, so adding an
+/// engine knob is a one-struct change.
+struct MonitorOptions : ExecutionConfig {
   /// Resource guard enforced during monitored runs: cancellation is honored
   /// within one checkpoint interval, and budget / deadline violations end
   /// the run with a partial report.
@@ -43,9 +48,6 @@ struct MonitorOptions {
   /// Spill manager: blocking operators that would overflow the guard's soft
   /// buffered-row budget spill to disk instead of aborting.
   SpillManager* spill_manager = nullptr;
-  /// Worker pool: spill-heavy operators parallelize across its threads
-  /// (DESIGN.md §10) with results identical to the serial engine.
-  WorkerPool* worker_pool = nullptr;
   /// Telemetry collector: operator stats, bounds history, and — with a
   /// TraceSink — the full replayable event stream.
   TelemetryCollector* telemetry = nullptr;
@@ -58,11 +60,6 @@ struct MonitorOptions {
   /// Called after each checkpoint is recorded — the hook a kill-or-wait
   /// policy uses to watch estimates and, e.g., RequestCancel() on the guard.
   std::function<void(const Checkpoint&)> checkpoint_listener;
-  /// Root pull granularity: 0 (default) drives the plan tuple-at-a-time;
-  /// any n > 0 pulls RowBatch-es of up to n rows via the batched drivers.
-  /// Rows, getnext counters, checkpoints, and traces are byte-identical
-  /// across batch sizes (DESIGN.md §15); only wall-clock overhead changes.
-  size_t batch_size = 0;
 };
 struct Checkpoint {
   uint64_t work = 0;            // Curr

@@ -86,7 +86,7 @@ int FusedChain::Produce(ExecContext* ctx, size_t depth, const Row** src,
         ctx->ConsultFault(faults::kSeqScanNext, scan_->node_id())) {
       return -1;
     }
-    while (scan_->cursor_ < scan_->table_->num_rows()) {
+    while (scan_->cursor_ < scan_->end_) {
       const Row& row = scan_->table_->row(scan_->cursor_++);
       ctx->CountRow(scan_->node_id(), scan_->is_root());
       if (!ctx->ok()) return -1;  // guard tripped while counting

@@ -28,6 +28,8 @@ const char* OpKindToString(OpKind kind) {
       return "StreamAggregate";
     case OpKind::kLimit:
       return "Limit";
+    case OpKind::kExchange:
+      return "Exchange";
   }
   return "Unknown";
 }

@@ -32,6 +32,7 @@ enum class OpKind {
   kHashAggregate,
   kStreamAggregate,
   kLimit,
+  kExchange,
 };
 
 const char* OpKindToString(OpKind kind);

@@ -42,93 +42,132 @@ std::string PhysicalPlan::ToString() const {
   return out;
 }
 
-uint64_t ExecutePlan(PhysicalPlan* plan, ExecContext* ctx,
-                     const std::function<void(const Row&)>& sink) {
+namespace exec {
+
+DriveResult Drive(PhysicalPlan* plan, const DriveOptions& opts) {
+  DriveResult result;
+  ExecContext local;
+  ExecContext* ctx = opts.ctx;
+  if (ctx == nullptr) {
+    // Context-free run: wire the caller's environment into a throwaway
+    // context. A caller-provided context keeps whatever it already wired.
+    ctx = &local;
+    if (opts.guard != nullptr) local.set_guard(opts.guard);
+    if (opts.fault_injector != nullptr) {
+      local.set_fault_injector(opts.fault_injector);
+    }
+    if (opts.spill_manager != nullptr) {
+      local.set_spill_manager(opts.spill_manager);
+    }
+    if (opts.worker_pool != nullptr) local.set_worker_pool(opts.worker_pool);
+    if (opts.telemetry != nullptr) local.set_telemetry(opts.telemetry);
+  }
   ctx->Reset(plan->num_nodes());
   PhysicalOperator* root = plan->root();
   root->Open(ctx);
-  Row row;
-  uint64_t produced = 0;
-  // Stop on the first execution error; a row produced concurrently with a
-  // guard trip is dropped (the query is aborting). Close always runs so
-  // operators release buffered state even on an aborted run.
-  while (ctx->ok() && root->Next(ctx, &row)) {
-    ++produced;
-    if (sink) sink(row);
+  auto deliver = [&result, &opts](const Row& row) {
+    ++result.root_rows;
+    if (opts.sink) opts.sink(row);
+    if (opts.collect_rows) result.rows.push_back(row);
+  };
+  if (opts.batch_size == 0) {
+    Row row;
+    // Stop on the first execution error; a row produced concurrently with a
+    // guard trip is dropped (the query is aborting). Close always runs so
+    // operators release buffered state even on an aborted run.
+    while (ctx->ok() && root->Next(ctx, &row)) deliver(row);
+  } else {
+    RowBatch batch(opts.batch_size);
+    bool more = true;
+    // Same stop rule as the tuple loop: ok() is checked before each pull,
+    // and every row the root actually returned is delivered — a mid-batch
+    // error ends the batch at the exact row the tuple loop would stop at.
+    while (more && ctx->ok()) {
+      batch.Clear();
+      more = root->NextBatch(ctx, &batch);
+      for (size_t i = 0; i < batch.size(); ++i) deliver(batch.row(i));
+    }
   }
   root->Close(ctx);
-  return produced;
+  result.status = ctx->status();
+  result.work = ctx->work();
+  return result;
+}
+
+}  // namespace exec
+
+uint64_t ExecutePlan(PhysicalPlan* plan, ExecContext* ctx,
+                     const std::function<void(const Row&)>& sink) {
+  exec::DriveOptions opts;
+  opts.ctx = ctx;
+  opts.sink = sink;
+  return exec::Drive(plan, opts).root_rows;
 }
 
 Status RunPlan(PhysicalPlan* plan, ExecContext* ctx,
                const std::function<void(const Row&)>& sink) {
-  ExecutePlan(plan, ctx, sink);
-  return ctx->status();
+  exec::DriveOptions opts;
+  opts.ctx = ctx;
+  opts.sink = sink;
+  return exec::Drive(plan, opts).status;
 }
 
 uint64_t ExecutePlanBatched(PhysicalPlan* plan, ExecContext* ctx,
                             size_t batch_size,
                             const std::function<void(const Row&)>& sink) {
-  if (batch_size == 0) return ExecutePlan(plan, ctx, sink);
-  ctx->Reset(plan->num_nodes());
-  PhysicalOperator* root = plan->root();
-  root->Open(ctx);
-  RowBatch batch(batch_size);
-  uint64_t produced = 0;
-  bool more = true;
-  // Same stop rule as the tuple driver: ok() is checked before each pull,
-  // and every row the root actually returned is delivered — a mid-batch
-  // error ends the batch at the exact row the tuple loop would stop at.
-  while (more && ctx->ok()) {
-    batch.Clear();
-    more = root->NextBatch(ctx, &batch);
-    for (size_t i = 0; i < batch.size(); ++i) {
-      ++produced;
-      if (sink) sink(batch.row(i));
-    }
-  }
-  root->Close(ctx);
-  return produced;
+  exec::DriveOptions opts;
+  opts.ctx = ctx;
+  opts.batch_size = batch_size;
+  opts.sink = sink;
+  return exec::Drive(plan, opts).root_rows;
 }
 
 Status RunPlanBatched(PhysicalPlan* plan, ExecContext* ctx, size_t batch_size,
                       const std::function<void(const Row&)>& sink) {
-  ExecutePlanBatched(plan, ctx, batch_size, sink);
-  return ctx->status();
+  exec::DriveOptions opts;
+  opts.ctx = ctx;
+  opts.batch_size = batch_size;
+  opts.sink = sink;
+  return exec::Drive(plan, opts).status;
 }
 
 std::vector<Row> CollectRows(PhysicalPlan* plan, ExecContext* ctx) {
-  std::vector<Row> rows;
-  ExecutePlan(plan, ctx, [&rows](const Row& row) { rows.push_back(row); });
-  return rows;
+  exec::DriveOptions opts;
+  opts.ctx = ctx;
+  opts.collect_rows = true;
+  return std::move(exec::Drive(plan, opts).rows);
 }
 
 std::vector<Row> CollectRows(PhysicalPlan* plan) {
-  ExecContext ctx;
-  return CollectRows(plan, &ctx);
+  exec::DriveOptions opts;
+  opts.collect_rows = true;
+  return std::move(exec::Drive(plan, opts).rows);
 }
 
 StatusOr<std::vector<Row>> TryCollectRows(PhysicalPlan* plan,
                                           ExecContext* ctx) {
-  std::vector<Row> rows = CollectRows(plan, ctx);
-  if (!ctx->ok()) return ctx->status();
-  return rows;
+  exec::DriveOptions opts;
+  opts.ctx = ctx;
+  opts.collect_rows = true;
+  exec::DriveResult r = exec::Drive(plan, opts);
+  if (!r.ok()) return r.status;
+  return std::move(r.rows);
 }
 
 StatusOr<std::vector<Row>> TryCollectRowsBatched(PhysicalPlan* plan,
                                                  ExecContext* ctx,
                                                  size_t batch_size) {
-  std::vector<Row> rows;
-  ExecutePlanBatched(plan, ctx, batch_size,
-                     [&rows](const Row& row) { rows.push_back(row); });
-  if (!ctx->ok()) return ctx->status();
-  return rows;
+  exec::DriveOptions opts;
+  opts.ctx = ctx;
+  opts.batch_size = batch_size;
+  opts.collect_rows = true;
+  exec::DriveResult r = exec::Drive(plan, opts);
+  if (!r.ok()) return r.status;
+  return std::move(r.rows);
 }
 
 uint64_t MeasureTotalWork(PhysicalPlan* plan) {
-  ExecContext ctx;
-  ExecutePlan(plan, &ctx);
-  return ctx.work();
+  return exec::Drive(plan, {}).work;
 }
 
 bool PlanSupportsRewind(const PhysicalPlan& plan) {

@@ -41,52 +41,101 @@ class PhysicalPlan {
   std::vector<PhysicalOperator*> nodes_;
 };
 
-/// Runs the plan until completion or the context's first execution error
-/// (guard violation, injected fault). Returns the number of rows the root
-/// produced; `ctx->status()` tells completion from abort. `sink` (optional)
-/// receives each output row.
-uint64_t ExecutePlan(PhysicalPlan* plan, ExecContext* ctx,
-                     const std::function<void(const Row&)>& sink = nullptr);
+class QueryGuard;
+class FaultInjector;
+class SpillManager;
+class WorkerPool;
+class TelemetryCollector;
 
-/// Status-propagating driver: like ExecutePlan, but returns the execution's
-/// final Status (OK on completion; kCancelled / kDeadlineExceeded /
-/// kResourceExhausted / the fault's status on an aborted run).
-Status RunPlan(PhysicalPlan* plan, ExecContext* ctx,
-               const std::function<void(const Row&)>& sink = nullptr);
+namespace exec {
 
-/// Batched driver: pulls RowBatch-es of up to `batch_size` rows from the
-/// root instead of one row at a time. Produces byte-identical output,
-/// getnext counters, checkpoints, and error rows to ExecutePlan — operators
-/// advance work accounting per row at the exact tuple-at-a-time points, so
-/// a batch of k rows advances each crossed counter by k and any mid-batch
-/// fault/guard/cancel surfaces at the same row it would untuple-batched
-/// (the batch is split at the fault point). `batch_size == 0` falls back to
-/// the tuple driver.
-uint64_t ExecutePlanBatched(PhysicalPlan* plan, ExecContext* ctx,
-                            size_t batch_size,
-                            const std::function<void(const Row&)>& sink =
-                                nullptr);
+/// Options for the unified driver (exec::Drive). One struct replaces the old
+/// ExecutePlan/RunPlan/TryCollectRows × *Batched driver matrix: batch size,
+/// row delivery, and (for context-free runs) the full environment wiring are
+/// all knobs here instead of separate entry points.
+struct DriveOptions {
+  /// Execution context to drive against. Null = Drive builds a throwaway
+  /// context internally and wires the environment pointers below into it.
+  /// When non-null, the caller's context is used as-is and the environment
+  /// pointers are ignored (the caller already wired what it wants).
+  ExecContext* ctx = nullptr;
 
-/// Status-propagating form of ExecutePlanBatched.
-Status RunPlanBatched(PhysicalPlan* plan, ExecContext* ctx, size_t batch_size,
-                      const std::function<void(const Row&)>& sink = nullptr);
+  /// Rows per RowBatch pulled from the root; 0 = tuple-at-a-time. The batched
+  /// path produces byte-identical output, getnext counters, checkpoints, and
+  /// error rows to the tuple path — operators advance work accounting per row
+  /// at the exact tuple-at-a-time points, so a mid-batch fault/guard/cancel
+  /// surfaces at the same row and the batch is split there.
+  size_t batch_size = 0;
 
-/// Runs the plan and collects the root's output. On an aborted run the
-/// returned rows are the prefix produced before the error (check
-/// `ctx->status()`); use TryCollectRows to get the Status instead.
+  /// Called with each root output row, in production order.
+  std::function<void(const Row&)> sink;
+
+  /// Collect root output rows into DriveResult::rows.
+  bool collect_rows = false;
+
+  // -- environment wiring, applied only when `ctx` is null --------------------
+  QueryGuard* guard = nullptr;
+  FaultInjector* fault_injector = nullptr;
+  SpillManager* spill_manager = nullptr;
+  WorkerPool* worker_pool = nullptr;
+  TelemetryCollector* telemetry = nullptr;
+};
+
+/// Outcome of one Drive call.
+struct DriveResult {
+  /// The execution's final status: OK on completion; kCancelled /
+  /// kDeadlineExceeded / kResourceExhausted / the fault's status on abort.
+  Status status;
+  /// Rows the root produced (delivered to sink/rows before any abort).
+  uint64_t root_rows = 0;
+  /// Total counted work of the run — total(Q) when status is OK.
+  uint64_t work = 0;
+  /// Root output when collect_rows was set. On an aborted run this holds the
+  /// prefix produced before the error.
+  std::vector<Row> rows;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// The single plan-execution entry point. Runs `plan` until completion or
+/// the context's first execution error (guard violation, injected fault,
+/// cancellation). Every other driver in this header is a thin forwarder.
+DriveResult Drive(PhysicalPlan* plan, const DriveOptions& opts = {});
+
+}  // namespace exec
+
+/// Deprecated driver matrix — thin forwarders onto exec::Drive, kept for one
+/// PR so out-of-tree callers migrate on their own schedule.
+[[deprecated("use exec::Drive")]] uint64_t ExecutePlan(
+    PhysicalPlan* plan, ExecContext* ctx,
+    const std::function<void(const Row&)>& sink = nullptr);
+
+[[deprecated("use exec::Drive")]] Status RunPlan(
+    PhysicalPlan* plan, ExecContext* ctx,
+    const std::function<void(const Row&)>& sink = nullptr);
+
+[[deprecated("use exec::Drive with batch_size")]] uint64_t ExecutePlanBatched(
+    PhysicalPlan* plan, ExecContext* ctx, size_t batch_size,
+    const std::function<void(const Row&)>& sink = nullptr);
+
+[[deprecated("use exec::Drive with batch_size")]] Status RunPlanBatched(
+    PhysicalPlan* plan, ExecContext* ctx, size_t batch_size,
+    const std::function<void(const Row&)>& sink = nullptr);
+
+[[deprecated("use exec::Drive with collect_rows")]] StatusOr<std::vector<Row>>
+TryCollectRows(PhysicalPlan* plan, ExecContext* ctx);
+
+[[deprecated("use exec::Drive with collect_rows + batch_size")]] StatusOr<
+    std::vector<Row>>
+TryCollectRowsBatched(PhysicalPlan* plan, ExecContext* ctx, size_t batch_size);
+
+/// Runs the plan and collects the root's output (sugar over exec::Drive).
+/// On an aborted run the returned rows are the prefix produced before the
+/// error (check `ctx->status()`).
 std::vector<Row> CollectRows(PhysicalPlan* plan, ExecContext* ctx);
 
 /// Convenience: run with a throwaway context, returning the output rows.
 std::vector<Row> CollectRows(PhysicalPlan* plan);
-
-/// Runs the plan and returns its full output, or the execution error (the
-/// partial prefix is discarded).
-StatusOr<std::vector<Row>> TryCollectRows(PhysicalPlan* plan, ExecContext* ctx);
-
-/// Batched form of TryCollectRows; `batch_size == 0` is the tuple path.
-StatusOr<std::vector<Row>> TryCollectRowsBatched(PhysicalPlan* plan,
-                                                 ExecContext* ctx,
-                                                 size_t batch_size);
 
 /// Total getnext calls of a complete execution of `plan` — total(Q) in the
 /// paper's notation. Runs the plan to completion on a fresh context.

@@ -10,12 +10,22 @@ namespace qprog {
 // SeqScan
 
 SeqScan::SeqScan(const Table* table, ExprPtr predicate)
-    : table_(table), predicate_(std::move(predicate)) {}
+    : table_(table),
+      predicate_(std::move(predicate)),
+      begin_(0),
+      end_(table->num_rows()) {}
+
+SeqScan::SeqScan(const Table* table, ExprPtr predicate, uint64_t begin,
+                 uint64_t end)
+    : table_(table), predicate_(std::move(predicate)), begin_(begin),
+      end_(end) {
+  QPROG_CHECK(begin_ <= end_ && end_ <= table_->num_rows());
+}
 
 SeqScan::~SeqScan() = default;
 
 void SeqScan::DoOpen(ExecContext* ctx) {
-  cursor_ = 0;
+  cursor_ = begin_;
   emitted_ = 0;
   finished_ = false;
   ctx->ConsultFault(faults::kSeqScanOpen, node_id());
@@ -25,7 +35,7 @@ bool SeqScan::DoNext(ExecContext* ctx, Row* out) {
   if (!ctx->ok() || ctx->ConsultFault(faults::kSeqScanNext, node_id())) {
     return false;
   }
-  while (cursor_ < table_->num_rows()) {
+  while (cursor_ < end_) {
     const Row& row = table_->row(cursor_++);
     // Every examined row is one getnext at the leaf, merged predicate or
     // not — the accounting that makes the paper's Table 2 mu >= 1 (each
@@ -59,23 +69,31 @@ bool SeqScan::DoNextBatch(ExecContext* ctx, RowBatch* out) {
 void SeqScan::DoClose(ExecContext*) {}
 
 std::string SeqScan::label() const {
-  if (predicate_ != nullptr) {
-    return StringPrintf("SeqScan(%s, pred=%s)", table_->name().c_str(),
-                        predicate_->ToString().c_str());
+  std::string range;
+  if (partitioned()) {
+    range = StringPrintf(", rows=[%llu,%llu)",
+                         static_cast<unsigned long long>(begin_),
+                         static_cast<unsigned long long>(end_));
   }
-  return StringPrintf("SeqScan(%s)", table_->name().c_str());
+  if (predicate_ != nullptr) {
+    return StringPrintf("SeqScan(%s, pred=%s%s)", table_->name().c_str(),
+                        predicate_->ToString().c_str(), range.c_str());
+  }
+  return StringPrintf("SeqScan(%s%s)", table_->name().c_str(), range.c_str());
 }
 
 void SeqScan::FillProgressState(const ExecContext& ctx,
                                 ProgressState* state) const {
   PhysicalOperator::FillProgressState(ctx, state);
   // The node's work counter tallies examined rows; production (what the
-  // parent consumes) is the emitted count.
+  // parent consumes) is the emitted count. A partitioned scan reports
+  // partition-relative values so the exchange's sum over producers equals
+  // the serial scan's totals.
   state->rows_produced = emitted_;
-  state->input_examined = cursor_;
-  state->base_rows = table_->num_rows();
+  state->input_examined = cursor_ - begin_;
+  state->base_rows = partition_rows();
   if (predicate_ == nullptr) {
-    state->exact_total = static_cast<double>(table_->num_rows());
+    state->exact_total = static_cast<double>(partition_rows());
   }
 }
 

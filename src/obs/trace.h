@@ -13,7 +13,8 @@
 // TraceSchemaAccepted() range predicate below instead of literal version
 // lists. History: v2 added the spill/io-retry events, v3 the Grace recursion
 // `depth` field on spill_begin, v4 the per-checkpoint `eta` event
-// (obs/eta_model.h). Each version is a strict superset of the previous one,
+// (obs/eta_model.h), v5 the exchange repartition events (exchange_begin /
+// partition_close). Each version is a strict superset of the previous one,
 // so the reader parses the full accepted range (see DESIGN.md section 8).
 
 #ifndef QPROG_OBS_TRACE_H_
@@ -30,7 +31,7 @@ namespace qprog {
 
 /// Current trace schema version written by the serializer. A schema bump
 /// edits this constant and nothing else on the reader side.
-inline constexpr int kTraceSchemaVersion = 4;
+inline constexpr int kTraceSchemaVersion = 5;
 
 /// Oldest schema version the reader still parses. Every version since is a
 /// strict superset of its predecessor (absent fields parse as zero values),
@@ -62,6 +63,8 @@ enum class TraceEventKind : uint8_t {
   kSpillEnd,            // v2: one spill run sealed: rows + bytes written
   kIoRetry,             // v2: transient spill I/O failure, attempt retried
   kEtaSample,           // v4: sanitized wall-clock ETA band at a checkpoint
+  kExchangeBegin,       // v5: an exchange starts materializing its producers
+  kExchangePartition,   // v5: one producer partition folded at the exchange
 };
 
 const char* TraceEventKindToString(TraceEventKind kind);
@@ -83,6 +86,8 @@ const char* TraceEventKindToString(TraceEventKind kind);
 ///   kSpillEnd           spill phase       -               rows        bytes
 ///   kIoRetry            fault site        -               attempt     -
 ///   kEtaSample          -                 -               eta_s       eta_lo_s   (`c` = eta_hi_s)
+///   kExchangeBegin      -                 -               producers   consumers
+///   kExchangePartition  -                 -               partition   rows
 struct TraceEvent {
   TraceEventKind kind = TraceEventKind::kRunBegin;
   uint64_t seq = 0;   // collector-assigned, strictly increasing

@@ -241,19 +241,22 @@ void QueryServer::RunTicket(Ticket* t) {
   // wall-clock events into a query's byte-identical trace).
   EtaModel eta;
   sql::SessionOptions so;
+  // Engine-knob spine (worker_pool / batch_size / partitions) copies from
+  // the server defaults in one assignment; a per-submission pool override
+  // then wins over the fleet-wide default.
+  static_cast<ExecutionConfig&>(so) = options_;
+  if (t->opts.worker_pool != nullptr) so.worker_pool = t->opts.worker_pool;
   so.estimators = options_.estimators;
   so.checkpoint_interval = options_.checkpoint_interval;
   so.guard = &guard;
   so.fault_injector = t->opts.fault_injector;
   so.spill_manager = &spill;
-  so.worker_pool = t->opts.worker_pool;
   so.telemetry = t->opts.telemetry;
   so.workload_stats = &priors_;
   so.cross_run = options_.cross_run;
   so.cross_run_feedback = options_.cross_run_feedback;
   so.cross_run_min_runs = options_.cross_run_min_runs;
   so.eta_model = &eta;
-  so.batch_size = options_.batch_size;
   sql::SqlSession session(db_, so);
 
   uint64_t run_start_ns = MonotonicNanos();
@@ -342,6 +345,7 @@ FleetReport QueryServer::Fleet() const {
   fleet.pool_rows = governor_.pool_rows();
   fleet.granted_rows = governor_.granted_rows();
   fleet.revocations = governor_.revocations();
+  fleet.estimator_specs = ListEstimatorSpecs();
 
   // Queue positions in FIFO order.
   std::map<uint64_t, size_t> position;

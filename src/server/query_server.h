@@ -60,7 +60,12 @@
 
 namespace qprog {
 
-struct ServerOptions {
+/// Engine knobs (worker_pool, batch_size, partitions) ride on the shared
+/// ExecutionConfig base and are forwarded to every session: worker_pool is
+/// the fleet-wide default pool (a per-submission SubmitOptions::worker_pool
+/// overrides it), and partitions > 1 plans decomposable aggregations as
+/// partitioned exchange pipelines (sql/planner.h).
+struct ServerOptions : ExecutionConfig {
   /// Concurrent session threads (the fleet's parallelism). 1 serializes
   /// execution entirely — useful for deterministic end-to-end tests.
   size_t sessions = 4;
@@ -90,9 +95,6 @@ struct ServerOptions {
   /// Forwarded to each session's SessionOptions (see sql/session.h).
   bool cross_run_feedback = true;
   uint64_t cross_run_min_runs = 3;
-  /// Root pull granularity for every session (sql/session.h): 0 = tuple-at-
-  /// a-time, n > 0 = batches of up to n rows with identical results.
-  size_t batch_size = 0;
 };
 
 /// Per-submission overrides. All pointers are borrowed and must outlive the
@@ -196,6 +198,10 @@ struct FleetReport {
   /// (MetricsRegistry::DumpPrometheus) — one scrape-ready page per
   /// Fleet() call.
   std::string metrics_text;
+  /// The estimator catalog (core/estimators.h ListEstimatorSpecs): every
+  /// spec the server accepts in ServerOptions::estimators or
+  /// SubmitOptions::estimators, with syntax and a one-line description.
+  std::vector<EstimatorSpecInfo> estimator_specs;
 };
 
 class QueryServer {

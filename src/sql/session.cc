@@ -32,7 +32,9 @@ void SqlSession::RecordWorkload(uint64_t fingerprint, bool completed,
 }
 
 StatusOr<std::vector<Row>> SqlSession::Execute(const std::string& query) {
-  QPROG_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanSql(query, *db_));
+  PlanOptions popts;
+  popts.partitions = options_.partitions;
+  QPROG_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanSql(query, *db_, popts));
   ExecContext ctx;
   ctx.set_guard(options_.guard);
   ctx.set_fault_injector(options_.fault_injector);
@@ -42,8 +44,14 @@ StatusOr<std::vector<Row>> SqlSession::Execute(const std::string& query) {
   if (options_.fault_injector != nullptr) options_.fault_injector->Reset();
   ++queries_run_;
   uint64_t start_ns = MonotonicNanos();
+  exec::DriveOptions dopts;
+  dopts.ctx = &ctx;
+  dopts.batch_size = options_.batch_size;
+  dopts.collect_rows = true;
+  exec::DriveResult result = exec::Drive(&plan, dopts);
   StatusOr<std::vector<Row>> rows =
-      TryCollectRowsBatched(&plan, &ctx, options_.batch_size);
+      result.ok() ? StatusOr<std::vector<Row>>(std::move(result.rows))
+                  : StatusOr<std::vector<Row>>(result.status);
   RecordWorkload(TemplateFingerprint(query), rows.ok(), ctx.work(),
                  ctx.total_spill_work(), ctx.peak_buffered_rows(),
                  rows.ok() ? rows.value().size() : 0,
@@ -53,7 +61,9 @@ StatusOr<std::vector<Row>> SqlSession::Execute(const std::string& query) {
 
 StatusOr<ProgressReport> SqlSession::ExecuteMonitored(const std::string& query,
                                                       const QueryOptions& q) {
-  QPROG_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanSql(query, *db_));
+  PlanOptions popts;
+  popts.partitions = options_.partitions;
+  QPROG_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanSql(query, *db_, popts));
   const uint64_t fingerprint = TemplateFingerprint(query);
   // Cross-run prior feedback: re-seed the plan's estimated_rows from the
   // template's observed cardinalities before any estimator sees the plan.
@@ -103,15 +113,14 @@ StatusOr<ProgressReport> SqlSession::ExecuteMonitored(const std::string& query,
     estimators.push_back(std::move(e));
   }
   MonitorOptions mopts;
+  static_cast<ExecutionConfig&>(mopts) = options_;  // engine-knob spine
   mopts.guard = options_.guard;
   mopts.fault_injector = options_.fault_injector;
   mopts.spill_manager = options_.spill_manager;
-  mopts.worker_pool = options_.worker_pool;
   mopts.telemetry = options_.telemetry;
   mopts.metrics_registry = options_.metrics_registry;
   mopts.eta_model = options_.eta_model;
   mopts.checkpoint_listener = q.checkpoint_listener;
-  mopts.batch_size = options_.batch_size;
   ProgressMonitor monitor(&plan, std::move(estimators), std::move(mopts));
   uint64_t interval = q.checkpoint_interval > 0 ? q.checkpoint_interval
                                                 : options_.checkpoint_interval;

@@ -38,8 +38,12 @@ namespace qprog {
 namespace sql {
 
 /// Session-wide configuration: default estimator specs plus the borrowed
-/// execution environment (all pointers optional and caller-owned).
-struct SessionOptions {
+/// execution environment (all pointers optional and caller-owned). The
+/// engine knobs — worker_pool, batch_size, partitions — live on the shared
+/// ExecutionConfig base (exec/execution_config.h): `partitions > 1` makes
+/// the planner build partitioned scan → partial-agg → Exchange → final-agg
+/// pipelines for decomposable aggregations (sql/planner.h).
+struct SessionOptions : ExecutionConfig {
   /// Estimator specs for monitored runs without a per-query override.
   /// CreateEstimator syntax — parameterized specs like "hybrid:2.5" and
   /// "window:32" are accepted.
@@ -50,7 +54,6 @@ struct SessionOptions {
   QueryGuard* guard = nullptr;
   FaultInjector* fault_injector = nullptr;
   SpillManager* spill_manager = nullptr;
-  WorkerPool* worker_pool = nullptr;
   TelemetryCollector* telemetry = nullptr;
   MetricsRegistry* metrics_registry = nullptr;
   /// Per-template priors sink; shared across sessions (thread-safe).
@@ -72,11 +75,6 @@ struct SessionOptions {
   /// environment, borrowed — and single-threaded, so one model serves one
   /// session (the server wires a fresh model per ticket).
   EtaModel* eta_model = nullptr;
-  /// Root pull granularity for Execute and ExecuteMonitored: 0 = tuple-at-
-  /// a-time; n > 0 pulls batches of up to n rows. Results, counters,
-  /// checkpoints, and traces are byte-identical across batch sizes
-  /// (DESIGN.md §15).
-  size_t batch_size = 0;
 };
 
 /// Per-query overrides for one ExecuteMonitored call.

@@ -96,8 +96,10 @@ RunResult RunBatched(const std::function<PhysicalPlan()>& make_plan,
   ExecContext ctx;
   if (configure) configure(&ctx);
   std::vector<Row> rows;
-  ExecutePlanBatched(&plan, &ctx, batch_size,
-                     [&rows](const Row& r) { rows.push_back(r); });
+  exec::Drive(&plan,
+              {.ctx = &ctx,
+               .batch_size = batch_size,
+               .sink = [&rows](const Row& r) { rows.push_back(r); }});
   RunResult result;
   result.rows = testutil::RowsToString(rows);
   result.work = ctx.work();
@@ -456,7 +458,7 @@ TEST(BatchTelemetryTest, CallAndRowCountersMatchTupleTelemetry) {
     TelemetryCollector collector;
     ExecContext ctx;
     ctx.set_telemetry(&collector);
-    ExecutePlanBatched(&plan, &ctx, bs);
+    exec::Drive(&plan, {.ctx = &ctx, .batch_size = bs});
     std::vector<std::pair<uint64_t, uint64_t>> per_node;
     for (size_t i = 0; i < plan.num_nodes(); ++i) {
       const OperatorStats& s = collector.stats(static_cast<int>(i));
@@ -475,7 +477,8 @@ TEST(BatchTelemetryTest, CallAndRowCountersMatchTupleTelemetry) {
   TelemetryCollector collector;
   ExecContext ctx;
   ctx.set_telemetry(&collector);
-  uint64_t produced = ExecutePlanBatched(&plan, &ctx, 1024);
+  uint64_t produced =
+      exec::Drive(&plan, {.ctx = &ctx, .batch_size = 1024}).root_rows;
   ASSERT_GT(produced, 1024u);
   const OperatorStats& root = collector.stats(0);
   EXPECT_GT(root.next_batches, 0u);

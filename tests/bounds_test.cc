@@ -178,7 +178,7 @@ TEST_P(BoundsInvariantTest, SandwichInvariantsHoldAtEveryCheckpoint) {
     EXPECT_GE(b.work_ub, total - 1e-6) << "plan " << which << ": UB below total";
     EXPECT_LE(b.work_lb, b.work_ub);
   });
-  ExecutePlan(&plan, &ctx);
+  exec::Drive(&plan, {.ctx = &ctx});
   ctx.ClearWorkObserver();
   EXPECT_GT(checkpoints, 0u);
 

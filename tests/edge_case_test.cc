@@ -44,7 +44,7 @@ TEST_P(EmptyTpchQueryTest, RunsToCompletionOverEmptyTables) {
   auto plan = tpch::BuildQuery(GetParam(), *db_);
   ASSERT_TRUE(plan.ok()) << plan.status();
   ExecContext ctx;
-  uint64_t rows = ExecutePlan(&plan.value(), &ctx);
+  uint64_t rows = exec::Drive(&plan.value(), {.ctx = &ctx}).root_rows;
   // Scalar-aggregate queries still yield one row; the rest yield none.
   EXPECT_LE(rows, 1u);
   // No base rows means (almost) no getnexts — except a non-root scalar

@@ -365,7 +365,7 @@ TEST(EstimatorTest, PessimisticDneDiscountsPendingSpillWork) {
     spill.spill_rows_pending = uint64_t{1} << 40;
     EXPECT_DOUBLE_EQ(pessimistic.Estimate(pc), curr / bounds.work_ub);
   });
-  EXPECT_EQ(ExecutePlan(&plan, &ctx), 900u);
+  EXPECT_EQ(exec::Drive(&plan, {.ctx = &ctx}).root_rows, 900u);
   EXPECT_TRUE(checked);
 }
 

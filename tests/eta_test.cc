@@ -356,7 +356,7 @@ TEST(EtaMonitorTest, AbortBeforeFirstCheckpointLeavesInfiniteBand) {
 // ---------------------------------------------------------------------------
 
 TEST(EtaTraceSchemaTest, TableDrivenVersionGateAcceptsOneThroughCurrent) {
-  EXPECT_EQ(kTraceSchemaVersion, 4);
+  EXPECT_EQ(kTraceSchemaVersion, 5);
   EXPECT_FALSE(TraceSchemaAccepted(0));
   for (int v = 1; v <= kTraceSchemaVersion; ++v) {
     EXPECT_TRUE(TraceSchemaAccepted(v)) << "v" << v;
@@ -371,7 +371,7 @@ TEST(EtaTraceSchemaTest, TableDrivenVersionGateAcceptsOneThroughCurrent) {
                       "\"work\":5,\"work_lb\":1,\"work_ub\":2}")
           .ok());
   EXPECT_FALSE(
-      ParseTraceEvent("{\"v\":5,\"event\":\"checkpoint\",\"seq\":0,"
+      ParseTraceEvent("{\"v\":6,\"event\":\"checkpoint\",\"seq\":0,"
                       "\"work\":5}")
           .ok());
 }

@@ -18,6 +18,7 @@
 
 #include "core/monitor.h"
 #include "exec/aggregate.h"
+#include "exec/exchange.h"
 #include "exec/fault_injector.h"
 #include "exec/filter_project.h"
 #include "exec/join.h"
@@ -108,12 +109,12 @@ TEST(GuardrailsTest, CancelBeforeRunStopsImmediately) {
   guard.RequestCancel();
   ExecContext ctx;
   ctx.set_guard(&guard);
-  Status s = RunPlan(&plan, &ctx);
+  Status s = exec::Drive(&plan, {.ctx = &ctx}).status;
   EXPECT_EQ(s.code(), StatusCode::kCancelled);
   EXPECT_LE(ctx.work(), 8u);  // at most one amortized interval of extra work
   guard.ResetCancel();
   EXPECT_FALSE(guard.cancel_requested());
-  Status again = RunPlan(&plan, &ctx);
+  Status again = exec::Drive(&plan, {.ctx = &ctx}).status;
   EXPECT_TRUE(again.ok()) << again.ToString();
 }
 
@@ -146,12 +147,12 @@ TEST(GuardrailsTest, ExpiredDeadlineAborts) {
   EXPECT_TRUE(guard.has_deadline());
   ExecContext ctx;
   ctx.set_guard(&guard);
-  Status s = RunPlan(&plan, &ctx);
+  Status s = exec::Drive(&plan, {.ctx = &ctx}).status;
   EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
   EXPECT_LE(ctx.work(), 16u);
   guard.clear_deadline();
   EXPECT_FALSE(guard.has_deadline());
-  EXPECT_TRUE(RunPlan(&plan, &ctx).ok());
+  EXPECT_TRUE(exec::Drive(&plan, {.ctx = &ctx}).ok());
 }
 
 TEST(GuardrailsTest, GenerousTimeoutDoesNotTrip) {
@@ -161,7 +162,7 @@ TEST(GuardrailsTest, GenerousTimeoutDoesNotTrip) {
   guard.set_timeout(std::chrono::hours(1));
   ExecContext ctx;
   ctx.set_guard(&guard);
-  EXPECT_TRUE(RunPlan(&plan, &ctx).ok());
+  EXPECT_TRUE(exec::Drive(&plan, {.ctx = &ctx}).ok());
   EXPECT_EQ(ctx.work(), 200u);
 }
 
@@ -173,7 +174,7 @@ TEST(GuardrailsTest, BufferedRowBudgetStopsSort) {
   guard.set_max_buffered_rows(100);
   ExecContext ctx;
   ctx.set_guard(&guard);
-  Status s = RunPlan(&plan, &ctx);
+  Status s = exec::Drive(&plan, {.ctx = &ctx}).status;
   EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(TerminationFromStatus(s), TerminationReason::kBudgetExhausted);
   // Close() ran: the aborted sort returned its charge to the budget.
@@ -193,7 +194,8 @@ TEST(GuardrailsTest, BufferedRowBudgetStopsHashJoinBuild) {
   guard.set_max_buffered_rows(64);
   ExecContext ctx;
   ctx.set_guard(&guard);
-  EXPECT_EQ(RunPlan(&plan, &ctx).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exec::Drive(&plan, {.ctx = &ctx}).status.code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(ctx.buffered_rows(), 0u);
 }
 
@@ -211,7 +213,8 @@ TEST(GuardrailsTest, BufferedRowBudgetStopsHashAggregateGroups) {
   guard.set_max_buffered_rows(50);
   ExecContext ctx;
   ctx.set_guard(&guard);
-  EXPECT_EQ(RunPlan(&plan, &ctx).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(exec::Drive(&plan, {.ctx = &ctx}).status.code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(ctx.buffered_rows(), 0u);
 }
 
@@ -223,7 +226,7 @@ TEST(GuardrailsTest, SufficientBufferBudgetPasses) {
   guard.set_max_buffered_rows(500);
   ExecContext ctx;
   ctx.set_guard(&guard);
-  EXPECT_TRUE(RunPlan(&plan, &ctx).ok());
+  EXPECT_TRUE(exec::Drive(&plan, {.ctx = &ctx}).ok());
   EXPECT_EQ(ctx.buffered_rows(), 0u);  // released on Close
 }
 
@@ -258,20 +261,22 @@ void ExpectFaultStops(PhysicalPlan plan, const std::string& site,
     ctx.set_spill_manager(&spill);
   }
   ctx.set_fault_injector(&fi);
-  StatusOr<std::vector<Row>> result = TryCollectRows(&plan, &ctx);
+  exec::DriveResult result =
+      exec::Drive(&plan, {.ctx = &ctx, .collect_rows = true});
   ASSERT_FALSE(result.ok()) << "fault at " << site << " did not surface";
-  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
-  EXPECT_NE(result.status().message().find(site), std::string::npos)
-      << result.status().ToString();
-  EXPECT_EQ(TerminationFromStatus(result.status()), TerminationReason::kFault);
+  EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+  EXPECT_NE(result.status.message().find(site), std::string::npos)
+      << result.status.ToString();
+  EXPECT_EQ(TerminationFromStatus(result.status), TerminationReason::kFault);
   EXPECT_GE(fi.hit_count(site), fail_on_hit);
 
   // The same context and plan must be reusable after the fault is disarmed:
   // no operator may be left wedged in a failed state.
   fi.Disarm(site);
-  StatusOr<std::vector<Row>> retry = TryCollectRows(&plan, &ctx);
+  exec::DriveResult retry =
+      exec::Drive(&plan, {.ctx = &ctx, .collect_rows = true});
   EXPECT_TRUE(retry.ok()) << "plan not rerunnable after fault at " << site
-                          << ": " << retry.status().ToString();
+                          << ": " << retry.status.ToString();
   if (spilling) {
     // Both the aborted and the clean rerun must leave zero live spill runs.
     EXPECT_GT(spill.stats().runs_created, 0u)
@@ -368,6 +373,15 @@ TEST(GuardrailsTest, EveryFaultSiteStopsItsOperator) {
                          std::make_unique<SeqScan>(&big), std::move(groups),
                          std::vector<std::string>{"g"}, std::move(aggs)));
                    }});
+  auto exchange_plan = [&] {
+    std::vector<OperatorPtr> producers;
+    producers.push_back(std::make_unique<SeqScan>(&big, nullptr, 0, 100));
+    producers.push_back(std::make_unique<SeqScan>(&big, nullptr, 100, 200));
+    return PhysicalPlan(std::make_unique<Exchange>(
+        std::move(producers), std::vector<size_t>{0}, 2));
+  };
+  cases.push_back({faults::kExchangeSend, exchange_plan});
+  cases.push_back({faults::kExchangeRecv, exchange_plan});
   // Spill-layer sites: the sort spills under the case's tight budget, so
   // every temp-file open, record write, and record read consults its site.
   cases.push_back({faults::kSpillOpen, sort_plan, /*spilling=*/true});
@@ -405,7 +419,7 @@ TEST(GuardrailsTest, InjectedStatusCodeIsPreserved) {
   fi.Arm(std::move(spec));
   ExecContext ctx;
   ctx.set_fault_injector(&fi);
-  Status s = RunPlan(&plan, &ctx);
+  Status s = exec::Drive(&plan, {.ctx = &ctx}).status;
   EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
   EXPECT_EQ(s.message(), "simulated torn page");
 }
@@ -696,7 +710,7 @@ TEST(GuardrailsTest, SummarizeReportNamesTheTermination) {
   EXPECT_NE(stopped.find("ResourceExhausted"), std::string::npos) << stopped;
 }
 
-TEST(GuardrailsTest, TryCollectRowsReturnsPrefixFreeErrors) {
+TEST(GuardrailsTest, DriveCollectRowsReturnsPrefixFreeErrors) {
   Table t = Numbers(100);
   PhysicalPlan plan = ScanFilterPlan(&t);
   FaultInjector fi;
@@ -706,17 +720,19 @@ TEST(GuardrailsTest, TryCollectRowsReturnsPrefixFreeErrors) {
   fi.Arm(std::move(spec));
   ExecContext ctx;
   ctx.set_fault_injector(&fi);
-  // CollectRows surfaces the prefix; TryCollectRows surfaces the Status.
+  // CollectRows surfaces the prefix; exec::Drive surfaces the Status.
   std::vector<Row> prefix = CollectRows(&plan, &ctx);
   EXPECT_LT(prefix.size(), 100u);
   EXPECT_FALSE(ctx.ok());
   fi.Reset();
-  StatusOr<std::vector<Row>> res = TryCollectRows(&plan, &ctx);
+  exec::DriveResult res =
+      exec::Drive(&plan, {.ctx = &ctx, .collect_rows = true});
   EXPECT_FALSE(res.ok());
   ctx.set_fault_injector(nullptr);
-  StatusOr<std::vector<Row>> clean = TryCollectRows(&plan, &ctx);
+  exec::DriveResult clean =
+      exec::Drive(&plan, {.ctx = &ctx, .collect_rows = true});
   ASSERT_TRUE(clean.ok());
-  EXPECT_EQ(clean.value().size(), 100u);
+  EXPECT_EQ(clean.rows.size(), 100u);
 }
 
 }  // namespace

@@ -156,24 +156,24 @@ TEST(TraceSchemaTest, GoldenJsonlForFixedPlan) {
       ProgressMonitor::WithEstimators(&plan, {"dne", "pmax"}, mo);
   ProgressReport r = m.Run(60);
   ASSERT_TRUE(r.completed());
-  EXPECT_EQ(sink.data(), R"json({"v":4,"seq":0,"event":"run_begin","work":0,"estimators":"dne,pmax","leaf_cardinality":100,"interval":60}
-{"v":4,"seq":1,"event":"operator_open","work":0,"node":2,"op":"SeqScan(t)"}
-{"v":4,"seq":2,"event":"operator_open","work":0,"node":1,"op":"Filter(($0 < 50))"}
-{"v":4,"seq":3,"event":"operator_open","work":0,"node":0,"op":"HashAggregate(0 groups cols, 1 aggs)"}
-{"v":4,"seq":4,"event":"bound_refined","work":60,"node":0,"lb":1,"ub":1}
-{"v":4,"seq":5,"event":"bound_refined","work":60,"node":1,"lb":30,"ub":101}
-{"v":4,"seq":6,"event":"bound_refined","work":60,"node":2,"lb":100,"ub":100}
-{"v":4,"seq":7,"event":"checkpoint","work":60,"work_lb":130,"work_ub":201}
-{"v":4,"seq":8,"event":"estimator","work":60,"name":"dne","estimate":0.29702970297029702}
-{"v":4,"seq":9,"event":"estimator","work":60,"name":"pmax","estimate":0.46153846153846156}
-{"v":4,"seq":10,"event":"bound_refined","work":120,"node":1,"lb":50,"ub":82}
-{"v":4,"seq":11,"event":"checkpoint","work":120,"work_lb":150,"work_ub":182}
-{"v":4,"seq":12,"event":"estimator","work":120,"name":"dne","estimate":0.69306930693069302}
-{"v":4,"seq":13,"event":"estimator","work":120,"name":"pmax","estimate":0.80000000000000004}
-{"v":4,"seq":14,"event":"operator_close","work":150,"node":2,"op":"SeqScan(t)"}
-{"v":4,"seq":15,"event":"operator_close","work":150,"node":1,"op":"Filter(($0 < 50))"}
-{"v":4,"seq":16,"event":"operator_close","work":150,"node":0,"op":"HashAggregate(0 groups cols, 1 aggs)"}
-{"v":4,"seq":17,"event":"run_end","work":150,"termination":"completed","message":"","root_rows":1,"mu":1.5}
+  EXPECT_EQ(sink.data(), R"json({"v":5,"seq":0,"event":"run_begin","work":0,"estimators":"dne,pmax","leaf_cardinality":100,"interval":60}
+{"v":5,"seq":1,"event":"operator_open","work":0,"node":2,"op":"SeqScan(t)"}
+{"v":5,"seq":2,"event":"operator_open","work":0,"node":1,"op":"Filter(($0 < 50))"}
+{"v":5,"seq":3,"event":"operator_open","work":0,"node":0,"op":"HashAggregate(0 groups cols, 1 aggs)"}
+{"v":5,"seq":4,"event":"bound_refined","work":60,"node":0,"lb":1,"ub":1}
+{"v":5,"seq":5,"event":"bound_refined","work":60,"node":1,"lb":30,"ub":101}
+{"v":5,"seq":6,"event":"bound_refined","work":60,"node":2,"lb":100,"ub":100}
+{"v":5,"seq":7,"event":"checkpoint","work":60,"work_lb":130,"work_ub":201}
+{"v":5,"seq":8,"event":"estimator","work":60,"name":"dne","estimate":0.29702970297029702}
+{"v":5,"seq":9,"event":"estimator","work":60,"name":"pmax","estimate":0.46153846153846156}
+{"v":5,"seq":10,"event":"bound_refined","work":120,"node":1,"lb":50,"ub":82}
+{"v":5,"seq":11,"event":"checkpoint","work":120,"work_lb":150,"work_ub":182}
+{"v":5,"seq":12,"event":"estimator","work":120,"name":"dne","estimate":0.69306930693069302}
+{"v":5,"seq":13,"event":"estimator","work":120,"name":"pmax","estimate":0.80000000000000004}
+{"v":5,"seq":14,"event":"operator_close","work":150,"node":2,"op":"SeqScan(t)"}
+{"v":5,"seq":15,"event":"operator_close","work":150,"node":1,"op":"Filter(($0 < 50))"}
+{"v":5,"seq":16,"event":"operator_close","work":150,"node":0,"op":"HashAggregate(0 groups cols, 1 aggs)"}
+{"v":5,"seq":17,"event":"run_end","work":150,"termination":"completed","message":"","root_rows":1,"mu":1.5}
 )json");
 }
 
@@ -310,14 +310,14 @@ TEST(TelemetryTest, ZeroSinkPathLeavesWorkModelUntouched) {
   // Reference run: no telemetry at all.
   PhysicalPlan plan = SmallPlan(&t);
   ExecContext bare;
-  uint64_t bare_rows = ExecutePlan(&plan, &bare);
+  uint64_t bare_rows = exec::Drive(&plan, {.ctx = &bare}).root_rows;
   ASSERT_TRUE(bare.ok());
 
   // Stats-only telemetry (collector, no sink) must not change any counter.
   TelemetryCollector collector;  // no sink
   ExecContext ctx;
   ctx.set_telemetry(&collector);
-  uint64_t rows = ExecutePlan(&plan, &ctx);
+  uint64_t rows = exec::Drive(&plan, {.ctx = &ctx}).root_rows;
   ASSERT_TRUE(ctx.ok());
   EXPECT_EQ(rows, bare_rows);
   EXPECT_EQ(ctx.work(), bare.work());
@@ -335,7 +335,7 @@ TEST(TelemetryTest, PerNodeStatsIdentitiesMatchWorkModel) {
   TelemetryCollector collector;
   ExecContext ctx;
   ctx.set_telemetry(&collector);
-  uint64_t root_rows = ExecutePlan(&plan, &ctx);
+  uint64_t root_rows = exec::Drive(&plan, {.ctx = &ctx}).root_rows;
   ASSERT_TRUE(ctx.ok());
 
   // Identity 1 (the work model): work == sum of non-root rows returned.
@@ -371,7 +371,7 @@ TEST(TelemetryTest, GuardTripAttributedToDrivingNode) {
   ExecContext ctx;
   ctx.set_guard(&guard);
   ctx.set_telemetry(&collector);
-  ExecutePlan(&plan, &ctx);
+  exec::Drive(&plan, {.ctx = &ctx});
   ASSERT_FALSE(ctx.ok());
 
   uint64_t trips = 0;
@@ -410,7 +410,7 @@ TEST(TelemetryTest, FaultAttributedToFaultingNode) {
   ExecContext ctx;
   ctx.set_fault_injector(&fi);
   ctx.set_telemetry(&collector);
-  ExecutePlan(&plan, &ctx);
+  exec::Drive(&plan, {.ctx = &ctx});
   ASSERT_FALSE(ctx.ok());
 
   // Node 1 is the Filter in this pre-order plan (0=agg root, 1=filter,
@@ -502,7 +502,7 @@ TEST(AccuracyTest, RunTelemetryRanksWorstOffenders) {
   TelemetryCollector stats_collector;
   ExecContext ctx;
   ctx.set_telemetry(&stats_collector);
-  ExecutePlan(&plan, &ctx);
+  exec::Drive(&plan, {.ctx = &ctx});
   RunTelemetry rt = BuildRunTelemetry(plan, ctx, r, &collector);
 
   EXPECT_EQ(rt.summary, SummarizeReport(r));  // one formatting path
@@ -576,7 +576,7 @@ TEST(ExplainAnalyzeTest, GoldenTpchQ1) {
   TelemetryCollector collector;
   ExecContext ctx;
   ctx.set_telemetry(&collector);
-  ExecutePlan(&plan.value(), &ctx);
+  exec::Drive(&plan.value(), {.ctx = &ctx});
   ASSERT_TRUE(ctx.ok());
 
   ExplainAnalyzeOptions opts;

@@ -41,6 +41,14 @@ using testutil::I;
 using testutil::S;
 using testutil::Sorted;
 
+/// Every plan execution in this file goes through the unified driver;
+/// this adapter keeps the StatusOr shape the assertions expect.
+StatusOr<std::vector<Row>> DriveRows(PhysicalPlan* plan, ExecContext* ctx) {
+  exec::DriveResult r = exec::Drive(plan, {.ctx = ctx, .collect_rows = true});
+  if (!r.ok()) return r.status;
+  return std::move(r.rows);
+}
+
 const int kPoolSizes[] = {1, 2, 4, 8};
 
 std::string MakeSpillDir(const std::string& tag) {
@@ -107,7 +115,7 @@ StatusOr<std::vector<Row>> RunSpilling(
     pool = std::make_unique<WorkerPool>(pool_threads);
     ctx.set_worker_pool(pool.get());
   }
-  StatusOr<std::vector<Row>> rows = TryCollectRows(&plan, &ctx);
+  StatusOr<std::vector<Row>> rows = DriveRows(&plan, &ctx);
   EXPECT_GT(spill.stats().runs_created, 0u) << tag << ": nothing spilled";
   EXPECT_EQ(spill.live_runs(), 0u) << tag;
   EXPECT_EQ(ctx.buffered_rows(), 0u) << tag;
@@ -211,7 +219,7 @@ TEST(ParallelDeterminismTest, GraceJoinRowsMatchSerialForEveryJoinType) {
     // In-memory reference: the multiset of rows must survive Grace mode.
     PhysicalPlan mem_plan = make();
     ExecContext mem_ctx;
-    StatusOr<std::vector<Row>> mem = TryCollectRows(&mem_plan, &mem_ctx);
+    StatusOr<std::vector<Row>> mem = DriveRows(&mem_plan, &mem_ctx);
     ASSERT_TRUE(mem.ok()) << mem.status();
     // Serial Grace replay: the row-for-row reference for the parallel join.
     StatusOr<std::vector<Row>> serial =
@@ -336,7 +344,7 @@ TEST(ParallelSortTest, TwoLevelMergeTriggersAboveFanInAndStaysStable) {
   ctx.set_spill_manager(&spill);
   ctx.set_worker_pool(&pool);
   ctx.set_telemetry(&collector);
-  StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+  StatusOr<std::vector<Row>> got = DriveRows(&plan, &ctx);
   ASSERT_TRUE(got.ok()) << got.status();
   ASSERT_EQ(got.value().size(), 1200u);
   int64_t prev_key = -1, prev_arrival = -1;
@@ -375,7 +383,7 @@ TEST(ParallelSortTest, CancellationMidMergeLeavesNoResidue) {
   ctx.SetWorkObserver(64, [&](uint64_t work) {
     if (work >= 2048) guard.RequestCancel();
   });
-  StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+  StatusOr<std::vector<Row>> got = DriveRows(&plan, &ctx);
   ASSERT_FALSE(got.ok()) << "cancellation ignored";
   EXPECT_EQ(got.status().code(), StatusCode::kCancelled) << got.status();
   EXPECT_GT(spill.stats().runs_created, 0u);
@@ -512,7 +520,7 @@ TEST(ParallelMemoryBoundTest, PermanentWriteFaultFailsFastAndCleans) {
     ctx.set_spill_manager(&spill);
     ctx.set_worker_pool(&pool);
     ctx.set_fault_injector(&fi);
-    StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+    StatusOr<std::vector<Row>> got = DriveRows(&plan, &ctx);
     ASSERT_FALSE(got.ok()) << "injected write fault ignored";
     EXPECT_EQ(got.status().code(), StatusCode::kInternal) << got.status();
     EXPECT_EQ(spill.live_runs(), 0u) << "failed run leaked spill runs";
@@ -908,7 +916,7 @@ TEST(SpillCodecTest, CompressedExecutionMatchesUncompressed) {
     ctx.set_guard(&guard);
     ctx.set_spill_manager(&spill);
     ctx.set_worker_pool(&pool);
-    StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+    StatusOr<std::vector<Row>> got = DriveRows(&plan, &ctx);
     EXPECT_TRUE(got.ok()) << got.status();
     EXPECT_GT(spill.stats().runs_created, 0u);
     uint64_t raw = spill.stats().bytes_written;

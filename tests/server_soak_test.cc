@@ -460,5 +460,97 @@ TEST_F(ServerSoakTest, RevocationUnderLoadKeepsBoundsAndResults) {
   std::filesystem::remove_all(dir);
 }
 
+
+// Exchange leg: the whole fleet plans decomposable GROUP BYs as partitioned
+// scan -> partial-agg -> exchange -> final-agg pipelines (ServerOptions::
+// partitions on the ExecutionConfig spine), under a governor pool small
+// enough to revoke mid-exchange. Every run must complete with the serial
+// row count and keep Curr <= LB <= UB at every checkpoint.
+TEST_F(ServerSoakTest, PartitionedFleetKeepsBoundsAndResultsUnderRevocation) {
+  std::vector<uint64_t> solo_root_rows;
+  for (const char* sql : kQueries) {
+    StatusOr<std::vector<Row>> rows = sql::ExecuteSql(sql, *db_);
+    ASSERT_TRUE(rows.ok()) << rows.status();
+    solo_root_rows.push_back(rows->size());
+  }
+
+  std::filesystem::path dir = ScratchDir("exchange");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  WorkerPool pool(4);
+  ServerOptions opts;
+  opts.sessions = 4;
+  opts.partitions = 4;       // fleet-wide partitioned planning
+  opts.worker_pool = &pool;  // fleet-wide default intra-query pool
+  opts.estimators = kEstimators;
+  opts.checkpoint_interval = kInterval;
+  opts.spill_dir = dir.string();
+  opts.governor.pool_rows = 256;
+  opts.governor.min_grant_rows = 16;
+  opts.admission.fallback_peak_rows = 200;
+  QueryServer server(db_, opts);
+  EXPECT_EQ(server.options().partitions, 4u);
+
+  struct Observed {
+    std::mutex mu;
+    std::vector<Checkpoint> checkpoints;
+  };
+  std::vector<std::unique_ptr<Observed>> observed;
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  std::vector<uint64_t> tickets;
+  for (int round = 0; round < 2; ++round) {
+    for (size_t qi = 0; qi < kNumQueries; ++qi) {
+      injectors.push_back(std::make_unique<FaultInjector>(13 * round + qi));
+      FaultSpec spec;
+      spec.site = faults::kSeqScanNext;
+      spec.latency_spins = 500;
+      injectors.back()->Arm(std::move(spec));
+      observed.push_back(std::make_unique<Observed>());
+      Observed* obs = observed.back().get();
+      SubmitOptions so;
+      so.fault_injector = injectors.back().get();
+      so.checkpoint_listener = [obs](const Checkpoint& cp) {
+        std::lock_guard<std::mutex> lock(obs->mu);
+        obs->checkpoints.push_back(cp);
+      };
+      tickets.push_back(server.Submit("exch", kQueries[qi], so));
+    }
+  }
+
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    SCOPED_TRACE("submission " + std::to_string(i));
+    QueryResult r = server.Wait(tickets[i]);
+    ASSERT_TRUE(r.status.ok()) << r.status;
+    EXPECT_TRUE(r.report.completed());
+    EXPECT_EQ(r.report.root_rows, solo_root_rows[i % kNumQueries])
+        << "partitioned fleet run changed the result";
+    std::lock_guard<std::mutex> lock(observed[i]->mu);
+    EXPECT_FALSE(observed[i]->checkpoints.empty());
+    for (const Checkpoint& cp : observed[i]->checkpoints) {
+      EXPECT_LE(static_cast<double>(cp.work), cp.work_lb + 1e-9);
+      EXPECT_LE(cp.work_lb, cp.work_ub + 1e-9);
+      for (double e : cp.estimates) {
+        EXPECT_FALSE(std::isnan(e));
+        EXPECT_GE(e, 0.0);
+        EXPECT_LE(e, 1.0);
+      }
+    }
+  }
+  EXPECT_EQ(server.governor().granted_rows(), 0u);
+  FleetReport fleet = server.Fleet();
+  EXPECT_EQ(fleet.done, tickets.size());
+  // The fleet report surfaces the estimator catalog (ListEstimatorSpecs).
+  EXPECT_FALSE(fleet.estimator_specs.empty());
+  bool has_auto = false;
+  for (const EstimatorSpecInfo& info : fleet.estimator_specs) {
+    if (info.name == "auto") has_auto = true;
+  }
+  EXPECT_TRUE(has_auto);
+  server.Shutdown();
+  EXPECT_EQ(CountSpillFiles(dir.string()), 0);
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace qprog

@@ -38,6 +38,14 @@ using testutil::N;
 using testutil::S;
 using testutil::Sorted;
 
+/// Every plan execution in this file goes through the unified driver;
+/// this adapter keeps the StatusOr shape the assertions expect.
+StatusOr<std::vector<Row>> DriveRows(PhysicalPlan* plan, ExecContext* ctx) {
+  exec::DriveResult r = exec::Drive(plan, {.ctx = ctx, .collect_rows = true});
+  if (!r.ok()) return r.status;
+  return std::move(r.rows);
+}
+
 // ---------------------------------------------------------------------------
 // Helpers
 // ---------------------------------------------------------------------------
@@ -116,7 +124,7 @@ std::pair<uint64_t, uint64_t> ExpectSpillEquivalent(
     const char* tag, bool expect_same_order) {
   PhysicalPlan mem_plan = make_plan();
   ExecContext mem_ctx;
-  StatusOr<std::vector<Row>> expected = TryCollectRows(&mem_plan, &mem_ctx);
+  StatusOr<std::vector<Row>> expected = DriveRows(&mem_plan, &mem_ctx);
   EXPECT_TRUE(expected.ok()) << expected.status();
 
   std::string dir = MakeSpillDir(tag);
@@ -127,7 +135,7 @@ std::pair<uint64_t, uint64_t> ExpectSpillEquivalent(
   ExecContext ctx;
   ctx.set_guard(&guard);
   ctx.set_spill_manager(&spill);
-  StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+  StatusOr<std::vector<Row>> got = DriveRows(&plan, &ctx);
   EXPECT_TRUE(got.ok()) << "spilling run failed: " << got.status();
   if (expected.ok() && got.ok()) {
     if (expect_same_order) {
@@ -200,7 +208,7 @@ TEST(SpillTest, SpilledSortIsStable) {
   ExecContext ctx;
   ctx.set_guard(&guard);
   ctx.set_spill_manager(&spill);
-  StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+  StatusOr<std::vector<Row>> got = DriveRows(&plan, &ctx);
   ASSERT_TRUE(got.ok()) << got.status();
   ASSERT_EQ(got.value().size(), 600u);
   int64_t prev_key = -1, prev_arrival = -1;
@@ -262,7 +270,7 @@ TEST(SpillTest, ScalarAggregateNeverSpills) {
   ExecContext ctx;
   ctx.set_guard(&guard);
   ctx.set_spill_manager(&spill);
-  StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+  StatusOr<std::vector<Row>> got = DriveRows(&plan, &ctx);
   ASSERT_TRUE(got.ok()) << got.status();
   ASSERT_EQ(got.value().size(), 1u);
   EXPECT_EQ(got.value()[0][0].int64_value(), 500);
@@ -282,7 +290,8 @@ TEST(SpillTest, BudgetThatKillsWithoutSpillManagerCompletesWithOne) {
     guard.set_max_buffered_rows(100);
     ExecContext ctx;
     ctx.set_guard(&guard);
-    EXPECT_EQ(RunPlan(&plan, &ctx).code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(exec::Drive(&plan, {.ctx = &ctx}).status.code(),
+              StatusCode::kResourceExhausted);
   }
   {
     std::string dir = MakeSpillDir("degrade");
@@ -293,7 +302,7 @@ TEST(SpillTest, BudgetThatKillsWithoutSpillManagerCompletesWithOne) {
     ExecContext ctx;
     ctx.set_guard(&guard);
     ctx.set_spill_manager(&spill);
-    Status s = RunPlan(&plan, &ctx);
+    Status s = exec::Drive(&plan, {.ctx = &ctx}).status;
     EXPECT_TRUE(s.ok()) << s.ToString();
     EXPECT_GT(spill.stats().runs_created, 0u);
     EXPECT_EQ(spill.live_runs(), 0u);
@@ -318,7 +327,7 @@ TEST(SpillTest, KillThresholdStillAbortsASpillingQuery) {
   ExecContext ctx;
   ctx.set_guard(&guard);
   ctx.set_spill_manager(&spill);
-  StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+  StatusOr<std::vector<Row>> got = DriveRows(&plan, &ctx);
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted);
   // Even the hard abort cleans up: no runs, no files, no buffered charge.
@@ -413,7 +422,7 @@ TEST(SpillTest, SpillWorkIsAttributedPerNode) {
   ExecContext ctx;
   ctx.set_guard(&guard);
   ctx.set_spill_manager(&spill);
-  ASSERT_TRUE(RunPlan(&plan, &ctx).ok());
+  ASSERT_TRUE(exec::Drive(&plan, {.ctx = &ctx}).ok());
   int sort_node = plan.root()->node_id();
   EXPECT_EQ(ctx.spill_work(sort_node), ctx.total_spill_work());
   EXPECT_EQ(ctx.total_spill_work(),
@@ -483,7 +492,7 @@ TEST(SpillTest, ExplainAnalyzeRendersSpillStats) {
   ctx.set_guard(&guard);
   ctx.set_spill_manager(&spill);
   ctx.set_telemetry(&collector);
-  ASSERT_TRUE(RunPlan(&plan, &ctx).ok());
+  ASSERT_TRUE(exec::Drive(&plan, {.ctx = &ctx}).ok());
   ExplainAnalyzeOptions opts;
   opts.telemetry = &collector;
   std::string rendered = ExplainAnalyze(plan, ctx, opts);
@@ -520,7 +529,7 @@ TEST(SpillTest, TransientWriteFaultIsRetriedToCompletion) {
   ctx.set_spill_manager(&spill);
   ctx.set_fault_injector(&fi);
   ctx.set_telemetry(&collector);
-  StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+  StatusOr<std::vector<Row>> got = DriveRows(&plan, &ctx);
   ASSERT_TRUE(got.ok()) << "transient fault not ridden out: " << got.status();
   EXPECT_EQ(got.value().size(), 600u);
   EXPECT_EQ(spill.stats().io_retries, 2u);
@@ -550,7 +559,7 @@ TEST(SpillTest, TransientReadAndOpenFaultsAreRetriedToo) {
     ctx.set_guard(&guard);
     ctx.set_spill_manager(&spill);
     ctx.set_fault_injector(&fi);
-    StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+    StatusOr<std::vector<Row>> got = DriveRows(&plan, &ctx);
     ASSERT_TRUE(got.ok()) << got.status();
     EXPECT_EQ(got.value().size(), 400u);
     EXPECT_EQ(spill.stats().io_retries, 1u);
@@ -580,7 +589,7 @@ TEST(SpillTest, ExhaustedRetryBudgetSurfacesTheTransientStatus) {
   ctx.set_guard(&guard);
   ctx.set_spill_manager(&spill);
   ctx.set_fault_injector(&fi);
-  StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+  StatusOr<std::vector<Row>> got = DriveRows(&plan, &ctx);
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
   EXPECT_EQ(spill.stats().io_retries, 2u);  // max_attempts - 1
@@ -609,7 +618,7 @@ TEST(SpillTest, PermanentFaultFailsCleanlyAtEverySpillSite) {
     ctx.set_guard(&guard);
     ctx.set_spill_manager(&spill);
     ctx.set_fault_injector(&fi);
-    StatusOr<std::vector<Row>> got = TryCollectRows(&plan, &ctx);
+    StatusOr<std::vector<Row>> got = DriveRows(&plan, &ctx);
     ASSERT_FALSE(got.ok()) << "permanent fault at " << site << " ignored";
     EXPECT_EQ(got.status().code(), StatusCode::kInternal);
     EXPECT_NE(got.status().message().find(site), std::string::npos)

@@ -104,7 +104,7 @@ TEST(WorkModelTest, RootRowsNotCounted) {
   auto scan = std::make_unique<SeqScan>(&t);
   PhysicalPlan plan(std::move(scan));
   ExecContext ctx;
-  uint64_t rows = ExecutePlan(&plan, &ctx);
+  uint64_t rows = exec::Drive(&plan, {.ctx = &ctx}).root_rows;
   EXPECT_EQ(rows, 3u);
   EXPECT_EQ(ctx.work(), 0u);
 }
@@ -117,7 +117,7 @@ TEST(WorkModelTest, FilterAboveScanCountsScanOnly) {
                                          eb::Gt(eb::Col(0, "a"), eb::Int(2)));
   PhysicalPlan plan(std::move(filter));
   ExecContext ctx;
-  uint64_t rows = ExecutePlan(&plan, &ctx);
+  uint64_t rows = exec::Drive(&plan, {.ctx = &ctx}).root_rows;
   EXPECT_EQ(rows, 2u);
   EXPECT_EQ(ctx.work(), 4u);  // 4 scan rows crossed the scan->filter edge
 }
@@ -211,7 +211,7 @@ TEST(WorkModelTest, WorkObserverFires) {
   ExecContext ctx;
   std::vector<uint64_t> observed;
   ctx.SetWorkObserver(10, [&](uint64_t w) { observed.push_back(w); });
-  ExecutePlan(&plan, &ctx);
+  exec::Drive(&plan, {.ctx = &ctx});
   ASSERT_FALSE(observed.empty());
   EXPECT_EQ(observed.front(), 10u);
   for (size_t i = 1; i < observed.size(); ++i) {
